@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark suite.
+
+The simulated monitoring sweep behind Figures 5.4–5.8 is the expensive part
+of the evaluation; it is computed once per session (for a reduced but
+representative scale) and shared by the per-figure benchmarks, which then
+time their own aggregation and check the qualitative shapes reported in the
+paper.  ``EXPERIMENTS.md`` documents a full-scale run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentScale, run_fig_5_4_5_5
+
+#: Reduced scale used by the benchmark suite: three process counts, two
+#: replications, short traces.  Large enough to exhibit the paper's trends,
+#: small enough to run in a couple of minutes.
+BENCH_SCALE = ExperimentScale(
+    process_counts=(2, 3, 4),
+    events_per_process=6,
+    replications=2,
+    max_views_per_state=2,
+)
+
+
+@pytest.fixture(scope="session")
+def monitoring_sweep():
+    """The (property, process-count) metric sweep shared by Figures 5.4–5.8."""
+    return run_fig_5_4_5_5(scale=BENCH_SCALE)
+
+
+def series_of(rows, metric):
+    """Turn sweep rows into ``{property: [values by process count]}``."""
+    series = {}
+    for row in rows:
+        series.setdefault(row["property"], []).append(row[metric])
+    return series

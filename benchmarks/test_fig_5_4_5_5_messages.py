@@ -1,0 +1,54 @@
+"""Benchmarks regenerating Figures 5.4 and 5.5: monitoring message overhead.
+
+The paper plots, on a log scale, the total number of program events and the
+total number of monitoring messages against the number of processes, for
+properties A–C (Fig 5.4) and D–F (Fig 5.5), with Commμ = Evtμ = 3 s and
+σ = 1 s.  The headline findings reproduced here:
+
+* message counts grow with the number of processes and events for every
+  property;
+* the single-outgoing-transition properties B and E need far fewer messages
+  than the multi-transition properties (the paper calls their growth
+  sub-linear in the number of events).
+"""
+
+import pytest
+
+from conftest import BENCH_SCALE, series_of
+from repro.experiments import format_table, run_fig_5_4_5_5
+
+
+@pytest.mark.benchmark(group="fig-5.4")
+def test_fig_5_4_messages_properties_abc(benchmark):
+    rows = benchmark.pedantic(
+        run_fig_5_4_5_5, args=(("A", "B", "C"),), kwargs={"scale": BENCH_SCALE},
+        rounds=1, iterations=1,
+    )
+    print("\nFig 5.4 — messages overhead, properties A-C\n")
+    print(format_table(rows, columns=["property", "processes", "events",
+                                      "messages", "log_events", "log_messages"]))
+    messages = series_of(rows, "messages")
+    for name in ("A", "B", "C"):
+        assert messages[name][-1] >= messages[name][0], (
+            f"messages for {name} should grow with the number of processes"
+        )
+    # B (one outgoing transition) is by far the cheapest of the three overall
+    assert sum(messages["B"]) <= sum(messages["A"])
+    assert sum(messages["B"]) <= sum(messages["C"])
+
+
+@pytest.mark.benchmark(group="fig-5.5")
+def test_fig_5_5_messages_properties_def(benchmark, monitoring_sweep):
+    rows = benchmark.pedantic(
+        lambda: [r for r in monitoring_sweep if r["property"] in ("D", "E", "F")],
+        rounds=1, iterations=1,
+    )
+    print("\nFig 5.5 — messages overhead, properties D-F\n")
+    print(format_table(rows, columns=["property", "processes", "events",
+                                      "messages", "log_events", "log_messages"]))
+    messages = series_of(rows, "messages")
+    for name in ("D", "E", "F"):
+        assert messages[name][-1] >= messages[name][0]
+    # E (one outgoing transition) is by far the cheapest of the three overall
+    assert sum(messages["E"]) <= sum(messages["D"])
+    assert sum(messages["E"]) <= sum(messages["F"])

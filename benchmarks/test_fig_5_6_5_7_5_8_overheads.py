@@ -1,0 +1,96 @@
+"""Benchmarks regenerating Figures 5.6, 5.7 and 5.8.
+
+* Fig 5.6 — delay-time percentage per global view against the number of
+  processes.
+* Fig 5.7 — average number of delayed (queued) events against the number of
+  processes: grows with the process count, and is markedly lower for the
+  simple properties B and E.
+* Fig 5.8 — memory overhead measured as the total number of global views
+  created: grows with the process count and is lowest for B and E, highest
+  for F.
+
+All three figures come from the same monitored-workload sweep, which is
+computed once per benchmark session (see ``conftest.monitoring_sweep``).
+"""
+
+import pytest
+
+from conftest import BENCH_SCALE, series_of
+from repro.experiments import format_table
+
+
+@pytest.mark.benchmark(group="fig-5.6")
+def test_fig_5_6_delay_time_percentage(benchmark, monitoring_sweep):
+    rows = benchmark.pedantic(
+        lambda: [
+            {
+                "property": r["property"],
+                "processes": r["processes"],
+                "delay_time_pct_per_view": r["delay_time_pct_per_view"],
+            }
+            for r in monitoring_sweep
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFig 5.6 — delay time percentage per global view\n")
+    print(format_table(rows))
+    delay = series_of(rows, "delay_time_pct_per_view")
+    # monitors always finish after the program: the delay metric is positive
+    for name, values in delay.items():
+        assert all(value >= 0.0 for value in values)
+        assert any(value > 0.0 for value in values), f"no delay measured for {name}"
+
+
+@pytest.mark.benchmark(group="fig-5.7")
+def test_fig_5_7_delayed_events(benchmark, monitoring_sweep):
+    rows = benchmark.pedantic(
+        lambda: [
+            {
+                "property": r["property"],
+                "processes": r["processes"],
+                "delayed_events": r["delayed_events"],
+            }
+            for r in monitoring_sweep
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFig 5.7 — delayed (queued) events\n")
+    print(format_table(rows))
+    delayed = series_of(rows, "delayed_events")
+    for name in "ABCDEF":
+        assert delayed[name][-1] >= delayed[name][0], (
+            f"delayed events for {name} should grow with the number of processes"
+        )
+    # the simple properties queue fewer events than the complex ones
+    assert sum(delayed["E"]) <= sum(delayed["D"])
+    assert sum(delayed["B"]) <= sum(delayed["A"])
+
+
+@pytest.mark.benchmark(group="fig-5.8")
+def test_fig_5_8_memory_overhead(benchmark, monitoring_sweep):
+    rows = benchmark.pedantic(
+        lambda: [
+            {
+                "property": r["property"],
+                "processes": r["processes"],
+                "global_views": r["global_views"],
+            }
+            for r in monitoring_sweep
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFig 5.8 — memory overhead (total global views created)\n")
+    print(format_table(rows))
+    views = series_of(rows, "global_views")
+    for name in "ABCDEF":
+        assert views[name][-1] >= views[name][0], (
+            f"global views for {name} should grow with the number of processes"
+        )
+    totals = {name: sum(views[name]) for name in "ABCDEF"}
+    # B and E (single outgoing transition) create the fewest views overall,
+    # F (the richest automaton) the most among the G-properties
+    assert min(totals, key=totals.get) in {"B", "E"}
+    assert totals["F"] >= totals["A"]

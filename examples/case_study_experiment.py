@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Reproduce a slice of the paper's Chapter 5 evaluation from the command line.
+
+Generates the case-study workload (normal-distributed event and communication
+wait times, propositions ``p``/``q`` per process), runs the decentralized
+monitors for a chosen property on the discrete-event simulator, and prints
+the metrics the paper reports: monitoring messages, delayed events, total
+global views and the delay-time percentage.
+
+Run with:  python examples/case_study_experiment.py [property] [processes]
+e.g.       python examples/case_study_experiment.py D 4
+"""
+
+import sys
+
+from repro.experiments import (
+    ExperimentScale,
+    case_study_monitor,
+    format_table,
+    property_formula,
+    run_monitoring_experiment,
+    run_table_5_1,
+)
+
+
+def main() -> None:
+    property_name = (sys.argv[1] if len(sys.argv) > 1 else "C").upper()
+    max_processes = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+
+    print(f"Case-study property {property_name}: "
+          f"{property_formula(property_name, max_processes)}\n")
+
+    automaton = case_study_monitor(property_name, max_processes)
+    counts = automaton.transition_counts()
+    print(f"Monitor automaton: {automaton.num_states} states, "
+          f"{counts['total']} transitions "
+          f"({counts['outgoing']} outgoing, {counts['self_loops']} self-loops)\n")
+
+    scale = ExperimentScale(
+        process_counts=tuple(range(2, max_processes + 1)),
+        events_per_process=8,
+        replications=2,
+    )
+    rows = [
+        run_monitoring_experiment(property_name, n, scale)
+        for n in scale.process_counts
+    ]
+    print("Monitoring overhead as the number of processes grows "
+          "(cf. Figures 5.4–5.8):")
+    print(format_table(
+        rows,
+        columns=["processes", "events", "messages", "global_views",
+                 "delayed_events", "delay_time_pct_per_view"],
+    ))
+
+    print("\nTransition counts for all six properties (cf. Table 5.1):")
+    table = run_table_5_1(process_counts=(2, max_processes))
+    print(format_table(table))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""The decentralized LTL3 monitoring algorithm and its reference baselines.
+
+Public API
+----------
+* :class:`DecentralizedMonitor` — monitor process ``M_i`` (the contribution).
+* :func:`run_decentralized` / :class:`DecentralizedResult` — replay a finished
+  computation through a full set of monitors over a loopback network.
+* :class:`LatticeOracle` / :class:`OracleResult` — the Chapter 3 oracle used
+  as ground truth for soundness and completeness.
+* :class:`CentralizedMonitor` — the centralized online baseline.
+* :class:`LoopbackNetwork` — in-process transport between monitors.
+* Message types: :class:`Token`, :class:`TokenEntry`, :class:`TerminationNotice`.
+"""
+
+from .centralized import CentralizedMonitor, CentralizedResult
+from .global_view import GlobalView, ViewStatus
+from .messages import TerminationNotice, Token, TokenEntry
+from .monitor import DecentralizedMonitor, MonitorMetrics
+from .oracle import LatticeOracle, OracleResult
+from .runner import DecentralizedResult, run_decentralized
+from .transport import LoopbackNetwork, Transport
+
+__all__ = [
+    "CentralizedMonitor",
+    "CentralizedResult",
+    "GlobalView",
+    "ViewStatus",
+    "TerminationNotice",
+    "Token",
+    "TokenEntry",
+    "DecentralizedMonitor",
+    "MonitorMetrics",
+    "LatticeOracle",
+    "OracleResult",
+    "DecentralizedResult",
+    "run_decentralized",
+    "LoopbackNetwork",
+    "Transport",
+]

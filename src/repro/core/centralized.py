@@ -1,0 +1,172 @@
+"""Centralized online monitoring baseline (Section 1.2.2 / Chapter 6).
+
+In the centralized configuration every process ships every event to a single
+monitor, which must order the events, (incrementally) reconstruct the set of
+possible global-state traces and evaluate the LTL3 monitor.  The baseline is
+included to compare message counts and memory against the decentralized
+algorithm: it sends exactly one monitoring message per program event, but its
+memory (tracked global states) grows with the full lattice frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..distributed.computation import Computation, Cut
+from ..distributed.events import Event
+from ..ltl.monitor import MonitorAutomaton
+from ..ltl.predicates import PropositionRegistry
+from ..ltl.verdict import Verdict
+
+__all__ = ["CentralizedMonitor", "CentralizedResult"]
+
+Letter = FrozenSet[str]
+
+
+@dataclass
+class CentralizedResult:
+    """Outcome of a centralized monitoring run."""
+
+    final_states: FrozenSet[int]
+    verdicts: FrozenSet[Verdict]
+    messages: int
+    max_tracked_cuts: int
+    total_tracked_cuts: int
+
+
+class CentralizedMonitor:
+    """A single monitor receiving every event of every process.
+
+    The monitor maintains, for each *reachable consistent cut* built from the
+    events received so far, the set of automaton states reachable over paths
+    — i.e. it performs the oracle's dynamic program online.  Events may
+    arrive in any order consistent with per-process FIFO delivery.
+    """
+
+    def __init__(
+        self,
+        num_processes: int,
+        automaton: MonitorAutomaton,
+        registry: PropositionRegistry,
+        initial_letters: List[Letter],
+    ) -> None:
+        self.num_processes = num_processes
+        self.automaton = automaton
+        self.registry = registry
+        self.initial_letters = list(initial_letters)
+        self._events: List[Dict[int, Event]] = [dict() for _ in range(num_processes)]
+        bottom: Cut = (0,) * num_processes
+        initial_state = automaton.step(
+            automaton.initial_state, self._combine(initial_letters)
+        )
+        self._reachable: Dict[Cut, Set[int]] = {bottom: {initial_state}}
+        self.messages = 0
+        self.max_tracked_cuts = 1
+        self.total_tracked_cuts = 1
+        self.declared: Set[Verdict] = set()
+        if automaton.verdict(initial_state).is_final:
+            self.declared.add(automaton.verdict(initial_state))
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _combine(letters: List[Letter]) -> Letter:
+        result: set = set()
+        for letter in letters:
+            result |= letter
+        return frozenset(result)
+
+    def _letter_of_cut(self, cut: Cut) -> Letter:
+        letters = []
+        for process in range(self.num_processes):
+            count = cut[process]
+            if count == 0:
+                letters.append(self.initial_letters[process])
+            else:
+                event = self._events[process][count]
+                letters.append(
+                    self.registry.local_letter(process, event.state)
+                )
+        return self._combine(letters)
+
+    def _cut_consistent(self, cut: Cut) -> bool:
+        for process in range(self.num_processes):
+            count = cut[process]
+            if count == 0:
+                continue
+            event = self._events[process].get(count)
+            if event is None:
+                return False
+            for other in range(self.num_processes):
+                if event.vc[other] > cut[other]:
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    def receive_event(self, event: Event) -> None:
+        """Process one event shipped from a program process (one message)."""
+        self.messages += 1
+        self._events[event.process][event.sn] = event
+        self._extend_frontier()
+
+    def _extend_frontier(self) -> None:
+        """Propagate reachable states to all newly-completable cuts."""
+        changed = True
+        while changed:
+            changed = False
+            for cut, states in list(self._reachable.items()):
+                for process in range(self.num_processes):
+                    next_sn = cut[process] + 1
+                    if next_sn not in self._events[process]:
+                        continue
+                    successor = tuple(
+                        c + 1 if j == process else c for j, c in enumerate(cut)
+                    )
+                    if not self._cut_consistent(successor):
+                        continue
+                    letter = self._letter_of_cut(successor)
+                    target = self._reachable.setdefault(successor, set())
+                    before = len(target)
+                    for state in states:
+                        new_state = self.automaton.step(state, letter)
+                        target.add(new_state)
+                        verdict = self.automaton.verdict(new_state)
+                        if verdict.is_final:
+                            self.declared.add(verdict)
+                    if len(target) != before:
+                        changed = True
+            self.max_tracked_cuts = max(self.max_tracked_cuts, len(self._reachable))
+        self.total_tracked_cuts = len(self._reachable)
+
+    # ------------------------------------------------------------------
+    def result(self) -> CentralizedResult:
+        """Final verdicts at the largest cut processed."""
+        top = max(self._reachable, key=sum)
+        final_states = frozenset(self._reachable[top])
+        verdicts = frozenset(self.automaton.verdict(s) for s in final_states)
+        return CentralizedResult(
+            final_states=final_states,
+            verdicts=verdicts,
+            messages=self.messages,
+            max_tracked_cuts=self.max_tracked_cuts,
+            total_tracked_cuts=self.total_tracked_cuts,
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def monitor_computation(
+        cls,
+        computation: Computation,
+        automaton: MonitorAutomaton,
+        registry: PropositionRegistry,
+    ) -> CentralizedResult:
+        """Replay a finished computation through a centralized monitor."""
+        initial_letters = [
+            registry.local_letter(i, computation.initial_states[i])
+            for i in range(computation.num_processes)
+        ]
+        monitor = cls(computation.num_processes, automaton, registry, initial_letters)
+        events = sorted(computation.all_events(), key=lambda e: (e.timestamp, e.process, e.sn))
+        for event in events:
+            monitor.receive_event(event)
+        return monitor.result()

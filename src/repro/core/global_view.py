@@ -1,0 +1,105 @@
+"""Global views: a monitor's exploration state along one lattice path.
+
+A global view is the decentralized counterpart of one node of the
+computation lattice: it records the consistent cut reached so far, the last
+known letter (set of true propositions) of every process at that cut, and the
+LTL3 monitor automaton state reached by the traced path.  A monitor keeps a
+*set* of views because concurrency may make several lattice paths — and hence
+several automaton states — possible at the same time (Chapter 3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Deque, Dict, FrozenSet, List, Optional, Tuple
+
+from collections import deque
+
+from ..distributed.events import Event
+
+__all__ = ["ViewStatus", "GlobalView"]
+
+Letter = FrozenSet[str]
+
+_view_ids = itertools.count(1)
+
+
+class ViewStatus:
+    """Lifecycle states of a global view (Section 4.2)."""
+
+    UNBLOCKED = "unblocked"
+    WAITING = "waiting"  # a token is outstanding; local events are queued
+    FINAL = "final"      # the view reached a conclusive verdict
+
+
+@dataclass
+class GlobalView:
+    """One traced lattice path of a monitor process.
+
+    Attributes
+    ----------
+    cut:
+        Event counts per process of the consistent cut reached.
+    state:
+        Current monitor automaton state.
+    letters:
+        Last known letter of every process at ``cut`` (``letters[j]`` is the
+        set of true propositions owned by process ``j``).
+    status:
+        ``unblocked``, ``waiting`` (token outstanding) or ``final``.
+    pending_events:
+        Local events received while the view was waiting.
+    outstanding_token:
+        Identifier of the token the view is waiting for, if any.
+    keep_after_fork:
+        Whether the view remains useful after forking children (views that
+        became stale are dropped once their token returns — Section 4.2).
+    """
+
+    cut: List[int]
+    state: int
+    letters: List[Letter]
+    view_id: int = field(default_factory=lambda: next(_view_ids))
+    status: str = ViewStatus.UNBLOCKED
+    pending_events: Deque[Event] = field(default_factory=deque)
+    outstanding_token: Optional[int] = None
+    keep_after_fork: bool = True
+    forked_from: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def global_letter(self) -> Letter:
+        """The letter of the global state at the view's cut."""
+        result: set = set()
+        for letter in self.letters:
+            result |= letter
+        return frozenset(result)
+
+    def letter_with(self, process: int, letter: Letter) -> Letter:
+        """The global letter with *process*'s component replaced."""
+        result: set = set()
+        for j, existing in enumerate(self.letters):
+            result |= letter if j == process else existing
+        return frozenset(result)
+
+    def signature(self) -> Tuple[int, Tuple[int, ...]]:
+        """Merging key: views with equal signatures are duplicates."""
+        return (self.state, tuple(self.cut))
+
+    def clone(self) -> "GlobalView":
+        """A fresh view at the same cut/state (used when forking)."""
+        return GlobalView(
+            cut=list(self.cut),
+            state=self.state,
+            letters=list(self.letters),
+            forked_from=self.view_id,
+        )
+
+    def is_waiting(self) -> bool:
+        return self.status == ViewStatus.WAITING
+
+    def __repr__(self) -> str:
+        return (
+            f"GlobalView(id={self.view_id}, cut={tuple(self.cut)}, "
+            f"q={self.state}, status={self.status})"
+        )

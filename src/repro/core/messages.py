@@ -1,0 +1,165 @@
+"""Message types exchanged between decentralized monitor processes.
+
+Monitors communicate exclusively through these messages — the paper's
+*tokens* plus termination notices.  A token carries one or more
+:class:`TokenEntry` objects; each entry performs a distributed
+least-consistent-cut search (the slicing primitive of Section 4.1) for one
+possibly-enabled monitor transition, or collects the events needed to repair
+an inconsistent global view.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+__all__ = ["TokenEntry", "Token", "TerminationNotice"]
+
+Letter = FrozenSet[str]
+
+_token_ids = itertools.count(1)
+
+
+@dataclass
+class TokenEntry:
+    """The state of the search carried out for one transition (or repair).
+
+    The entry starts at the parent view's cut (``start_cut``) and advances
+    process components monotonically until either a consistent cut
+    satisfying the transition guard is found (``eval`` becomes ``True``) or
+    a process terminates without ever satisfying its conjunct (``eval``
+    becomes ``False``).  Along the way it records the letter and vector
+    clock of **every** event it scanned, so the parent can later replay all
+    interleavings inside the box ``[start_cut, cut]`` and fork a view for
+    every automaton state reachable there (this is what makes the
+    implementation sound by construction).
+
+    Attributes
+    ----------
+    transition_id:
+        The monitor transition being searched for, or ``None`` for a pure
+        consistency-repair entry.
+    guard:
+        Conjunctive guard of the transition (empty for repair entries).
+    conjuncts:
+        Per-process split of the guard.
+    start_cut:
+        The parent view's (consistent) cut when the entry was created.
+    cut:
+        The cut constructed so far.
+    depend:
+        Component-wise maximum of the vector clocks of collected events; the
+        cut is consistent when ``cut[j] >= depend[j]`` for all ``j``.
+    min_positions:
+        Lower bounds the cut must reach (used by repair entries to pull the
+        view up to the vector clock of an out-of-order local event).
+    satisfied:
+        Whether each process's conjunct holds at its current ``cut`` position.
+    letters:
+        Letter at ``cut[j]`` for every process ``j`` the entry advanced.
+    scanned_letters / scanned_vcs:
+        Letters and vector clocks of every event scanned while advancing,
+        keyed by process and sequence number — the data for the parent's
+        box replay.
+    eval:
+        ``None`` while undecided, else ``True`` / ``False``.
+    parked_on:
+        Process whose *future* event the entry is waiting for, if any.
+    """
+
+    transition_id: Optional[int]
+    guard: Mapping[str, bool]
+    conjuncts: List[Dict[str, bool]]
+    start_cut: List[int]
+    cut: List[int]
+    depend: List[int]
+    min_positions: List[int]
+    satisfied: List[bool]
+    letters: Dict[int, Letter] = field(default_factory=dict)
+    scanned_letters: Dict[int, Dict[int, Letter]] = field(default_factory=dict)
+    scanned_vcs: Dict[int, Dict[int, Tuple[int, ...]]] = field(default_factory=dict)
+    eval: Optional[bool] = None
+    parked_on: Optional[int] = None
+    #: processes already visited that currently have no useful event; the
+    #: token will not be routed back to them until they produce new events,
+    #: terminate, or some other component of the search makes progress.
+    waiting_for: set = field(default_factory=set)
+
+    @property
+    def is_repair(self) -> bool:
+        """Entries without a transition only pull the view to a newer cut."""
+        return self.transition_id is None
+
+    # -- progress assessment ------------------------------------------------
+    def lagging_processes(self) -> List[int]:
+        """Processes whose component must still advance."""
+        n = len(self.cut)
+        lagging = []
+        for j in range(n):
+            if self.cut[j] < self.depend[j] or self.cut[j] < self.min_positions[j]:
+                lagging.append(j)
+            elif self.conjuncts[j] and not self.satisfied[j]:
+                lagging.append(j)
+        return lagging
+
+    def pending_targets(self) -> List[int]:
+        """Processes this entry still needs to visit (empty once decided)."""
+        if self.eval is not None:
+            return []
+        return self.lagging_processes()
+
+    def try_finalize(self) -> None:
+        """Mark the entry successful once nothing is pending."""
+        if self.eval is None and not self.pending_targets():
+            self.eval = True
+
+    def record_scan(self, process: int, sn: int, letter: Letter, vc: Tuple[int, ...]) -> None:
+        self.scanned_letters.setdefault(process, {})[sn] = letter
+        self.scanned_vcs.setdefault(process, {})[sn] = tuple(vc)
+        self.depend = [max(a, b) for a, b in zip(self.depend, vc)]
+
+
+@dataclass
+class Token:
+    """A monitoring message routed between monitor processes.
+
+    Created by one global view of one monitor (the *parent*), possibly
+    visiting several monitors to evaluate its entries, and finally returning
+    to the parent which forks/updates views from the results.
+    """
+
+    parent_process: int
+    parent_view: int
+    parent_event_sn: int
+    entries: List[TokenEntry]
+    token_id: int = field(default_factory=lambda: next(_token_ids))
+    hops: int = 0
+
+    def undecided_entries(self) -> List[TokenEntry]:
+        return [entry for entry in self.entries if entry.eval is None]
+
+    def all_decided(self) -> bool:
+        return not self.undecided_entries()
+
+    def targets(self) -> List[int]:
+        """Union of processes still needed by undecided entries."""
+        targets = set()
+        for entry in self.undecided_entries():
+            targets.update(entry.pending_targets())
+        return sorted(targets)
+
+    def parked_targets(self) -> List[int]:
+        """Processes known to have nothing actionable for this token yet."""
+        parked = set()
+        for entry in self.undecided_entries():
+            parked |= entry.waiting_for
+        return sorted(parked)
+
+
+@dataclass(frozen=True)
+class TerminationNotice:
+    """Announcement that a program process has produced its last event."""
+
+    process: int
+    final_event_sn: int

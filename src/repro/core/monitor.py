@@ -1,0 +1,862 @@
+"""The decentralized LTL3 monitoring algorithm (the paper's contribution).
+
+Each program process ``P_i`` is composed with a monitor process ``M_i`` that
+
+* reads the local events of ``P_i`` as they occur (:meth:`DecentralizedMonitor.local_event`);
+* maintains a set of **global views** — lattice paths it is tracing, each
+  with a consistent cut, the letters of all processes at that cut and the
+  LTL3 monitor automaton state reached (:mod:`repro.core.global_view`);
+* when a transition of the automaton might be enabled by states of other
+  processes, emits a **token** that performs a distributed
+  least-consistent-cut search (:mod:`repro.core.messages`), visiting other
+  monitors to collect their events;
+* forks new global views from returned tokens, merges duplicate views, and
+  declares ⊤/⊥ verdicts as soon as a traced path reaches a conclusive
+  automaton state.
+
+Differences from the thesis pseudo-code (documented in DESIGN.md):
+
+* Views buffer local events only while a token is outstanding (the paper's
+  ``waiting`` status); the pending-queue is implicit because local history is
+  kept anyway.
+* When a token returns, the parent does not only fork the transition's
+  target state: it replays **all interleavings inside the box** between the
+  view's cut and the cut found by the token (the letters and vector clocks
+  of every scanned event travel with the token), forking one view per
+  reachable automaton state.  This makes the implementation sound by
+  construction — every forked view corresponds to a real lattice path — and
+  strengthens completeness.
+* Inconsistent views (a local receive event that causally depends on remote
+  events the view has not incorporated) are repaired eagerly with a
+  dedicated repair token rather than being tracked with stale remote data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..distributed.events import Event
+from ..ltl.monitor import MonitorAutomaton, Transition
+from ..ltl.predicates import PropositionRegistry
+from ..ltl.verdict import Verdict
+from .global_view import GlobalView, ViewStatus
+from .messages import TerminationNotice, Token, TokenEntry
+from .transport import Transport
+
+__all__ = ["MonitorMetrics", "DecentralizedMonitor"]
+
+Letter = FrozenSet[str]
+
+#: Maximum number of cuts replayed exactly inside a token's box before the
+#: monitor falls back to a single topologically-sorted interleaving.
+_BOX_CELL_LIMIT = 20_000
+
+
+@dataclass
+class MonitorMetrics:
+    """Per-monitor counters reported by the experiments of Chapter 5."""
+
+    events_processed: int = 0
+    tokens_created: int = 0
+    entries_created: int = 0
+    token_messages_sent: int = 0
+    termination_messages_sent: int = 0
+    views_created: int = 0
+    views_merged: int = 0
+    max_active_views: int = 0
+    delayed_events: int = 0
+    token_hops_served: int = 0
+
+    @property
+    def messages_sent(self) -> int:
+        """Total monitoring messages this monitor put on the network."""
+        return self.token_messages_sent + self.termination_messages_sent
+
+
+def _satisfies(letter: Letter, conjunct: Mapping[str, bool]) -> bool:
+    """Whether a per-process letter satisfies a per-process conjunct."""
+    for atom, required in conjunct.items():
+        if (atom in letter) != required:
+            return False
+    return True
+
+
+class DecentralizedMonitor:
+    """Monitor process ``M_i`` of the decentralized algorithm.
+
+    Parameters
+    ----------
+    process:
+        Index ``i`` of the program process this monitor is attached to.
+    num_processes:
+        Total number of processes ``n``.
+    automaton:
+        The (replicated) LTL3 monitor automaton.
+    registry:
+        Binding of the automaton's atomic propositions to processes.
+    initial_letters:
+        The per-process letters of the initial global state (known to every
+        monitor, as in the paper's INIT procedure).
+    transport:
+        Network used to exchange tokens and termination notices.
+    max_views_per_state:
+        Optional bound on the number of live global views a monitor keeps
+        per automaton state.  ``None`` (default) explores exhaustively —
+        this is the setting validated against the lattice oracle on small
+        computations.  The experiment harness uses a small bound, which
+        reproduces the paper's lightweight behaviour (total views bounded by
+        a small multiple of the automaton size) on long workloads at the
+        cost of possibly missing verdicts reachable only through the pruned
+        views.
+    """
+
+    def __init__(
+        self,
+        process: int,
+        num_processes: int,
+        automaton: MonitorAutomaton,
+        registry: PropositionRegistry,
+        initial_letters: Sequence[Letter],
+        transport: Transport,
+        max_views_per_state: Optional[int] = None,
+    ) -> None:
+        self.process = process
+        self.num_processes = num_processes
+        self.automaton = automaton
+        self.registry = registry
+        self.initial_letters: List[Letter] = [frozenset(l) for l in initial_letters]
+        self.transport = transport
+        self.max_views_per_state = max_views_per_state
+        self.metrics = MonitorMetrics()
+
+        self.history: Dict[int, Event] = {}
+        self.local_letters: Dict[int, Letter] = {0: self.initial_letters[process]}
+        self.last_local_sn = 0
+        self.local_terminated = False
+        #: final event count of each process, once known
+        self.terminated: Dict[int, Optional[int]] = {
+            j: None for j in range(num_processes)
+        }
+
+        self.views: List[GlobalView] = []
+        self.final_views: List[GlobalView] = []
+        self.waiting_tokens: List[Token] = []
+        self._outstanding: Dict[int, GlobalView] = {}  # token_id -> waiting view
+
+        self.declared_verdicts: Set[Verdict] = set()
+        self.declared_states: Set[int] = set()
+
+        initial_state = automaton.step(
+            automaton.initial_state, self._combine(self.initial_letters)
+        )
+        view = GlobalView(
+            cut=[0] * num_processes,
+            state=initial_state,
+            letters=list(self.initial_letters),
+        )
+        self.metrics.views_created += 1
+        if automaton.is_final(initial_state):
+            self._declare(initial_state)
+            view.status = ViewStatus.FINAL
+            self.final_views.append(view)
+        else:
+            self.views.append(view)
+        self.metrics.max_active_views = len(self.views)
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _combine(letters: Iterable[Letter]) -> Letter:
+        result: set = set()
+        for letter in letters:
+            result |= letter
+        return frozenset(result)
+
+    def _declare(self, state: int) -> None:
+        verdict = self.automaton.verdict(state)
+        if verdict.is_final:
+            self.declared_states.add(state)
+            self.declared_verdicts.add(verdict)
+
+    def _local_letter(self, sn: int) -> Letter:
+        return self.local_letters[sn]
+
+    # ------------------------------------------------------------------
+    # public entry points
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Explore outgoing transitions of the initial global view.
+
+        Must be called once all monitors are registered with the transport
+        (mirrors the INIT procedure, which processes the initial state as a
+        pseudo event).
+        """
+        if self._started:
+            return
+        self._started = True
+        for view in list(self.views):
+            self._explore_outgoing(view)
+        self._merge_views()
+
+    def local_event(self, event: Event) -> None:
+        """Handle one event read from the attached program process."""
+        if event.process != self.process:
+            raise ValueError(
+                f"monitor {self.process} received event of process {event.process}"
+            )
+        if not self._started:
+            self.start()
+        self.metrics.events_processed += 1
+        self.history[event.sn] = event
+        self.local_letters[event.sn] = self.registry.local_letter(
+            self.process, event.state
+        )
+        self.last_local_sn = event.sn
+
+        waiting_views = [v for v in self.views if v.is_waiting()]
+        if waiting_views:
+            self.metrics.delayed_events += 1
+
+        self._retry_waiting_tokens()
+        for view in list(self.views):
+            if not view.is_waiting():
+                self._advance_view(view)
+        self._merge_views()
+
+    def local_termination(self) -> None:
+        """Handle the termination signal of the attached program process."""
+        if not self._started:
+            self.start()
+        self.local_terminated = True
+        self.terminated[self.process] = self.last_local_sn
+        notice = TerminationNotice(self.process, self.last_local_sn)
+        for other in range(self.num_processes):
+            if other != self.process:
+                self.transport.send(self.process, other, notice)
+                self.metrics.termination_messages_sent += 1
+        # my process will contribute no further events: views whose guards are
+        # currently satisfied can now only fire through remote events.
+        for view in list(self.views):
+            if not view.is_waiting():
+                self._explore_outgoing(view, include_currently_satisfied=True)
+        self._retry_waiting_tokens()
+        self._merge_views()
+
+    def receive_message(self, message: object) -> None:
+        """Handle a message from another monitor process."""
+        if isinstance(message, TerminationNotice):
+            self.terminated[message.process] = message.final_event_sn
+            self._retry_waiting_tokens()
+            self._merge_views()
+            return
+        if isinstance(message, Token):
+            token = message
+            token.hops += 1
+            self.metrics.token_hops_served += 1
+            if token.parent_process == self.process and token.all_decided():
+                self._token_returned(token)
+            else:
+                self._serve_token(token)
+            self._merge_views()
+            return
+        raise TypeError(f"unexpected monitor message {message!r}")
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    @property
+    def is_quiescent(self) -> bool:
+        """No outstanding work besides possibly waiting on other monitors."""
+        return not self.waiting_tokens and not self._outstanding
+
+    def active_view_states(self) -> Set[int]:
+        return {view.state for view in self.views}
+
+    def active_views(self) -> List[GlobalView]:
+        return list(self.views)
+
+    def reported_verdicts(self) -> Set[Verdict]:
+        """Verdicts this monitor reports at the end of the run."""
+        verdicts = set(self.declared_verdicts)
+        for view in self.views:
+            verdicts.add(self.automaton.verdict(view.state))
+        return verdicts
+
+    # ------------------------------------------------------------------
+    # view advancement on local events
+    # ------------------------------------------------------------------
+    def _advance_view(self, view: GlobalView) -> None:
+        """Apply pending local events (from history) to an unblocked view."""
+        while (
+            view.status == ViewStatus.UNBLOCKED
+            and view.cut[self.process] < self.last_local_sn
+        ):
+            event = self.history[view.cut[self.process] + 1]
+            self._step_view(view, event)
+
+    def _step_view(self, view: GlobalView, event: Event) -> None:
+        """Advance *view* by one local event (PROCESSEVENT)."""
+        lagging = [
+            j
+            for j in range(self.num_processes)
+            if j != self.process and event.vc[j] > view.cut[j]
+        ]
+        if lagging:
+            self._create_repair_token(view, event, lagging)
+            return
+
+        letter_local = self._local_letter(event.sn)
+        global_letter = view.letter_with(self.process, letter_local)
+        new_state = self.automaton.step(view.state, global_letter)
+        view.cut[self.process] = event.sn
+        view.letters[self.process] = letter_local
+        view.state = new_state
+        if self.automaton.is_final(new_state):
+            self._declare(new_state)
+            self._finalize_view(view)
+            return
+        self._explore_outgoing(view)
+
+    def _finalize_view(self, view: GlobalView) -> None:
+        view.status = ViewStatus.FINAL
+        if view in self.views:
+            self.views.remove(view)
+        self.final_views.append(view)
+
+    # ------------------------------------------------------------------
+    # token creation (CHECKOUTGOINGTRANSITIONS)
+    # ------------------------------------------------------------------
+    def _explore_outgoing(
+        self, view: GlobalView, include_currently_satisfied: bool = False
+    ) -> None:
+        """Create token entries for possibly-enabled outgoing transitions.
+
+        A transition is *possibly enabled* when this process's conjunct holds
+        at the view's current letter but remote conjuncts do not (so remote
+        processes must advance for the guard to become true).  With
+        ``include_currently_satisfied`` also guards that already hold are
+        searched with the requirement that some participating remote process
+        advances — used once the local process has terminated and can no
+        longer trigger the transition itself.
+        """
+        if view.status != ViewStatus.UNBLOCKED:
+            return
+        entries: List[TokenEntry] = []
+        for transition in self.automaton.outgoing_transitions(view.state):
+            conjuncts = self.registry.conjuncts_by_process(
+                transition.guard, self.num_processes
+            )
+            mine = conjuncts[self.process]
+            if mine and not _satisfies(view.letters[self.process], mine):
+                continue  # this process forbids the transition at its frontier
+            satisfied_now = [
+                _satisfies(view.letters[j], conjuncts[j])
+                for j in range(self.num_processes)
+            ]
+            remote_participants = [
+                j
+                for j in range(self.num_processes)
+                if j != self.process and conjuncts[j]
+            ]
+            if all(satisfied_now):
+                if not include_currently_satisfied or not remote_participants:
+                    continue
+                # require at least one participating remote process to move
+                for j in remote_participants:
+                    entries.append(
+                        self._make_entry(
+                            view, transition, conjuncts, satisfied_now, bump=j
+                        )
+                    )
+                continue
+            if not remote_participants:
+                # unsatisfied purely because of a *local* proposition that is
+                # currently false at this frontier: a later local event will
+                # re-evaluate it, no communication needed.
+                continue
+            entries.append(
+                self._make_entry(view, transition, conjuncts, satisfied_now)
+            )
+        if not entries:
+            return
+        token = Token(
+            parent_process=self.process,
+            parent_view=view.view_id,
+            parent_event_sn=view.cut[self.process],
+            entries=entries,
+        )
+        self.metrics.tokens_created += 1
+        self.metrics.entries_created += len(entries)
+        view.status = ViewStatus.WAITING
+        view.outstanding_token = token.token_id
+        self._outstanding[token.token_id] = view
+        self._dispatch_token(token)
+
+    def _make_entry(
+        self,
+        view: GlobalView,
+        transition: Transition,
+        conjuncts: List[Dict[str, bool]],
+        satisfied_now: List[bool],
+        bump: Optional[int] = None,
+    ) -> TokenEntry:
+        n = self.num_processes
+        min_positions = list(view.cut)
+        if bump is not None:
+            min_positions[bump] = view.cut[bump] + 1
+        entry = TokenEntry(
+            transition_id=transition.transition_id,
+            guard=dict(transition.guard),
+            conjuncts=[dict(c) for c in conjuncts],
+            start_cut=list(view.cut),
+            cut=list(view.cut),
+            depend=list(view.cut),
+            min_positions=min_positions,
+            satisfied=list(satisfied_now),
+            letters={j: view.letters[j] for j in range(n)},
+        )
+        return entry
+
+    def _create_repair_token(
+        self, view: GlobalView, event: Event, lagging: List[int]
+    ) -> None:
+        """Pull the view up to the causal past of an out-of-order local event."""
+        n = self.num_processes
+        min_positions = list(view.cut)
+        for j in lagging:
+            min_positions[j] = event.vc[j]
+        entry = TokenEntry(
+            transition_id=None,
+            guard={},
+            conjuncts=[dict() for _ in range(n)],
+            start_cut=list(view.cut),
+            cut=list(view.cut),
+            depend=list(view.cut),
+            min_positions=min_positions,
+            satisfied=[True] * n,
+            letters={j: view.letters[j] for j in range(n)},
+        )
+        token = Token(
+            parent_process=self.process,
+            parent_view=view.view_id,
+            parent_event_sn=event.sn,
+            entries=[entry],
+        )
+        self.metrics.tokens_created += 1
+        self.metrics.entries_created += 1
+        view.status = ViewStatus.WAITING
+        view.outstanding_token = token.token_id
+        self._outstanding[token.token_id] = view
+        self._dispatch_token(token)
+
+    # ------------------------------------------------------------------
+    # token service and routing (PROCESSTOKEN / EVALUATETOKEN / SENDTONEXTPROCESS)
+    # ------------------------------------------------------------------
+    def _serve_token(self, token: Token) -> None:
+        for entry in token.undecided_entries():
+            if self.process in entry.pending_targets():
+                self._serve_entry(entry)
+            entry.try_finalize()
+        self._route_token(token)
+
+    def _serve_entry(self, entry: TokenEntry) -> None:
+        """Advance the entry using this monitor's local history."""
+        j = self.process
+        conjunct = entry.conjuncts[j]
+        entry.waiting_for.discard(j)
+        progressed = False
+        while True:
+            target_min = max(entry.depend[j], entry.min_positions[j])
+            needs_position = entry.cut[j] < target_min
+            needs_conjunct = bool(conjunct) and not entry.satisfied[j]
+            if not needs_position and not needs_conjunct:
+                entry.parked_on = None
+                break
+            next_sn = entry.cut[j] + 1
+            if next_sn > self.last_local_sn:
+                if self.local_terminated:
+                    entry.eval = False
+                    entry.parked_on = None
+                else:
+                    entry.parked_on = j
+                    entry.waiting_for.add(j)
+                break
+            event = self.history[next_sn]
+            letter = self._local_letter(next_sn)
+            entry.record_scan(j, next_sn, letter, tuple(event.vc))
+            entry.cut[j] = next_sn
+            entry.letters[j] = letter
+            entry.satisfied[j] = _satisfies(letter, conjunct) if conjunct else True
+            progressed = True
+            # loop: keep advancing until both the position bound and the
+            # conjunct are satisfied (the bound may have grown via depend)
+        if progressed:
+            # this component moved, so other processes that previously had
+            # nothing actionable are worth revisiting
+            entry.waiting_for.intersection_update({j})
+
+    def _retry_waiting_tokens(self) -> None:
+        """Re-examine parked tokens after new local events or terminations."""
+        if not self.waiting_tokens:
+            return
+        tokens = self.waiting_tokens
+        self.waiting_tokens = []
+        for token in tokens:
+            for entry in token.undecided_entries():
+                # processes known to have terminated are always worth a
+                # (final) visit: clear their "nothing new" marker
+                for other in list(entry.waiting_for):
+                    if other != self.process and self.terminated.get(other) is not None:
+                        entry.waiting_for.discard(other)
+                targets = entry.pending_targets()
+                if self.process in targets:
+                    self._serve_entry(entry)
+                else:
+                    # a process we cannot serve: resolve it if it is known to
+                    # have terminated below the required position
+                    for other in targets:
+                        final = self.terminated.get(other)
+                        if final is None:
+                            continue
+                        required = max(
+                            entry.depend[other], entry.min_positions[other]
+                        )
+                        if entry.cut[other] >= final and (
+                            required > final
+                            or (entry.conjuncts[other] and not entry.satisfied[other])
+                        ):
+                            entry.eval = False
+                entry.try_finalize()
+            self._route_token(token)
+
+    def _route_token(self, token: Token) -> None:
+        """Decide where the token goes next (SENDTONEXTPROCESS)."""
+        if token.all_decided():
+            if token.parent_process == self.process:
+                self._token_returned(token)
+            else:
+                self._send_token(token, token.parent_process)
+            return
+        targets = token.targets()
+        parked = set(token.parked_targets())
+        # prefer a process with actionable work that is not this monitor
+        actionable = [t for t in targets if t != self.process and t not in parked]
+        if actionable:
+            self._send_token(token, actionable[0])
+            return
+        if self.process in targets:
+            # wait here for future local events (or local termination)
+            self.waiting_tokens.append(token)
+            return
+        remote_parked = [t for t in parked if t != self.process]
+        if remote_parked:
+            # every remaining target is waiting for future events elsewhere;
+            # let the token wait at one of those processes
+            self._send_token(token, remote_parked[0])
+            return
+        # nothing actionable anywhere: keep the token here until something
+        # (a local event or a termination notice) changes the situation
+        self.waiting_tokens.append(token)
+
+    def _send_token(self, token: Token, target: int) -> None:
+        if target == self.process:
+            # nothing to transmit: serve locally
+            if token.parent_process == self.process and token.all_decided():
+                self._token_returned(token)
+            else:
+                self._serve_token(token)
+            return
+        self.metrics.token_messages_sent += 1
+        self.transport.send(self.process, target, token)
+
+    def _dispatch_token(self, token: Token) -> None:
+        """First routing decision right after a token is created."""
+        # the creating monitor first serves entries that target itself
+        # (consistency repairs may need the parent's own events)
+        for entry in token.undecided_entries():
+            if self.process in entry.pending_targets():
+                self._serve_entry(entry)
+            entry.try_finalize()
+        self._route_token(token)
+
+    # ------------------------------------------------------------------
+    # token return (RECEIVETOKEN at the parent)
+    # ------------------------------------------------------------------
+    def _token_returned(self, token: Token) -> None:
+        view = self._outstanding.pop(token.token_id, None)
+        if view is None:
+            return  # parent view vanished (merged away); drop silently
+        view.status = ViewStatus.UNBLOCKED
+        view.outstanding_token = None
+
+        repair_entries = [e for e in token.entries if e.is_repair]
+        transition_entries = [e for e in token.entries if not e.is_repair]
+
+        forked: List[GlobalView] = []
+        for entry in transition_entries:
+            if entry.eval is not True:
+                continue
+            forked.extend(self._fork_from_entry(view, entry))
+
+        if repair_entries:
+            entry = repair_entries[0]
+            if entry.eval is True:
+                forked.extend(self._fork_from_entry(view, entry))
+            # the stale view is superseded by the repaired forks
+            if view in self.views:
+                self.views.remove(view)
+            view.status = ViewStatus.FINAL  # retired, not counted as a result
+        for child in forked:
+            if child.status == ViewStatus.UNBLOCKED:
+                self._advance_view(child)
+        if view.status == ViewStatus.UNBLOCKED:
+            self._advance_view(view)
+        self._merge_views()
+
+    def _fork_from_entry(self, view: GlobalView, entry: TokenEntry) -> List[GlobalView]:
+        """Fork one view per automaton state reachable inside the entry's box.
+
+        Only *pivot* states are forked: a reachable state equal to the parent
+        view's own state adds no information (the parent keeps covering that
+        state from its smaller cut), and forking it would duplicate the
+        parent's exploration — this mirrors the paper's rule of only
+        exploring global states that change the automaton state.  Repair
+        entries fork every reachable state because the parent view is retired
+        afterwards.
+        """
+        target_cut = list(entry.cut)
+        reachable, letters_at_target = self._box_reachable(view, entry)
+        children: List[GlobalView] = []
+        for state in sorted(reachable):
+            if self.automaton.is_final(state):
+                self._declare(state)
+                continue
+            if state == view.state and not entry.is_repair:
+                continue
+            if self._covered_by_existing_view(
+                state, target_cut, exact_only=entry.is_repair
+            ):
+                self.metrics.views_merged += 1
+                continue
+            child = GlobalView(
+                cut=list(target_cut),
+                state=state,
+                letters=letters_at_target,
+                forked_from=view.view_id,
+            )
+            self.metrics.views_created += 1
+            self.views.append(child)
+            children.append(child)
+        self.metrics.max_active_views = max(
+            self.metrics.max_active_views, len(self.views)
+        )
+        return children
+
+    def _covered_by_existing_view(
+        self, state: int, cut: List[int], exact_only: bool = False
+    ) -> bool:
+        """Whether some live view already subsumes a candidate fork.
+
+        A view with the same automaton state whose cut is componentwise
+        below (or equal to) the candidate's cut will reach every cut the
+        candidate could reach, so creating the candidate would only
+        duplicate exploration.  Waiting views count too — they resume from
+        their smaller cut once their token returns.
+
+        For repair forks (which *replace* their retired parent) only exact
+        duplicates may be skipped: a merely-dominating view might itself be
+        retired by a later repair, which would otherwise orphan the lineage.
+        """
+        for other in self.views:
+            if other.state != state:
+                continue
+            if exact_only:
+                if list(other.cut) == list(cut):
+                    return True
+            elif all(o <= c for o, c in zip(other.cut, cut)):
+                return True
+        return False
+
+    def _box_reachable(
+        self, view: GlobalView, entry: TokenEntry
+    ) -> Tuple[Set[int], List[Letter]]:
+        """States reachable at ``entry.cut`` from the view, over all
+        interleavings of the events inside ``[view.cut, entry.cut]``.
+
+        Conclusive states reached anywhere inside the box are declared
+        immediately (those partial paths are real executions).
+        """
+        n = self.num_processes
+        base = list(view.cut)
+        target = list(entry.cut)
+        ranges = [target[j] - base[j] for j in range(n)]
+        letters_at_target = [
+            entry.scanned_letters.get(j, {}).get(target[j], view.letters[j])
+            if target[j] > base[j]
+            else view.letters[j]
+            for j in range(n)
+        ]
+
+        def letter_at(j: int, position: int) -> Letter:
+            if position == base[j]:
+                return view.letters[j]
+            return entry.scanned_letters[j][position]
+
+        def vc_at(j: int, position: int) -> Tuple[int, ...]:
+            return entry.scanned_vcs[j][position]
+
+        cells = 1
+        for r in ranges:
+            cells *= r + 1
+        if cells > _BOX_CELL_LIMIT:
+            return self._box_reachable_linear(view, entry), letters_at_target
+
+        def consistent(offsets: Tuple[int, ...]) -> bool:
+            for j in range(n):
+                if offsets[j] == 0:
+                    continue
+                vc = vc_at(j, base[j] + offsets[j])
+                for k in range(n):
+                    if vc[k] > base[k] + offsets[k]:
+                        return False
+            return True
+
+        import itertools as _it
+
+        # enumerate box cells by level (total offset) so predecessors come first
+        reachable: Dict[Tuple[int, ...], Set[int]] = {}
+        origin = tuple([0] * n)
+        reachable[origin] = {view.state}
+        all_offsets = sorted(
+            _it.product(*[range(r + 1) for r in ranges]), key=sum
+        )
+        for offsets in all_offsets:
+            if offsets == origin:
+                continue
+            if not consistent(offsets):
+                continue
+            letter = self._combine(
+                letter_at(j, base[j] + offsets[j]) for j in range(n)
+            )
+            states: Set[int] = set()
+            for j in range(n):
+                if offsets[j] == 0:
+                    continue
+                predecessor = tuple(
+                    o - 1 if k == j else o for k, o in enumerate(offsets)
+                )
+                for state in reachable.get(predecessor, ()):
+                    states.add(self.automaton.step(state, letter))
+            if states:
+                reachable[offsets] = states
+                for state in states:
+                    if self.automaton.is_final(state):
+                        self._declare(state)
+        final_offsets = tuple(ranges)
+        return set(reachable.get(final_offsets, set())), letters_at_target
+
+    def _box_reachable_linear(self, view: GlobalView, entry: TokenEntry) -> Set[int]:
+        """Fallback for oversized boxes: replay one causally-consistent
+        linearisation of the box events (sound, possibly incomplete)."""
+        n = self.num_processes
+        base = list(view.cut)
+        target = list(entry.cut)
+        events: List[Tuple[Tuple[int, ...], int, int]] = []
+        for j in range(n):
+            for sn in range(base[j] + 1, target[j] + 1):
+                events.append((entry.scanned_vcs[j][sn], j, sn))
+        events.sort(key=lambda item: (sum(item[0]), item[0], item[1]))
+        letters = list(view.letters)
+        state = view.state
+        for _, j, sn in events:
+            letters[j] = entry.scanned_letters[j][sn]
+            state = self.automaton.step(state, self._combine(letters))
+            if self.automaton.is_final(state):
+                self._declare(state)
+        return {state}
+
+    # ------------------------------------------------------------------
+    # merging (MERGESIMILARGLOBALVIEWS)
+    # ------------------------------------------------------------------
+    def _merge_views(self) -> None:
+        """MERGESIMILARGLOBALVIEWS.
+
+        Two reductions are applied to unblocked views (views waiting for a
+        token are left alone):
+
+        * exact duplicates — same automaton state and same cut — are merged;
+        * a view whose cut componentwise dominates another view with the same
+          automaton state is merged into the smaller one: the smaller view
+          subsumes its exploration (it will reach every cut the larger one
+          can reach), which is the slice-based merging of Section 4.3 and
+          keeps the number of live views bounded by the number of automaton
+          states in the common case.
+        """
+        waiting = [view for view in self.views if view.is_waiting()]
+        active = [view for view in self.views if not view.is_waiting()]
+
+        # exact duplicates first
+        seen: Dict[Tuple[int, Tuple[int, ...]], GlobalView] = {}
+        deduped: List[GlobalView] = []
+        for view in active:
+            signature = view.signature()
+            if signature in seen:
+                self.metrics.views_merged += 1
+                continue
+            seen[signature] = view
+            deduped.append(view)
+
+        # dominance merging per automaton state: keep the minimal antichain
+        by_state: Dict[int, List[GlobalView]] = {}
+        for view in deduped:
+            by_state.setdefault(view.state, []).append(view)
+        kept: List[GlobalView] = []
+        for state_views in by_state.values():
+            minimal: List[GlobalView] = []
+            for view in sorted(state_views, key=lambda v: sum(v.cut)):
+                if any(
+                    all(small <= big for small, big in zip(other.cut, view.cut))
+                    for other in minimal
+                ):
+                    self.metrics.views_merged += 1
+                    continue
+                minimal.append(view)
+            kept.extend(minimal)
+
+        self.views = waiting + kept
+        self._enforce_view_budget()
+        self.metrics.max_active_views = max(
+            self.metrics.max_active_views, len(self.views)
+        )
+
+    def _enforce_view_budget(self) -> None:
+        """Apply the optional per-state bound on live views.
+
+        When the bound is exceeded the views with the largest cuts are
+        dropped (the remaining smaller-cut views re-cover their exploration
+        space); outstanding tokens of dropped views are disowned so their
+        eventual return is ignored.
+        """
+        if self.max_views_per_state is None:
+            return
+        by_state: Dict[int, List[GlobalView]] = {}
+        for view in self.views:
+            by_state.setdefault(view.state, []).append(view)
+        kept: List[GlobalView] = []
+        for state_views in by_state.values():
+            state_views.sort(key=lambda v: (sum(v.cut), tuple(v.cut)))
+            kept.extend(state_views[: self.max_views_per_state])
+            for dropped in state_views[self.max_views_per_state :]:
+                self.metrics.views_merged += 1
+                if dropped.outstanding_token is not None:
+                    self._outstanding.pop(dropped.outstanding_token, None)
+        self.views = kept
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DecentralizedMonitor(process={self.process}, views={len(self.views)}, "
+            f"declared={sorted(str(v) for v in self.declared_verdicts)})"
+        )

@@ -1,0 +1,151 @@
+"""The lattice oracle: ground truth for soundness and completeness.
+
+Chapter 3 formalises the decentralized-monitoring problem against an oracle
+that (magically) constructs the computation lattice and evaluates the LTL3
+monitor along *every* path.  This module implements that oracle directly —
+it is used by the test-suite to validate the decentralized algorithm and by
+the experiments as a reference, never by the monitors themselves.
+
+The per-path evaluation is performed with a dynamic program over the lattice:
+``reachable(C)`` is the set of automaton states reachable at cut ``C`` over
+all paths from the bottom cut, computed level by level.  This avoids
+enumerating the (potentially exponential) set of paths while producing
+exactly the same verdict information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..distributed.computation import Computation, Cut
+from ..distributed.lattice import ComputationLattice
+from ..ltl.monitor import MonitorAutomaton
+from ..ltl.predicates import PropositionRegistry
+from ..ltl.verdict import Verdict
+
+__all__ = ["OracleResult", "LatticeOracle"]
+
+
+@dataclass
+class OracleResult:
+    """Summary of the oracle evaluation of one computation."""
+
+    final_states: FrozenSet[int]
+    verdicts: FrozenSet[Verdict]
+    reachable: Dict[Cut, FrozenSet[int]]
+    pivot_cuts: FrozenSet[Cut]
+    num_cuts: int
+    num_paths: int
+
+    @property
+    def conclusive_verdicts(self) -> FrozenSet[Verdict]:
+        return frozenset(v for v in self.verdicts if v.is_final)
+
+
+class LatticeOracle:
+    """Evaluates an LTL3 monitor over every path of the computation lattice."""
+
+    def __init__(
+        self,
+        computation: Computation,
+        automaton: MonitorAutomaton,
+        registry: PropositionRegistry,
+    ) -> None:
+        self.computation = computation
+        self.automaton = automaton
+        self.registry = registry
+        self.lattice = ComputationLattice.from_computation(computation)
+        self._letters: Dict[Cut, FrozenSet[str]] = {}
+
+    # ------------------------------------------------------------------
+    def letter_of(self, cut: Cut) -> FrozenSet[str]:
+        """The letter (true propositions) of the global state at *cut*."""
+        cut = tuple(cut)
+        if cut not in self._letters:
+            state = self.computation.global_state(cut)
+            self._letters[cut] = self.registry.letter_of(state)
+        return self._letters[cut]
+
+    def evaluate_path(self, path: Sequence[Cut]) -> int:
+        """Automaton state reached by running the trace of *path*."""
+        state = self.automaton.initial_state
+        for cut in path:
+            state = self.automaton.step(state, self.letter_of(cut))
+        return state
+
+    def verdict_of_path(self, path: Sequence[Cut]) -> Verdict:
+        return self.automaton.verdict(self.evaluate_path(path))
+
+    # ------------------------------------------------------------------
+    def reachable_states(self) -> Dict[Cut, FrozenSet[int]]:
+        """For every cut the set of automaton states reachable over paths.
+
+        The bottom cut is assigned ``δ(q0, letter(bottom))`` — i.e. the
+        initial global state is the first letter of every trace, as in the
+        problem statement of Chapter 3.
+        """
+        reachable: Dict[Cut, Set[int]] = {}
+        bottom = self.lattice.bottom
+        reachable[bottom] = {
+            self.automaton.step(self.automaton.initial_state, self.letter_of(bottom))
+        }
+        for level in self.lattice.levels():
+            for cut in level:
+                if cut == bottom:
+                    continue
+                states: Set[int] = set()
+                letter = self.letter_of(cut)
+                for predecessor in self.lattice.predecessors(cut):
+                    for state in reachable.get(predecessor, ()):
+                        states.add(self.automaton.step(state, letter))
+                reachable[cut] = states
+        return {cut: frozenset(states) for cut, states in reachable.items()}
+
+    def pivot_cuts(self, reachable: Optional[Dict[Cut, FrozenSet[int]]] = None) -> Set[Cut]:
+        """Cuts where the automaton state changes relative to a predecessor
+        (Definition 17 generalised to state sets)."""
+        if reachable is None:
+            reachable = self.reachable_states()
+        pivots: Set[Cut] = set()
+        for cut in self.lattice.cuts():
+            if cut == self.lattice.bottom:
+                continue
+            letter = self.letter_of(cut)
+            for predecessor in self.lattice.predecessors(cut):
+                for state in reachable[predecessor]:
+                    if self.automaton.step(state, letter) != state:
+                        pivots.add(cut)
+                        break
+                if cut in pivots:
+                    break
+        return pivots
+
+    # ------------------------------------------------------------------
+    def evaluate(self) -> OracleResult:
+        """Run the full oracle evaluation."""
+        reachable = self.reachable_states()
+        final_states = reachable[self.lattice.top]
+        verdicts = frozenset(self.automaton.verdict(s) for s in final_states)
+        return OracleResult(
+            final_states=frozenset(final_states),
+            verdicts=verdicts,
+            reachable=reachable,
+            pivot_cuts=frozenset(self.pivot_cuts(reachable)),
+            num_cuts=len(self.lattice),
+            num_paths=self.lattice.count_paths(),
+        )
+
+    # ------------------------------------------------------------------
+    def verdicts_by_path_enumeration(self, max_paths: Optional[int] = None) -> FrozenSet[Verdict]:
+        """Reference implementation enumerating paths one by one.
+
+        Used in tests to validate :meth:`reachable_states`; ``max_paths``
+        bounds the enumeration for safety.
+        """
+        verdicts: Set[Verdict] = set()
+        for index, path in enumerate(self.lattice.paths()):
+            if max_paths is not None and index >= max_paths:
+                break
+            verdicts.add(self.verdict_of_path(path))
+        return frozenset(verdicts)

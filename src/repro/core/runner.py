@@ -1,0 +1,175 @@
+"""Convenience runner: replay a finished computation through the monitors.
+
+:func:`run_decentralized` wires one :class:`DecentralizedMonitor` per process
+to a :class:`LoopbackNetwork`, feeds the computation's events in timestamp
+order, delivers monitoring messages, signals termination and returns an
+aggregated :class:`DecentralizedResult`.  This is the API used by the library
+examples and the correctness tests; the experiment harness uses the
+discrete-event simulator of :mod:`repro.sim` instead, which adds network
+latency and time-based metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set
+
+from ..distributed.computation import Computation
+from ..ltl.monitor import MonitorAutomaton, build_monitor
+from ..ltl.parser import parse
+from ..ltl.predicates import PropositionRegistry
+from ..ltl.verdict import Verdict
+from .monitor import DecentralizedMonitor, MonitorMetrics
+from .transport import LoopbackNetwork
+
+__all__ = ["DecentralizedResult", "run_decentralized"]
+
+
+@dataclass
+class DecentralizedResult:
+    """Aggregated outcome of a decentralized monitoring run."""
+
+    monitors: List[DecentralizedMonitor]
+    network: LoopbackNetwork
+
+    # -- verdicts --------------------------------------------------------
+    @property
+    def declared_verdicts(self) -> FrozenSet[Verdict]:
+        """Conclusive verdicts (⊤/⊥) declared by any monitor."""
+        verdicts: Set[Verdict] = set()
+        for monitor in self.monitors:
+            verdicts |= monitor.declared_verdicts
+        return frozenset(verdicts)
+
+    @property
+    def reported_verdicts(self) -> FrozenSet[Verdict]:
+        """All verdicts reported by any monitor (declared + live views)."""
+        verdicts: Set[Verdict] = set()
+        for monitor in self.monitors:
+            verdicts |= monitor.reported_verdicts()
+        return frozenset(verdicts)
+
+    @property
+    def declared_states(self) -> FrozenSet[int]:
+        states: Set[int] = set()
+        for monitor in self.monitors:
+            states |= monitor.declared_states
+        return frozenset(states)
+
+    # -- metrics -----------------------------------------------------------
+    @property
+    def total_messages(self) -> int:
+        """Total monitoring messages exchanged (tokens + termination)."""
+        return self.network.messages_sent
+
+    @property
+    def total_token_messages(self) -> int:
+        return sum(m.metrics.token_messages_sent for m in self.monitors)
+
+    @property
+    def total_views_created(self) -> int:
+        return sum(m.metrics.views_created for m in self.monitors)
+
+    @property
+    def total_delayed_events(self) -> int:
+        return sum(m.metrics.delayed_events for m in self.monitors)
+
+    @property
+    def metrics_by_monitor(self) -> List[MonitorMetrics]:
+        return [m.metrics for m in self.monitors]
+
+    def is_quiescent(self) -> bool:
+        """No in-flight messages and no parked tokens anywhere."""
+        return self.network.pending == 0 and all(
+            not m.waiting_tokens for m in self.monitors
+        )
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "verdicts": sorted(str(v) for v in self.reported_verdicts),
+            "declared": sorted(str(v) for v in self.declared_verdicts),
+            "messages": self.total_messages,
+            "token_messages": self.total_token_messages,
+            "views_created": self.total_views_created,
+            "delayed_events": self.total_delayed_events,
+        }
+
+
+def run_decentralized(
+    computation: Computation,
+    property_or_automaton: "MonitorAutomaton | str",
+    registry: PropositionRegistry,
+    deliver_after_each_event: bool = True,
+    max_views_per_state: "int | None" = None,
+) -> DecentralizedResult:
+    """Monitor a finished computation with the decentralized algorithm.
+
+    Parameters
+    ----------
+    computation:
+        The distributed execution to monitor (events already carry vector
+        clocks and timestamps).
+    property_or_automaton:
+        Either a ready-made :class:`MonitorAutomaton` or an LTL formula
+        string, which is compiled with the registry's propositions as the
+        alphabet.
+    registry:
+        The proposition registry binding atoms to processes.
+    deliver_after_each_event:
+        When ``True`` (default) monitoring messages are delivered eagerly
+        after every program event — the "fast network" regime.  When
+        ``False`` all program events are fed first and monitoring messages
+        are only exchanged afterwards, maximising monitor-side queuing.
+    max_views_per_state:
+        Optional exploration budget forwarded to every monitor (see
+        :class:`repro.core.monitor.DecentralizedMonitor`).
+    """
+    if isinstance(property_or_automaton, str):
+        automaton = build_monitor(
+            parse(property_or_automaton), atoms=registry.names
+        )
+    else:
+        automaton = property_or_automaton
+
+    n = computation.num_processes
+    network = LoopbackNetwork()
+    initial_letters = [
+        registry.local_letter(i, computation.initial_states[i]) for i in range(n)
+    ]
+    monitors = [
+        DecentralizedMonitor(
+            process=i,
+            num_processes=n,
+            automaton=automaton,
+            registry=registry,
+            initial_letters=initial_letters,
+            transport=network,
+            max_views_per_state=max_views_per_state,
+        )
+        for i in range(n)
+    ]
+    for i, monitor in enumerate(monitors):
+        network.register(i, monitor)
+    for monitor in monitors:
+        monitor.start()
+    network.deliver_all()
+
+    events = sorted(
+        computation.all_events(), key=lambda e: (e.timestamp, e.process, e.sn)
+    )
+    for event in events:
+        monitors[event.process].local_event(event)
+        if deliver_after_each_event:
+            network.deliver_all()
+    network.deliver_all()
+
+    for monitor in monitors:
+        monitor.local_termination()
+    network.deliver_all()
+    # termination may release parked tokens that in turn spawn new messages
+    for _ in range(n + 1):
+        if network.pending == 0:
+            break
+        network.deliver_all()
+
+    return DecentralizedResult(monitors=monitors, network=network)

@@ -1,0 +1,84 @@
+"""Transport abstraction connecting decentralized monitor processes.
+
+The monitoring algorithm only ever calls :meth:`Transport.send`; how and when
+messages are delivered is the transport's business.  Two implementations are
+provided:
+
+* :class:`LoopbackNetwork` — an in-process FIFO network used by the library
+  runner and the tests.  Messages are queued and delivered when the caller
+  pumps the network, which models an asynchronous but reliable network with
+  no notion of time.
+* ``repro.sim.network.SimulatedNetwork`` — a discrete-event network with
+  latency, used by the experiment harness.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Protocol, Tuple
+
+__all__ = ["Transport", "LoopbackNetwork"]
+
+
+class Transport(Protocol):
+    """Minimal interface required by :class:`DecentralizedMonitor`."""
+
+    def send(self, sender: int, target: int, message: object) -> None:
+        """Deliver *message* from monitor *sender* to monitor *target*."""
+
+
+class LoopbackNetwork:
+    """A reliable FIFO in-process network between registered monitors.
+
+    Messages are buffered and delivered in FIFO order per ``pump`` call,
+    which keeps the executions deterministic and lets tests interleave
+    program events and monitor messages explicitly.
+    """
+
+    def __init__(self) -> None:
+        self._monitors: Dict[int, object] = {}
+        self._queue: Deque[Tuple[int, int, object]] = deque()
+        self.messages_sent = 0
+        self.messages_by_sender: Dict[int, int] = {}
+
+    def register(self, process: int, monitor: object) -> None:
+        """Attach *monitor* as the endpoint for *process*."""
+        self._monitors[process] = monitor
+
+    # ------------------------------------------------------------------
+    def send(self, sender: int, target: int, message: object) -> None:
+        if target not in self._monitors:
+            raise ValueError(f"no monitor registered for process {target}")
+        self.messages_sent += 1
+        self.messages_by_sender[sender] = self.messages_by_sender.get(sender, 0) + 1
+        self._queue.append((sender, target, message))
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def deliver_one(self) -> bool:
+        """Deliver the oldest in-flight message; returns False when idle."""
+        if not self._queue:
+            return False
+        _, target, message = self._queue.popleft()
+        self._monitors[target].receive_message(message)
+        return True
+
+    def deliver_all(self, max_messages: int = 1_000_000) -> int:
+        """Deliver messages until the network is quiescent.
+
+        Delivering a message may cause new messages to be sent; the loop
+        continues until the queue drains.  ``max_messages`` guards against
+        routing bugs that would otherwise loop forever.
+        """
+        delivered = 0
+        while self._queue:
+            self.deliver_one()
+            delivered += 1
+            if delivered > max_messages:
+                raise RuntimeError(
+                    "network did not quiesce; possible token routing loop"
+                )
+        return delivered

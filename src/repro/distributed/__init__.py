@@ -1,0 +1,37 @@
+"""Distributed-computation substrate: clocks, events, computations, lattices.
+
+Public API
+----------
+* :class:`VectorClock` — immutable vector clocks (happened-before).
+* :class:`Event` / :class:`EventKind` — internal, send and receive events.
+* :class:`Computation` / :class:`ComputationBuilder` — partially ordered
+  executions with correct-by-construction clock assignment.
+* :class:`ComputationLattice` — the lattice of consistent cuts (the oracle
+  structure of Chapter 3).
+* :func:`running_example` — the two-process program of Fig. 2.1.
+"""
+
+from .clocks import VectorClock
+from .computation import Computation, ComputationBuilder, Cut
+from .events import Event, EventKind
+from .lattice import ComputationLattice
+from .programs import (
+    running_example,
+    running_example_registry,
+    token_ring_example,
+    two_phase_commit_example,
+)
+
+__all__ = [
+    "VectorClock",
+    "Computation",
+    "ComputationBuilder",
+    "Cut",
+    "Event",
+    "EventKind",
+    "ComputationLattice",
+    "running_example",
+    "running_example_registry",
+    "token_ring_example",
+    "two_phase_commit_example",
+]

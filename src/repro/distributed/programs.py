@@ -1,0 +1,126 @@
+"""Ready-made distributed computations used in the paper and the examples.
+
+The most important one is :func:`running_example`, the two-process program of
+Fig. 2.1 whose lattice (Fig. 2.2b) and monitored lattice (Fig. 3.1) are used
+throughout the paper's exposition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..ltl.predicates import Proposition, PropositionRegistry
+from .computation import Computation, ComputationBuilder
+
+__all__ = [
+    "running_example",
+    "running_example_registry",
+    "two_phase_commit_example",
+    "token_ring_example",
+]
+
+
+def running_example() -> Computation:
+    """The distributed program of Fig. 2.1.
+
+    ::
+
+        {x1=0}                      {x2=0}
+        Process P1()                Process P2()
+        {                           {
+          send(P2, "hello");          recv(m1);
+          x1 = 5;                     x2 = 15;
+          x1 = 10;                    x2 = 20;
+          recv(m2);                   send(P1, "world");
+        }                           }
+    """
+    builder = ComputationBuilder([{"x1": 0}, {"x2": 0}])
+    builder.send(0, to=1, message_id=1)  # e1_1: send "hello"
+    builder.internal(0, {"x1": 5})       # e1_2
+    builder.internal(0, {"x1": 10})      # e1_3
+    builder.receive(1, frm=0, message_id=1)  # e2_1: recv "hello"
+    builder.internal(1, {"x2": 15})      # e2_2
+    builder.internal(1, {"x2": 20})      # e2_3
+    builder.send(1, to=0, message_id=2)  # e2_4: send "world"
+    builder.receive(0, frm=1, message_id=2)  # e1_4: recv "world"
+    return builder.build()
+
+
+def running_example_registry() -> PropositionRegistry:
+    """The propositions of the running-example property ψ (Fig. 2.3):
+    ``x1 >= 5``, ``x1 = 10`` (owned by P1) and ``x2 >= 15`` (owned by P2)."""
+    return PropositionRegistry(
+        [
+            Proposition.comparison("x1>=5", 0, "x1", ">=", 5),
+            Proposition.comparison("x1=10", 0, "x1", "==", 10),
+            Proposition.comparison("x2>=15", 1, "x2", ">=", 15),
+        ]
+    )
+
+
+def two_phase_commit_example(num_participants: int = 2) -> Computation:
+    """A coordinator running one round of two-phase commit with *num_participants*.
+
+    Process 0 is the coordinator; processes ``1 .. n`` are participants.  The
+    coordinator sends ``prepare`` to everyone, each participant votes yes
+    (setting its local ``voted`` / ``committed`` flags), and the coordinator
+    commits after collecting every vote.  Useful as a realistic workload with
+    both causal chains and concurrency between participants.
+    """
+    if num_participants < 1:
+        raise ValueError("need at least one participant")
+    n = num_participants + 1
+    initial = [{"phase": "init", "committed": False, "voted": False} for _ in range(n)]
+    builder = ComputationBuilder(initial)
+    message_id = 0
+
+    # phase 1: prepare
+    prepare_ids: List[int] = []
+    for participant in range(1, n):
+        message_id += 1
+        prepare_ids.append(message_id)
+        builder.send(0, to=participant, message_id=message_id)
+    builder.internal(0, {"phase": "waiting"})
+
+    vote_ids: List[int] = []
+    for participant in range(1, n):
+        builder.receive(participant, frm=0, message_id=prepare_ids[participant - 1])
+        builder.internal(participant, {"phase": "prepared", "voted": True})
+        message_id += 1
+        vote_ids.append(message_id)
+        builder.send(participant, to=0, message_id=message_id)
+
+    # phase 2: commit
+    for participant in range(1, n):
+        builder.receive(0, frm=participant, message_id=vote_ids[participant - 1])
+    builder.internal(0, {"phase": "committed", "committed": True})
+    commit_ids: List[int] = []
+    for participant in range(1, n):
+        message_id += 1
+        commit_ids.append(message_id)
+        builder.send(0, to=participant, message_id=message_id)
+    for participant in range(1, n):
+        builder.receive(participant, frm=0, message_id=commit_ids[participant - 1])
+        builder.internal(participant, {"phase": "committed", "committed": True})
+    return builder.build()
+
+
+def token_ring_example(num_processes: int = 3, rounds: int = 1) -> Computation:
+    """A token circulating around a ring; the token holder is in its critical
+    section (local flag ``cs``).  Mutual exclusion of ``cs`` flags is the
+    natural safety property to monitor on this computation."""
+    if num_processes < 2:
+        raise ValueError("a ring needs at least two processes")
+    initial = [{"cs": False, "token": i == 0} for i in range(num_processes)]
+    builder = ComputationBuilder(initial)
+    message_id = 0
+    for _ in range(rounds):
+        for holder in range(num_processes):
+            successor = (holder + 1) % num_processes
+            builder.internal(holder, {"cs": True})
+            builder.internal(holder, {"cs": False, "token": False})
+            message_id += 1
+            builder.send(holder, to=successor, message_id=message_id)
+            builder.receive(successor, frm=holder, message_id=message_id)
+            builder.internal(successor, {"token": True})
+    return builder.build()

@@ -1,0 +1,50 @@
+"""Case-study properties and the harness regenerating Chapter 5's results.
+
+Public API
+----------
+* :func:`property_formula` / :func:`case_study_monitor` /
+  :func:`case_study_registry` — properties A–F of Section 5.1.
+* ``run_table_5_1`` … ``run_fig_5_9`` — one function per table/figure.
+* :class:`ExperimentScale` — workload size knobs.
+* :func:`format_table` — plain-text rendering of result rows.
+"""
+
+from .harness import (
+    DEFAULT_SCALE,
+    ExperimentScale,
+    format_table,
+    run_fig_5_1,
+    run_fig_5_2_5_3,
+    run_fig_5_4_5_5,
+    run_fig_5_6,
+    run_fig_5_7,
+    run_fig_5_8,
+    run_fig_5_9,
+    run_monitoring_experiment,
+    run_table_5_1,
+)
+from .properties import (
+    PROPERTY_NAMES,
+    case_study_monitor,
+    case_study_registry,
+    property_formula,
+)
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "ExperimentScale",
+    "format_table",
+    "run_fig_5_1",
+    "run_fig_5_2_5_3",
+    "run_fig_5_4_5_5",
+    "run_fig_5_6",
+    "run_fig_5_7",
+    "run_fig_5_8",
+    "run_fig_5_9",
+    "run_monitoring_experiment",
+    "run_table_5_1",
+    "PROPERTY_NAMES",
+    "case_study_monitor",
+    "case_study_registry",
+    "property_formula",
+]

@@ -1,0 +1,160 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage (after installing the package)::
+
+    python -m repro.experiments.cli table5.1
+    python -m repro.experiments.cli fig5.2
+    python -m repro.experiments.cli fig5.4 --processes 2 3 4 --events 6
+    python -m repro.experiments.cli fig5.9
+    python -m repro.experiments.cli all
+
+Each sub-command prints the corresponding rows/series as an aligned text
+table; the heavier figure sweeps accept ``--processes``, ``--events`` and
+``--replications`` to control the workload scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .harness import (
+    ExperimentScale,
+    format_table,
+    run_fig_5_1,
+    run_fig_5_2_5_3,
+    run_fig_5_4_5_5,
+    run_fig_5_9,
+    run_table_5_1,
+)
+
+__all__ = ["main"]
+
+
+def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
+    return ExperimentScale(
+        process_counts=tuple(args.processes),
+        events_per_process=args.events,
+        replications=args.replications,
+        max_views_per_state=args.view_budget,
+    )
+
+
+def _emit_table_5_1(args: argparse.Namespace) -> None:
+    print("Table 5.1 — transitions per automaton")
+    print(format_table(run_table_5_1(process_counts=tuple(args.processes))))
+
+
+def _emit_fig_5_1(args: argparse.Namespace) -> None:
+    series = run_fig_5_1(process_counts=tuple(args.processes))
+    print("Fig 5.1a — all transitions per property")
+    for name, values in series["all_transitions"].items():
+        print(f"  {name}: {values}")
+    print("Fig 5.1b — outgoing transitions per property")
+    for name, values in series["outgoing_transitions"].items():
+        print(f"  {name}: {values}")
+
+
+def _emit_fig_5_2_5_3(args: argparse.Namespace) -> None:
+    for name, text in run_fig_5_2_5_3(min(args.processes)).items():
+        print(f"--- property {name} ---")
+        print(text)
+        print()
+
+
+def _emit_fig_5_4_5_8(args: argparse.Namespace) -> None:
+    rows = run_fig_5_4_5_5(scale=_scale_from_args(args))
+    print("Figures 5.4–5.8 — monitored workload sweep")
+    print(
+        format_table(
+            rows,
+            columns=[
+                "property",
+                "processes",
+                "events",
+                "messages",
+                "global_views",
+                "delayed_events",
+                "delay_time_pct_per_view",
+            ],
+        )
+    )
+
+
+def _emit_fig_5_9(args: argparse.Namespace) -> None:
+    rows = run_fig_5_9(
+        num_processes=min(4, max(args.processes)),
+        scale=_scale_from_args(args),
+    )
+    print("Fig 5.9 — varying the communication frequency (property C)")
+    print(
+        format_table(
+            rows,
+            columns=["comm_mu", "events", "messages", "delayed_events", "global_views"],
+        )
+    )
+
+
+_COMMANDS = {
+    "table5.1": _emit_table_5_1,
+    "fig5.1": _emit_fig_5_1,
+    "fig5.2": _emit_fig_5_2_5_3,
+    "fig5.3": _emit_fig_5_2_5_3,
+    "fig5.4": _emit_fig_5_4_5_8,
+    "fig5.5": _emit_fig_5_4_5_8,
+    "fig5.6": _emit_fig_5_4_5_8,
+    "fig5.7": _emit_fig_5_4_5_8,
+    "fig5.8": _emit_fig_5_4_5_8,
+    "fig5.9": _emit_fig_5_9,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of the paper's evaluation.",
+    )
+    parser.add_argument(
+        "artefact",
+        choices=sorted(_COMMANDS) + ["all"],
+        help="which table/figure to regenerate ('all' runs everything)",
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        nargs="+",
+        default=[2, 3, 4],
+        help="process counts to sweep (default: 2 3 4)",
+    )
+    parser.add_argument(
+        "--events", type=int, default=6, help="internal events per process"
+    )
+    parser.add_argument(
+        "--replications", type=int, default=2, help="replications per data point"
+    )
+    parser.add_argument(
+        "--view-budget",
+        type=int,
+        default=2,
+        help="per-state view budget of each monitor (0 disables the bound)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.view_budget == 0:
+        args.view_budget = None
+    if args.artefact == "all":
+        artefacts: List[str] = ["table5.1", "fig5.1", "fig5.2", "fig5.4", "fig5.9"]
+    else:
+        artefacts = [args.artefact]
+    for artefact in artefacts:
+        _COMMANDS[artefact](args)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    sys.exit(main())

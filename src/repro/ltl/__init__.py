@@ -1,0 +1,95 @@
+"""LTL formulas, semantics and LTL3 monitor synthesis.
+
+Public API
+----------
+
+* :func:`repro.ltl.parse` — parse a formula from concrete syntax.
+* Formula constructors (:class:`Atom`, :class:`And`, :class:`Until`, …).
+* :func:`repro.ltl.build_monitor` — synthesise the LTL3 monitor automaton.
+* :class:`repro.ltl.MonitorAutomaton` / :class:`repro.ltl.Transition`.
+* :class:`repro.ltl.Verdict` — the 3-valued verdict domain.
+* :class:`repro.ltl.Proposition` / :class:`repro.ltl.PropositionRegistry` —
+  binding of atomic propositions to per-process predicates.
+"""
+
+from .ast import (
+    FALSE,
+    TRUE,
+    Always,
+    And,
+    Atom,
+    Eventually,
+    FalseConst,
+    Formula,
+    Iff,
+    Implies,
+    Next,
+    Not,
+    Or,
+    Release,
+    TrueConst,
+    Until,
+    atoms_of,
+    subformulas,
+)
+from .boolmin import Implicant, implicant_to_str, minimize_letters
+from .buchi import BuchiAutomaton, Guard, ltl_to_buchi, nonempty_states
+from .dfa import MooreMachine, determinize
+from .monitor import MonitorAutomaton, Transition, build_monitor
+from .parser import LTLSyntaxError, parse
+from .predicates import LocalState, Proposition, PropositionRegistry
+from .rewriting import expand, negate, simplify, to_nnf
+from .semantics import (
+    all_assignments,
+    evaluate_lasso,
+    extensions_agree,
+    ltl3_bruteforce,
+)
+from .verdict import Verdict
+
+__all__ = [
+    "FALSE",
+    "TRUE",
+    "Always",
+    "And",
+    "Atom",
+    "Eventually",
+    "FalseConst",
+    "Formula",
+    "Iff",
+    "Implies",
+    "Next",
+    "Not",
+    "Or",
+    "Release",
+    "TrueConst",
+    "Until",
+    "atoms_of",
+    "subformulas",
+    "Implicant",
+    "implicant_to_str",
+    "minimize_letters",
+    "BuchiAutomaton",
+    "Guard",
+    "ltl_to_buchi",
+    "nonempty_states",
+    "MooreMachine",
+    "determinize",
+    "MonitorAutomaton",
+    "Transition",
+    "build_monitor",
+    "LTLSyntaxError",
+    "parse",
+    "LocalState",
+    "Proposition",
+    "PropositionRegistry",
+    "expand",
+    "negate",
+    "simplify",
+    "to_nnf",
+    "all_assignments",
+    "evaluate_lasso",
+    "extensions_agree",
+    "ltl3_bruteforce",
+    "Verdict",
+]

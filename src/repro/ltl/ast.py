@@ -1,0 +1,310 @@
+"""Abstract syntax trees for Linear Temporal Logic formulas.
+
+The formula classes are immutable, hashable value objects so they can be used
+as dictionary keys throughout the tableau construction (:mod:`repro.ltl.buchi`)
+and the monitor synthesis (:mod:`repro.ltl.monitor`).
+
+Supported operators
+-------------------
+
+==============  =======================  ===========================
+Class           Concrete syntax          Meaning
+==============  =======================  ===========================
+``TrueConst``   ``true``                 constant true
+``FalseConst``  ``false``                constant false
+``Atom``        ``p``, ``P0.p``          atomic proposition
+``Not``         ``! f``, ``~ f``         negation
+``And``         ``f & g``                conjunction
+``Or``          ``f | g``                disjunction
+``Implies``     ``f -> g``               implication
+``Iff``         ``f <-> g``              equivalence
+``Next``        ``X f``                  next
+``Until``       ``f U g``                (strong) until
+``Release``     ``f R g``                release (dual of until)
+``Eventually``  ``F f``                  eventually (``true U f``)
+``Always``      ``G f``                  always (``false R f``)
+==============  =======================  ===========================
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+__all__ = [
+    "Formula",
+    "TrueConst",
+    "FalseConst",
+    "Atom",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Iff",
+    "Next",
+    "Until",
+    "Release",
+    "Eventually",
+    "Always",
+    "TRUE",
+    "FALSE",
+    "atoms_of",
+    "subformulas",
+]
+
+
+class Formula:
+    """Base class of all LTL formula nodes.
+
+    Instances compare structurally and hash on their structure, which allows
+    formulas to be de-duplicated and used as set members / dict keys.
+    """
+
+    __slots__ = ("_hash",)
+
+    #: tuple of child formulas, overridden by subclasses
+    children: Tuple["Formula", ...] = ()
+
+    def _key(self) -> tuple:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Formula) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash(self._key())
+            object.__setattr__(self, "_hash", h)
+            return h
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self!s})"
+
+    # -- convenient operator overloading for building formulas in Python ----
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def __rshift__(self, other: "Formula") -> "Formula":
+        """``f >> g`` builds the implication ``f -> g``."""
+        return Implies(self, other)
+
+    # -- traversal -----------------------------------------------------------
+    def walk(self) -> Iterator["Formula"]:
+        """Yield this node and all descendants (pre-order)."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    @property
+    def is_temporal(self) -> bool:
+        """True when the formula contains a temporal operator."""
+        return any(
+            isinstance(f, (Next, Until, Release, Eventually, Always))
+            for f in self.walk()
+        )
+
+
+class TrueConst(Formula):
+    """The constant ``true``."""
+
+    __slots__ = ()
+    children: Tuple[Formula, ...] = ()
+
+    def _key(self) -> tuple:
+        return ("true",)
+
+    def __str__(self) -> str:
+        return "true"
+
+
+class FalseConst(Formula):
+    """The constant ``false``."""
+
+    __slots__ = ()
+    children: Tuple[Formula, ...] = ()
+
+    def _key(self) -> tuple:
+        return ("false",)
+
+    def __str__(self) -> str:
+        return "false"
+
+
+#: Singleton instances used pervasively by the rewriting rules.
+TRUE = TrueConst()
+FALSE = FalseConst()
+
+
+class Atom(Formula):
+    """An atomic proposition identified by its name.
+
+    Atom names are opaque strings at this layer; :mod:`repro.ltl.predicates`
+    binds names to evaluation functions over global states (for instance
+    ``"x1>=5"`` or ``"P0.p"``).
+    """
+
+    __slots__ = ("name",)
+    children: Tuple[Formula, ...] = ()
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("atomic proposition name must be non-empty")
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, key, value):  # immutability guard
+        raise AttributeError("Formula instances are immutable")
+
+    def _key(self) -> tuple:
+        return ("atom", self.name)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class _Unary(Formula):
+    __slots__ = ("operand", "children")
+    _symbol = "?"
+
+    def __init__(self, operand: Formula):
+        if not isinstance(operand, Formula):
+            raise TypeError(f"expected Formula, got {type(operand).__name__}")
+        object.__setattr__(self, "operand", operand)
+        object.__setattr__(self, "children", (operand,))
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Formula instances are immutable")
+
+    def _key(self) -> tuple:
+        return (type(self).__name__, self.operand._key())
+
+    def __str__(self) -> str:
+        return f"{self._symbol}({self.operand})"
+
+
+class _Binary(Formula):
+    __slots__ = ("left", "right", "children")
+    _symbol = "?"
+
+    def __init__(self, left: Formula, right: Formula):
+        if not isinstance(left, Formula) or not isinstance(right, Formula):
+            raise TypeError("expected Formula operands")
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+        object.__setattr__(self, "children", (left, right))
+
+    def __setattr__(self, key, value):
+        raise AttributeError("Formula instances are immutable")
+
+    def _key(self) -> tuple:
+        return (type(self).__name__, self.left._key(), self.right._key())
+
+    def __str__(self) -> str:
+        return f"({self.left} {self._symbol} {self.right})"
+
+
+class Not(_Unary):
+    """Negation ``!f``."""
+
+    __slots__ = ()
+    _symbol = "!"
+
+    def __str__(self) -> str:
+        return f"!({self.operand})"
+
+
+class And(_Binary):
+    """Conjunction ``f & g``."""
+
+    __slots__ = ()
+    _symbol = "&"
+
+
+class Or(_Binary):
+    """Disjunction ``f | g``."""
+
+    __slots__ = ()
+    _symbol = "|"
+
+
+class Implies(_Binary):
+    """Implication ``f -> g``."""
+
+    __slots__ = ()
+    _symbol = "->"
+
+
+class Iff(_Binary):
+    """Equivalence ``f <-> g``."""
+
+    __slots__ = ()
+    _symbol = "<->"
+
+
+class Next(_Unary):
+    """Temporal next ``X f``."""
+
+    __slots__ = ()
+    _symbol = "X"
+
+    def __str__(self) -> str:
+        return f"X({self.operand})"
+
+
+class Until(_Binary):
+    """Strong until ``f U g``: ``g`` eventually holds and ``f`` holds until then."""
+
+    __slots__ = ()
+    _symbol = "U"
+
+
+class Release(_Binary):
+    """Release ``f R g``: dual of until; ``g`` holds up to and including the
+    first position where ``f`` holds (possibly forever if ``f`` never holds)."""
+
+    __slots__ = ()
+    _symbol = "R"
+
+
+class Eventually(_Unary):
+    """Eventually ``F f`` (syntactic sugar for ``true U f``)."""
+
+    __slots__ = ()
+    _symbol = "F"
+
+    def __str__(self) -> str:
+        return f"F({self.operand})"
+
+
+class Always(_Unary):
+    """Always ``G f`` (syntactic sugar for ``false R f``)."""
+
+    __slots__ = ()
+    _symbol = "G"
+
+    def __str__(self) -> str:
+        return f"G({self.operand})"
+
+
+def atoms_of(formula: Formula) -> Tuple[str, ...]:
+    """Return the sorted tuple of atomic proposition names used in *formula*."""
+    names = {f.name for f in formula.walk() if isinstance(f, Atom)}
+    return tuple(sorted(names))
+
+
+def subformulas(formula: Formula) -> Tuple[Formula, ...]:
+    """Return the set of distinct subformulas of *formula* (including itself)."""
+    seen = []
+    seen_keys = set()
+    for f in formula.walk():
+        k = f._key()
+        if k not in seen_keys:
+            seen_keys.add(k)
+            seen.append(f)
+    return tuple(seen)

@@ -1,0 +1,177 @@
+"""Two-level Boolean minimisation (Quine–McCluskey + greedy cover).
+
+The LTL3 monitor automaton produced by :mod:`repro.ltl.monitor` initially has
+its transition function defined letter-by-letter (one entry per truth
+assignment of the atomic propositions).  The paper, however, presents and
+*counts* transitions as edges labelled by **conjunctive predicates** (see
+Table 5.1 and Figures 5.2/5.3): each edge guard is a product term such as
+``p0.p & p1.p & !p0.q`` and a disjunctive guard is split into several edges.
+
+This module turns the set of letters on which an edge fires into a small
+irredundant sum of products.  Each product term becomes one "transition" in
+the paper's sense.
+
+The implementation is a textbook Quine–McCluskey prime-implicant generation
+followed by an essential-prime + greedy covering step.  The number of
+variables encountered in the reproduction is at most 10 (five processes with
+two propositions each), for which this exact method is comfortably fast.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+__all__ = ["Implicant", "minimize_letters", "implicant_to_str"]
+
+#: An implicant maps a variable name to the required truth value.  Variables
+#: absent from the mapping are don't-cares.  The empty implicant is ``true``.
+Implicant = Dict[str, bool]
+
+
+def _letters_to_minterms(
+    letters: Iterable[FrozenSet[str]], variables: Sequence[str]
+) -> List[int]:
+    """Encode each letter (set of true atoms) as an integer minterm."""
+    index = {v: i for i, v in enumerate(variables)}
+    minterms = []
+    for letter in letters:
+        value = 0
+        for atom in letter:
+            if atom in index:
+                value |= 1 << index[atom]
+        minterms.append(value)
+    return sorted(set(minterms))
+
+
+def _combine(
+    term_a: Tuple[int, int], term_b: Tuple[int, int]
+) -> Tuple[int, int] | None:
+    """Combine two (value, mask) terms differing in exactly one cared bit."""
+    value_a, mask_a = term_a
+    value_b, mask_b = term_b
+    if mask_a != mask_b:
+        return None
+    diff = value_a ^ value_b
+    if diff == 0 or (diff & (diff - 1)) != 0:
+        return None
+    return value_a & ~diff, mask_a | diff
+
+
+def _prime_implicants(minterms: List[int], nbits: int) -> List[Tuple[int, int]]:
+    """Classic iterative combination returning all prime implicants.
+
+    Terms are ``(value, dontcare_mask)`` pairs; a bit set in the mask means
+    the variable is a don't-care.
+    """
+    current = {(m, 0) for m in minterms}
+    primes: set = set()
+    while current:
+        nxt = set()
+        combined = set()
+        current_list = sorted(current)
+        # group by (mask, popcount) to limit the pairs examined
+        groups: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+        for term in current_list:
+            value, mask = term
+            key = (mask, bin(value).count("1"))
+            groups.setdefault(key, []).append(term)
+        for (mask, ones), terms in groups.items():
+            partner_key = (mask, ones + 1)
+            partners = groups.get(partner_key, [])
+            for a in terms:
+                for b in partners:
+                    merged = _combine(a, b)
+                    if merged is not None:
+                        nxt.add(merged)
+                        combined.add(a)
+                        combined.add(b)
+        primes.update(current - combined)
+        current = nxt
+    return sorted(primes)
+
+
+def _covers(term: Tuple[int, int], minterm: int) -> bool:
+    value, mask = term
+    return (minterm & ~mask) == (value & ~mask)
+
+
+def _cover(
+    primes: List[Tuple[int, int]], minterms: List[int]
+) -> List[Tuple[int, int]]:
+    """Select a small subset of primes covering all minterms.
+
+    Essential primes are chosen first, then a greedy largest-cover heuristic
+    finishes the job.  The result is irredundant but not guaranteed to be
+    globally minimum (Petrick's method would be exact); this matches how the
+    paper's automata were produced by practical tooling.
+    """
+    remaining = set(minterms)
+    chosen: List[Tuple[int, int]] = []
+    coverage = {p: {m for m in minterms if _covers(p, m)} for p in primes}
+
+    # essential primes: minterms covered by exactly one prime
+    for minterm in minterms:
+        covering = [p for p in primes if minterm in coverage[p]]
+        if len(covering) == 1 and covering[0] not in chosen:
+            chosen.append(covering[0])
+            remaining -= coverage[covering[0]]
+
+    while remaining:
+        best = max(primes, key=lambda p: len(coverage[p] & remaining))
+        gain = coverage[best] & remaining
+        if not gain:
+            break
+        chosen.append(best)
+        remaining -= gain
+    return chosen
+
+
+def minimize_letters(
+    letters: Iterable[FrozenSet[str]], variables: Sequence[str]
+) -> List[Implicant]:
+    """Express the set of *letters* as a small list of conjunctive implicants.
+
+    Parameters
+    ----------
+    letters:
+        The truth assignments (sets of atoms that are true) on which the
+        function is 1.
+    variables:
+        The full variable ordering; assignments are interpreted over exactly
+        these variables.
+
+    Returns
+    -------
+    list of :data:`Implicant`
+        Each implicant is a conjunction of literals; their disjunction is
+        exactly the given set of letters.  The empty list means ``false`` and
+        a single empty implicant means ``true``.
+    """
+    variables = list(variables)
+    minterms = _letters_to_minterms(letters, variables)
+    if not minterms:
+        return []
+    nbits = len(variables)
+    if len(minterms) == (1 << nbits):
+        return [{}]
+    primes = _prime_implicants(minterms, nbits)
+    cover = _cover(primes, minterms)
+    implicants: List[Implicant] = []
+    for value, mask in sorted(cover):
+        imp: Implicant = {}
+        for i, var in enumerate(variables):
+            if mask & (1 << i):
+                continue
+            imp[var] = bool(value & (1 << i))
+        implicants.append(imp)
+    return implicants
+
+
+def implicant_to_str(implicant: Implicant) -> str:
+    """Human-readable rendering of an implicant, e.g. ``p0.p & !p1.q``."""
+    if not implicant:
+        return "true"
+    parts = []
+    for var in sorted(implicant):
+        parts.append(var if implicant[var] else f"!{var}")
+    return " & ".join(parts)

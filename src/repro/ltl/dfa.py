@@ -1,0 +1,207 @@
+"""Deterministic Moore machines: construction helpers and minimisation.
+
+The LTL3 monitor is a deterministic finite-state Moore machine whose outputs
+are verdicts.  This module provides the generic machinery — reachability
+restriction, product of subset constructions and Moore minimisation — used by
+:mod:`repro.ltl.monitor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Hashable, List, Sequence, Tuple
+
+__all__ = ["MooreMachine", "determinize"]
+
+Letter = FrozenSet[str]
+
+
+@dataclass
+class MooreMachine:
+    """A complete deterministic Moore machine over an explicit alphabet.
+
+    Attributes
+    ----------
+    letters:
+        The explicit alphabet (each letter is a set of true atoms).
+    initial:
+        Index of the initial state.
+    delta:
+        ``delta[state][letter_index]`` is the successor state index.
+    outputs:
+        ``outputs[state]`` is the (hashable) output of the state.
+    """
+
+    letters: Tuple[Letter, ...]
+    initial: int
+    delta: List[List[int]]
+    outputs: List[Hashable]
+    state_names: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.state_names:
+            self.state_names = [f"q{i}" for i in range(len(self.outputs))]
+        self._letter_index: Dict[Letter, int] = {
+            letter: i for i, letter in enumerate(self.letters)
+        }
+        if len(self.delta) != len(self.outputs):
+            raise ValueError("delta and outputs must have the same number of states")
+        for row in self.delta:
+            if len(row) != len(self.letters):
+                raise ValueError("each delta row must cover the whole alphabet")
+
+    @property
+    def num_states(self) -> int:
+        return len(self.outputs)
+
+    def step(self, state: int, letter: Letter) -> int:
+        """Successor of *state* after reading *letter*."""
+        try:
+            column = self._letter_index[letter]
+        except KeyError:
+            # Letters may mention atoms outside the machine's alphabet
+            # (e.g. propositions of processes not appearing in the formula);
+            # project the letter onto the known atoms.
+            projected = frozenset(a for a in letter if a in self._atom_universe())
+            column = self._letter_index[projected]
+        return self.delta[state][column]
+
+    def _atom_universe(self) -> FrozenSet[str]:
+        universe: set = set()
+        for letter in self.letters:
+            universe |= letter
+        return frozenset(universe)
+
+    def run(self, word: Sequence[Letter], start: int | None = None) -> int:
+        """State reached after reading *word* from *start* (default: initial)."""
+        state = self.initial if start is None else start
+        for letter in word:
+            state = self.step(state, letter)
+        return state
+
+    def output_of_run(self, word: Sequence[Letter]) -> Hashable:
+        return self.outputs[self.run(word)]
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def reachable(self) -> "MooreMachine":
+        """Restrict the machine to states reachable from the initial state."""
+        seen = {self.initial}
+        order = [self.initial]
+        frontier = [self.initial]
+        while frontier:
+            state = frontier.pop()
+            for target in self.delta[state]:
+                if target not in seen:
+                    seen.add(target)
+                    order.append(target)
+                    frontier.append(target)
+        remap = {old: new for new, old in enumerate(order)}
+        delta = [
+            [remap[self.delta[old][c]] for c in range(len(self.letters))]
+            for old in order
+        ]
+        outputs = [self.outputs[old] for old in order]
+        names = [self.state_names[old] for old in order]
+        return MooreMachine(
+            letters=self.letters,
+            initial=remap[self.initial],
+            delta=delta,
+            outputs=outputs,
+            state_names=names,
+        )
+
+    def minimize(self) -> "MooreMachine":
+        """Moore-minimise the machine (output-preserving partition refinement)."""
+        machine = self.reachable()
+        n = machine.num_states
+        # initial partition: by output
+        outputs_to_block: Dict[Hashable, int] = {}
+        block_of = [0] * n
+        for state in range(n):
+            key = machine.outputs[state]
+            if key not in outputs_to_block:
+                outputs_to_block[key] = len(outputs_to_block)
+            block_of[state] = outputs_to_block[key]
+
+        while True:
+            signature: Dict[Tuple, int] = {}
+            new_block_of = [0] * n
+            for state in range(n):
+                sig = (
+                    block_of[state],
+                    tuple(block_of[t] for t in machine.delta[state]),
+                )
+                if sig not in signature:
+                    signature[sig] = len(signature)
+                new_block_of[state] = signature[sig]
+            if new_block_of == block_of:
+                break
+            block_of = new_block_of
+
+        num_blocks = max(block_of) + 1
+        representative = [-1] * num_blocks
+        for state in range(n):
+            if representative[block_of[state]] == -1:
+                representative[block_of[state]] = state
+
+        delta = [
+            [
+                block_of[machine.delta[representative[b]][c]]
+                for c in range(len(machine.letters))
+            ]
+            for b in range(num_blocks)
+        ]
+        outputs = [machine.outputs[representative[b]] for b in range(num_blocks)]
+        minimized = MooreMachine(
+            letters=machine.letters,
+            initial=block_of[machine.initial],
+            delta=delta,
+            outputs=outputs,
+        )
+        return minimized.reachable()
+
+    def letters_between(self, source: int, target: int) -> List[Letter]:
+        """All letters taking *source* to *target* in one step."""
+        return [
+            letter
+            for i, letter in enumerate(self.letters)
+            if self.delta[source][i] == target
+        ]
+
+
+def determinize(
+    letters: Sequence[Letter],
+    initial_sets: Sequence[FrozenSet[Hashable]],
+    successor_fns: Sequence[Callable[[FrozenSet[Hashable], Letter], FrozenSet[Hashable]]],
+    output_fn: Callable[[Tuple[FrozenSet[Hashable], ...]], Hashable],
+) -> MooreMachine:
+    """Joint subset construction of several NFAs into one Moore machine.
+
+    Each component ``i`` starts in ``initial_sets[i]`` and evolves with
+    ``successor_fns[i]``.  A product state is the tuple of per-component
+    subsets; its Moore output is ``output_fn(product_state)``.  Only states
+    reachable from the initial product state are constructed.
+    """
+    letters = tuple(letters)
+    initial = tuple(initial_sets)
+    index: Dict[Tuple[FrozenSet[Hashable], ...], int] = {initial: 0}
+    order: List[Tuple[FrozenSet[Hashable], ...]] = [initial]
+    delta: List[List[int]] = []
+    frontier = [initial]
+    while frontier:
+        product = frontier.pop(0)
+        row: List[int] = []
+        for letter in letters:
+            successor = tuple(
+                successor_fns[i](product[i], letter) for i in range(len(product))
+            )
+            if successor not in index:
+                index[successor] = len(order)
+                order.append(successor)
+                frontier.append(successor)
+            row.append(index[successor])
+        delta.append(row)
+    outputs = [output_fn(product) for product in order]
+    return MooreMachine(letters=letters, initial=0, delta=delta, outputs=outputs)

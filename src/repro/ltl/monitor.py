@@ -1,0 +1,313 @@
+"""LTL3 monitor automaton synthesis (Bauer–Leucker–Schallhart construction).
+
+Given an LTL formula ``φ`` the monitor automaton ``A_φ`` is the unique
+deterministic Moore machine such that for any finite trace ``α`` the output of
+the state reached on ``α`` equals the LTL3 valuation ``[α ⊨ φ]``:
+
+* ``⊤`` — every infinite continuation of ``α`` satisfies ``φ``;
+* ``⊥`` — every infinite continuation violates ``φ``;
+* ``?`` — both kinds of continuation exist.
+
+Construction
+------------
+1. Translate ``φ`` and ``¬φ`` into Büchi automata (:mod:`repro.ltl.buchi`).
+2. Mark, in each automaton, the states with a non-empty language.
+3. Run a joint subset construction; a product state is ``(P, N)`` where ``P``
+   (resp. ``N``) is the subset of the ``φ`` (resp. ``¬φ``) automaton.  The
+   verdict is ``⊥`` when ``P`` contains no live state, ``⊤`` when ``N``
+   contains no live state, and ``?`` otherwise.
+4. Moore-minimise the result.
+5. Express every edge of the minimised machine as a small set of conjunctive
+   guards (sum-of-products over the atomic propositions) — this is the
+   transition representation the paper's decentralized algorithm works with
+   (and the quantity counted in Table 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from .ast import Formula, Not, atoms_of
+from .boolmin import Implicant, implicant_to_str, minimize_letters
+from .buchi import BuchiAutomaton, ltl_to_buchi, nonempty_states
+from .dfa import MooreMachine, determinize
+from .parser import parse
+from .semantics import all_assignments
+from .verdict import Verdict
+
+__all__ = ["Transition", "MonitorAutomaton", "build_monitor"]
+
+Letter = FrozenSet[str]
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A conjunctive transition of the monitor automaton.
+
+    ``guard`` maps atomic proposition names to the truth value they must take
+    for the transition to fire; atoms absent from the mapping are
+    don't-cares.  A transition with an empty guard fires on every letter
+    (rendered ``true``).
+    """
+
+    transition_id: int
+    source: int
+    target: int
+    guard: Mapping[str, bool]
+
+    @property
+    def is_self_loop(self) -> bool:
+        return self.source == self.target
+
+    def guard_satisfied(self, letter: Letter) -> bool:
+        """Whether *letter* (set of true atoms) satisfies the guard."""
+        for atom, required in self.guard.items():
+            if (atom in letter) != required:
+                return False
+        return True
+
+    def guard_str(self) -> str:
+        return implicant_to_str(dict(self.guard))
+
+    def __str__(self) -> str:
+        return f"q{self.source} --[{self.guard_str()}]--> q{self.target}"
+
+
+class MonitorAutomaton:
+    """The deterministic LTL3 monitor (Moore machine) for a formula.
+
+    The class exposes both the *letter-level* transition function
+    (:meth:`step`) used when a full global-state valuation is available, and
+    the *predicate-level* view (:attr:`transitions`) used by the decentralized
+    algorithm, where each edge is a conjunction of per-process propositions.
+    """
+
+    def __init__(
+        self,
+        formula: Formula,
+        atoms: Sequence[str],
+        machine: MooreMachine,
+    ) -> None:
+        self.formula = formula
+        self.atoms: Tuple[str, ...] = tuple(atoms)
+        self._machine = machine
+        self.initial_state: int = machine.initial
+        self.transitions: List[Transition] = self._build_transitions()
+        self._outgoing: Dict[int, List[Transition]] = {}
+        self._self_loops: Dict[int, List[Transition]] = {}
+        for transition in self.transitions:
+            if transition.is_self_loop:
+                self._self_loops.setdefault(transition.source, []).append(transition)
+            else:
+                self._outgoing.setdefault(transition.source, []).append(transition)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _build_transitions(self) -> List[Transition]:
+        transitions: List[Transition] = []
+        next_id = 0
+        machine = self._machine
+        for source in range(machine.num_states):
+            targets = sorted(set(machine.delta[source]))
+            for target in targets:
+                letters = machine.letters_between(source, target)
+                for implicant in minimize_letters(letters, self.atoms):
+                    transitions.append(
+                        Transition(
+                            transition_id=next_id,
+                            source=source,
+                            target=target,
+                            guard=dict(implicant),
+                        )
+                    )
+                    next_id += 1
+        return transitions
+
+    # ------------------------------------------------------------------
+    # basic Moore-machine interface
+    # ------------------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        return self._machine.num_states
+
+    @property
+    def states(self) -> List[int]:
+        return list(range(self._machine.num_states))
+
+    def verdict(self, state: int) -> Verdict:
+        """The verdict (Moore output) of *state*."""
+        return self._machine.outputs[state]  # type: ignore[return-value]
+
+    def step(self, state: int, letter: Letter) -> int:
+        """Successor state after reading *letter* (a set of true atoms)."""
+        return self._machine.step(state, letter)
+
+    def run(self, word: Sequence[Letter]) -> int:
+        """The state reached from the initial state after reading *word*."""
+        return self._machine.run(word)
+
+    def verdict_of(self, word: Sequence[Letter]) -> Verdict:
+        """The LTL3 valuation ``[word ⊨ φ]``."""
+        return self.verdict(self.run(word))
+
+    def is_final(self, state: int) -> bool:
+        """Whether *state* carries a conclusive verdict (⊤ or ⊥)."""
+        return self.verdict(state).is_final
+
+    # ------------------------------------------------------------------
+    # predicate-level view (used by the decentralized algorithm)
+    # ------------------------------------------------------------------
+    def outgoing_transitions(self, state: int) -> List[Transition]:
+        """Non-self-loop transitions leaving *state*."""
+        return list(self._outgoing.get(state, ()))
+
+    def self_loop_transitions(self, state: int) -> List[Transition]:
+        """Self-loop transitions of *state*."""
+        return list(self._self_loops.get(state, ()))
+
+    def transition_by_id(self, transition_id: int) -> Transition:
+        return self.transitions[transition_id]
+
+    def enabled_transition(self, state: int, letter: Letter) -> Optional[Transition]:
+        """The unique transition of *state* enabled by *letter*, if any.
+
+        Because the underlying machine is deterministic and complete, exactly
+        one (source, target) pair matches; among its conjunctive guards the
+        first satisfied one is returned.
+        """
+        target = self.step(state, letter)
+        for transition in self.transitions:
+            if (
+                transition.source == state
+                and transition.target == target
+                and transition.guard_satisfied(letter)
+            ):
+                return transition
+        return None
+
+    # ------------------------------------------------------------------
+    # statistics for Table 5.1 / Fig 5.1
+    # ------------------------------------------------------------------
+    def transition_counts(self) -> Dict[str, int]:
+        """Counts of total / outgoing / self-loop conjunctive transitions."""
+        self_loops = sum(1 for t in self.transitions if t.is_self_loop)
+        outgoing = len(self.transitions) - self_loops
+        return {
+            "total": len(self.transitions),
+            "outgoing": outgoing,
+            "self_loops": self_loops,
+        }
+
+    def describe(self) -> str:
+        """Multi-line description of states and transitions (Fig 5.2 / 5.3)."""
+        lines = [f"Monitor automaton for: {self.formula}"]
+        lines.append(f"atoms: {', '.join(self.atoms)}")
+        for state in self.states:
+            marker = " (initial)" if state == self.initial_state else ""
+            lines.append(f"  state q{state}: verdict {self.verdict(state)}{marker}")
+        for transition in self.transitions:
+            lines.append(f"    {transition}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        counts = self.transition_counts()
+        return (
+            f"MonitorAutomaton(states={self.num_states}, "
+            f"transitions={counts['total']}, formula={self.formula})"
+        )
+
+
+def build_monitor(
+    formula: Formula | str,
+    atoms: Sequence[str] | None = None,
+    *,
+    method: str = "automaton",
+    minimize: bool = True,
+) -> MonitorAutomaton:
+    """Synthesise the LTL3 monitor automaton for *formula*.
+
+    Parameters
+    ----------
+    formula:
+        An LTL formula object or its concrete syntax.
+    atoms:
+        Optional explicit list of atomic propositions defining the alphabet.
+        Supplying the full set of propositions of the monitored system (even
+        those not mentioned in the formula) is allowed; they become
+        don't-cares in every guard.
+    method:
+        ``"automaton"`` (default) uses the Bauer–Leucker–Schallhart
+        Büchi-based construction; ``"progression"`` builds the
+        formula-progression machine of :mod:`repro.ltl.progression`, which
+        reproduces the paper's (unminimised) experimental automata of
+        Table 5.1 and Figures 5.2/5.3.
+    minimize:
+        Whether to Moore-minimise the resulting machine.  The paper's
+        evaluation automata keep redundant ``?`` states, so the experiment
+        harness uses ``method="progression", minimize=False``.
+
+    Examples
+    --------
+    >>> monitor = build_monitor("G(p -> F q)")
+    >>> monitor.verdict_of([frozenset(), frozenset({"p"})])
+    <Verdict.INCONCLUSIVE: '?'>
+    """
+    if isinstance(formula, str):
+        formula = parse(formula)
+    if atoms is None:
+        atoms = atoms_of(formula)
+    atoms = tuple(atoms)
+    missing = [a for a in atoms_of(formula) if a not in atoms]
+    if missing:
+        raise ValueError(f"formula mentions atoms not in the alphabet: {missing}")
+
+    if method not in ("automaton", "progression"):
+        raise ValueError(f"unknown construction method {method!r}")
+    if method == "progression":
+        from .progression import build_progression_machine
+
+        machine, _ = build_progression_machine(formula, atoms)
+        if minimize:
+            machine = machine.minimize()
+        else:
+            machine = machine.reachable()
+        return MonitorAutomaton(formula=formula, atoms=atoms, machine=machine)
+
+    letters = all_assignments(atoms)
+
+    positive = ltl_to_buchi(formula, atoms)
+    negative = ltl_to_buchi(Not(formula), atoms)
+    live_pos = nonempty_states(positive)
+    live_neg = nonempty_states(negative)
+
+    def successor_fn(automaton: BuchiAutomaton):
+        transition_table = automaton.transitions
+
+        def advance(subset: FrozenSet[object], letter: Letter) -> FrozenSet[object]:
+            result = set()
+            for state in subset:
+                for guard, target in transition_table.get(state, ()):
+                    if guard.satisfied_by(letter):
+                        result.add(target)
+            return frozenset(result)
+
+        return advance
+
+    def output_fn(product: Tuple[FrozenSet[object], ...]) -> Verdict:
+        pos_subset, neg_subset = product
+        if not (pos_subset & live_pos):
+            return Verdict.BOTTOM
+        if not (neg_subset & live_neg):
+            return Verdict.TOP
+        return Verdict.INCONCLUSIVE
+
+    machine = determinize(
+        letters=letters,
+        initial_sets=[frozenset(positive.initial), frozenset(negative.initial)],
+        successor_fns=[successor_fn(positive), successor_fn(negative)],
+        output_fn=output_fn,
+    )
+    machine = machine.minimize() if minimize else machine.reachable()
+    return MonitorAutomaton(formula=formula, atoms=atoms, machine=machine)

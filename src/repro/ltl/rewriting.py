@@ -1,0 +1,181 @@
+"""Formula rewriting: negation normal form, expansion of sugar, simplification.
+
+The Büchi tableau construction in :mod:`repro.ltl.buchi` expects its input in
+*negation normal form* (NNF): negations only in front of atoms, and only the
+operators ``&``, ``|``, ``X``, ``U``, ``R`` besides literals.  ``->``, ``<->``,
+``F`` and ``G`` are expanded away.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    FALSE,
+    TRUE,
+    Always,
+    And,
+    Atom,
+    Eventually,
+    FalseConst,
+    Formula,
+    Iff,
+    Implies,
+    Next,
+    Not,
+    Or,
+    Release,
+    TrueConst,
+    Until,
+)
+
+__all__ = ["expand", "negate", "to_nnf", "simplify"]
+
+
+def expand(formula: Formula) -> Formula:
+    """Expand ``->``, ``<->``, ``F`` and ``G`` into the core operators."""
+    if isinstance(formula, (TrueConst, FalseConst, Atom)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(expand(formula.operand))
+    if isinstance(formula, And):
+        return And(expand(formula.left), expand(formula.right))
+    if isinstance(formula, Or):
+        return Or(expand(formula.left), expand(formula.right))
+    if isinstance(formula, Implies):
+        return Or(Not(expand(formula.left)), expand(formula.right))
+    if isinstance(formula, Iff):
+        left = expand(formula.left)
+        right = expand(formula.right)
+        return And(Or(Not(left), right), Or(Not(right), left))
+    if isinstance(formula, Next):
+        return Next(expand(formula.operand))
+    if isinstance(formula, Until):
+        return Until(expand(formula.left), expand(formula.right))
+    if isinstance(formula, Release):
+        return Release(expand(formula.left), expand(formula.right))
+    if isinstance(formula, Eventually):
+        return Until(TRUE, expand(formula.operand))
+    if isinstance(formula, Always):
+        return Release(FALSE, expand(formula.operand))
+    raise TypeError(f"unknown formula node {type(formula).__name__}")
+
+
+def negate(formula: Formula) -> Formula:
+    """Return the NNF of ``!formula`` assuming *formula* is already in core form."""
+    return to_nnf(Not(formula))
+
+
+def to_nnf(formula: Formula) -> Formula:
+    """Convert *formula* to negation normal form.
+
+    Implication/equivalence/F/G are expanded first; negation is then pushed
+    down to the atoms using De Morgan and the temporal dualities
+    ``!(f U g) = !f R !g`` and ``!(f R g) = !f U !g``.
+    """
+    return _nnf(expand(formula))
+
+
+def _nnf(formula: Formula) -> Formula:
+    if isinstance(formula, (TrueConst, FalseConst, Atom)):
+        return formula
+    if isinstance(formula, And):
+        return And(_nnf(formula.left), _nnf(formula.right))
+    if isinstance(formula, Or):
+        return Or(_nnf(formula.left), _nnf(formula.right))
+    if isinstance(formula, Next):
+        return Next(_nnf(formula.operand))
+    if isinstance(formula, Until):
+        return Until(_nnf(formula.left), _nnf(formula.right))
+    if isinstance(formula, Release):
+        return Release(_nnf(formula.left), _nnf(formula.right))
+    if isinstance(formula, Not):
+        inner = formula.operand
+        if isinstance(inner, TrueConst):
+            return FALSE
+        if isinstance(inner, FalseConst):
+            return TRUE
+        if isinstance(inner, Atom):
+            return formula
+        if isinstance(inner, Not):
+            return _nnf(inner.operand)
+        if isinstance(inner, And):
+            return Or(_nnf(Not(inner.left)), _nnf(Not(inner.right)))
+        if isinstance(inner, Or):
+            return And(_nnf(Not(inner.left)), _nnf(Not(inner.right)))
+        if isinstance(inner, Next):
+            return Next(_nnf(Not(inner.operand)))
+        if isinstance(inner, Until):
+            return Release(_nnf(Not(inner.left)), _nnf(Not(inner.right)))
+        if isinstance(inner, Release):
+            return Until(_nnf(Not(inner.left)), _nnf(Not(inner.right)))
+        raise TypeError(f"cannot negate node {type(inner).__name__}")
+    raise TypeError(f"unexpected node {type(formula).__name__} in NNF conversion")
+
+
+def simplify(formula: Formula) -> Formula:
+    """Apply cheap syntactic simplifications to an NNF formula.
+
+    Constant folding (``f & true = f`` etc.), idempotence and absorption of
+    trivially equal operands.  The result is logically equivalent to the
+    input and still in NNF if the input was.
+    """
+    if isinstance(formula, (TrueConst, FalseConst, Atom)):
+        return formula
+    if isinstance(formula, Not):
+        inner = simplify(formula.operand)
+        if isinstance(inner, TrueConst):
+            return FALSE
+        if isinstance(inner, FalseConst):
+            return TRUE
+        if isinstance(inner, Not):
+            return inner.operand
+        return Not(inner)
+    if isinstance(formula, And):
+        left = simplify(formula.left)
+        right = simplify(formula.right)
+        if isinstance(left, FalseConst) or isinstance(right, FalseConst):
+            return FALSE
+        if isinstance(left, TrueConst):
+            return right
+        if isinstance(right, TrueConst):
+            return left
+        if left == right:
+            return left
+        return And(left, right)
+    if isinstance(formula, Or):
+        left = simplify(formula.left)
+        right = simplify(formula.right)
+        if isinstance(left, TrueConst) or isinstance(right, TrueConst):
+            return TRUE
+        if isinstance(left, FalseConst):
+            return right
+        if isinstance(right, FalseConst):
+            return left
+        if left == right:
+            return left
+        return Or(left, right)
+    if isinstance(formula, Next):
+        inner = simplify(formula.operand)
+        if isinstance(inner, (TrueConst, FalseConst)):
+            return inner
+        return Next(inner)
+    if isinstance(formula, Until):
+        left = simplify(formula.left)
+        right = simplify(formula.right)
+        if isinstance(right, (TrueConst, FalseConst)):
+            # f U true = true ; f U false = false
+            return right
+        if left == right:
+            return left
+        return Until(left, right)
+    if isinstance(formula, Release):
+        left = simplify(formula.left)
+        right = simplify(formula.right)
+        if isinstance(right, (TrueConst, FalseConst)):
+            # f R true = true ; f R false = false
+            return right
+        if left == right:
+            return left
+        return Release(left, right)
+    if isinstance(formula, (Implies, Iff, Eventually, Always)):
+        return simplify(expand(formula))
+    raise TypeError(f"unknown formula node {type(formula).__name__}")

@@ -1,0 +1,29 @@
+"""The three-valued verdict domain of LTL3."""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Verdict"]
+
+
+class Verdict(enum.Enum):
+    """Evaluation verdict of an LTL3 monitor.
+
+    ``TOP`` (⊤) means every infinite extension of the observed finite trace
+    satisfies the property, ``BOTTOM`` (⊥) means every extension violates it,
+    and ``INCONCLUSIVE`` (?) means both satisfying and violating extensions
+    exist.
+    """
+
+    TOP = "⊤"
+    BOTTOM = "⊥"
+    INCONCLUSIVE = "?"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def is_final(self) -> bool:
+        """``True`` for ⊤ and ⊥ — verdicts that can never change again."""
+        return self is not Verdict.INCONCLUSIVE

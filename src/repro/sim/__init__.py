@@ -1,0 +1,28 @@
+"""Discrete-event simulation of monitored distributed programs.
+
+Public API
+----------
+* :class:`Simulator` — the discrete-event kernel.
+* :class:`SimulatedNetwork` — latency/jitter FIFO network between monitors.
+* :class:`WorkloadConfig` / :func:`generate_computation` — the case-study
+  trace model of Section 5.2 (normal-distributed event and communication
+  wait times, propositions ``p``/``q`` per process).
+* :func:`random_computation` — small random computations for testing.
+* :func:`simulate_monitored_run` / :class:`SimulationReport` — a full
+  monitored run with timing-based metrics.
+"""
+
+from .engine import Simulator
+from .network import SimulatedNetwork
+from .runner import SimulationReport, simulate_monitored_run
+from .workload import WorkloadConfig, generate_computation, random_computation
+
+__all__ = [
+    "Simulator",
+    "SimulatedNetwork",
+    "SimulationReport",
+    "simulate_monitored_run",
+    "WorkloadConfig",
+    "generate_computation",
+    "random_computation",
+]

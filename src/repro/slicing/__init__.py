@@ -1,0 +1,13 @@
+"""Computation slicing for conjunctive predicate detection.
+
+Public API
+----------
+* :func:`least_consistent_cut` — least consistent cut at/above a start cut
+  satisfying a conjunctive guard (the slicing primitive used by the monitor).
+* :func:`satisfying_cuts` — enumeration-based reference implementation.
+* :class:`Slice` — compact slice representation via join-irreducible cuts.
+"""
+
+from .slicer import Slice, least_consistent_cut, satisfying_cuts
+
+__all__ = ["Slice", "least_consistent_cut", "satisfying_cuts"]

@@ -1,0 +1,114 @@
+"""Tests for the lattice oracle and the centralized baseline."""
+
+import pytest
+
+from repro.core import CentralizedMonitor, LatticeOracle
+from repro.distributed import running_example, running_example_registry
+from repro.ltl import PropositionRegistry, Verdict, build_monitor
+from repro.sim import random_computation
+
+
+@pytest.fixture(scope="module")
+def example():
+    return running_example()
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return running_example_registry()
+
+
+@pytest.fixture(scope="module")
+def psi(registry):
+    # ψ = G((x1>=5) -> ((x2>=15) U (x1=10)))  (Fig. 2.3)
+    return build_monitor("G({x1>=5} -> ({x2>=15} U {x1=10}))", atoms=registry.names)
+
+
+class TestLatticeOracle:
+    def test_chapter3_analysis_of_running_example(self, example, registry, psi):
+        """Fig. 3.1: paths through <e1_1> evaluate to ⊥ while the path that
+        delays x1>=5 until after x2>=15 stays inconclusive."""
+        oracle = LatticeOracle(example, psi, registry)
+        result = oracle.evaluate()
+        assert result.verdicts == frozenset({Verdict.BOTTOM, Verdict.INCONCLUSIVE})
+        assert result.num_paths == 15
+
+    def test_reachable_states_cover_every_cut(self, example, registry, psi):
+        oracle = LatticeOracle(example, psi, registry)
+        reachable = oracle.reachable_states()
+        assert set(reachable) == set(oracle.lattice.cuts())
+        assert all(states for states in reachable.values())
+
+    def test_dp_matches_path_enumeration(self, example, registry, psi):
+        oracle = LatticeOracle(example, psi, registry)
+        result = oracle.evaluate()
+        assert result.verdicts == oracle.verdicts_by_path_enumeration()
+
+    def test_dp_matches_enumeration_on_random_computations(self):
+        for seed in range(8):
+            computation = random_computation(2 + seed % 2, 6, seed=seed)
+            registry = PropositionRegistry.boolean_grid(computation.num_processes)
+            automaton = build_monitor("G(P0.p U P1.q)", atoms=registry.names)
+            oracle = LatticeOracle(computation, automaton, registry)
+            assert oracle.evaluate().verdicts == oracle.verdicts_by_path_enumeration()
+
+    def test_verdict_of_single_path(self, example, registry, psi):
+        oracle = LatticeOracle(example, psi, registry)
+        path = next(oracle.lattice.paths())
+        assert oracle.verdict_of_path(path) in {Verdict.BOTTOM, Verdict.INCONCLUSIVE}
+
+    def test_pivot_cuts_are_consistent_cuts(self, example, registry, psi):
+        oracle = LatticeOracle(example, psi, registry)
+        result = oracle.evaluate()
+        for cut in result.pivot_cuts:
+            assert example.is_consistent_cut(cut)
+
+    def test_conclusive_verdicts_property(self, example, registry, psi):
+        result = LatticeOracle(example, psi, registry).evaluate()
+        assert result.conclusive_verdicts == frozenset({Verdict.BOTTOM})
+
+    def test_letters_are_cached(self, example, registry, psi):
+        oracle = LatticeOracle(example, psi, registry)
+        first = oracle.letter_of((2, 2))
+        second = oracle.letter_of((2, 2))
+        assert first is second
+
+
+class TestCentralizedMonitor:
+    def test_matches_oracle_on_running_example(self, example, registry, psi):
+        oracle = LatticeOracle(example, psi, registry).evaluate()
+        result = CentralizedMonitor.monitor_computation(example, psi, registry)
+        assert result.verdicts == oracle.verdicts
+        assert result.final_states == oracle.final_states
+
+    def test_one_message_per_event(self, example, registry, psi):
+        result = CentralizedMonitor.monitor_computation(example, psi, registry)
+        assert result.messages == example.num_events
+
+    def test_matches_oracle_on_random_computations(self):
+        for seed in range(10):
+            n = 2 + seed % 3
+            computation = random_computation(n, 7, seed=seed)
+            registry = PropositionRegistry.boolean_grid(n)
+            automaton = build_monitor("F(P0.p & P1.p)", atoms=registry.names)
+            oracle = LatticeOracle(computation, automaton, registry).evaluate()
+            result = CentralizedMonitor.monitor_computation(
+                computation, automaton, registry
+            )
+            assert result.verdicts == oracle.verdicts
+
+    def test_tracked_cuts_grow_with_concurrency(self, example, registry, psi):
+        result = CentralizedMonitor.monitor_computation(example, psi, registry)
+        assert result.total_tracked_cuts == 17  # the full lattice of Fig 2.2b
+        assert result.max_tracked_cuts >= result.total_tracked_cuts
+
+    def test_declared_final_verdicts(self, example, registry, psi):
+        monitor = CentralizedMonitor(
+            example.num_processes,
+            psi,
+            registry,
+            [registry.local_letter(i, example.initial_states[i]) for i in range(2)],
+        )
+        for event in sorted(example.all_events(), key=lambda e: e.timestamp):
+            monitor.receive_event(event)
+        assert Verdict.BOTTOM in monitor.declared

@@ -1,0 +1,54 @@
+"""Smoke tests: every example script runs end-to-end and asserts internally."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+def test_examples_directory_present():
+    assert EXAMPLES_DIR.is_dir()
+    names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert {"quickstart.py", "swarm_coordination.py", "distributed_commit.py",
+            "case_study_experiment.py"} <= names
+
+
+def test_quickstart_runs():
+    result = run_example("quickstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "matches the oracle" in result.stdout
+    assert "⊥" in result.stdout
+
+
+def test_swarm_coordination_runs():
+    result = run_example("swarm_coordination.py", "3")
+    assert result.returncode == 0, result.stderr
+    assert "Mission nominal" in result.stdout
+    assert "disarm glitch" in result.stdout
+
+
+def test_distributed_commit_runs():
+    result = run_example("distributed_commit.py")
+    assert result.returncode == 0, result.stderr
+    assert "atomicity" in result.stdout
+    assert "centralized baseline" in result.stdout
+
+
+@pytest.mark.slow
+def test_case_study_experiment_runs():
+    result = run_example("case_study_experiment.py", "B", "3")
+    assert result.returncode == 0, result.stderr
+    assert "Monitor automaton" in result.stdout
+    assert "Table 5.1" in result.stdout

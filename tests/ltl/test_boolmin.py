@@ -1,0 +1,107 @@
+"""Tests for the Quine–McCluskey boolean minimiser."""
+
+import itertools
+
+import pytest
+
+from repro.ltl import implicant_to_str, minimize_letters
+
+
+def truth_table(variables, implicants):
+    """The set of assignments (as frozensets) covered by a list of implicants."""
+    covered = set()
+    for bits in itertools.product((False, True), repeat=len(variables)):
+        assignment = dict(zip(variables, bits))
+        letter = frozenset(v for v, b in assignment.items() if b)
+        for implicant in implicants:
+            if all(assignment[v] == val for v, val in implicant.items()):
+                covered.add(letter)
+                break
+    return covered
+
+
+class TestMinimizeLetters:
+    def test_empty_input_is_false(self):
+        assert minimize_letters([], ["a", "b"]) == []
+
+    def test_full_truth_table_is_true(self):
+        letters = [frozenset(), frozenset({"a"}), frozenset({"b"}), frozenset({"a", "b"})]
+        assert minimize_letters(letters, ["a", "b"]) == [{}]
+
+    def test_single_minterm(self):
+        result = minimize_letters([frozenset({"a"})], ["a", "b"])
+        assert result == [{"a": True, "b": False}]
+
+    def test_single_variable_dont_care(self):
+        letters = [frozenset({"a"}), frozenset({"a", "b"})]
+        assert minimize_letters(letters, ["a", "b"]) == [{"a": True}]
+
+    def test_negated_variable(self):
+        letters = [frozenset(), frozenset({"b"})]
+        assert minimize_letters(letters, ["a", "b"]) == [{"a": False}]
+
+    def test_nand_needs_two_implicants(self):
+        # !(a & b) = !a | !b
+        letters = [frozenset(), frozenset({"a"}), frozenset({"b"})]
+        result = minimize_letters(letters, ["a", "b"])
+        assert len(result) == 2
+        assert {"a": False} in result and {"b": False} in result
+
+    def test_xor_needs_two_full_terms(self):
+        letters = [frozenset({"a"}), frozenset({"b"})]
+        result = minimize_letters(letters, ["a", "b"])
+        assert sorted(result, key=str) == sorted(
+            [{"a": True, "b": False}, {"a": False, "b": True}], key=str
+        )
+
+    def test_three_variable_consensus(self):
+        # f = a&b | !a&c  (minimal SOP has 2 terms; the consensus term b&c is redundant)
+        variables = ["a", "b", "c"]
+        letters = []
+        for bits in itertools.product((False, True), repeat=3):
+            a, b, c = bits
+            if (a and b) or ((not a) and c):
+                letters.append(frozenset(v for v, x in zip(variables, bits) if x))
+        result = minimize_letters(letters, variables)
+        assert len(result) == 2
+
+    @pytest.mark.parametrize("num_vars", [1, 2, 3, 4])
+    def test_cover_exactness_exhaustive(self, num_vars):
+        """The minimised cover is logically equivalent to the input set."""
+        variables = [f"v{i}" for i in range(num_vars)]
+        all_letters = [
+            frozenset(v for v, b in zip(variables, bits) if b)
+            for bits in itertools.product((False, True), repeat=num_vars)
+        ]
+        import random
+
+        rng = random.Random(42 + num_vars)
+        for _ in range(20):
+            chosen = [letter for letter in all_letters if rng.random() < 0.5]
+            implicants = minimize_letters(chosen, variables)
+            assert truth_table(variables, implicants) == set(chosen)
+
+    def test_letters_with_unknown_atoms_are_projected(self):
+        # atoms outside the variable list are ignored
+        letters = [frozenset({"a", "zzz"}), frozenset({"a"})]
+        assert minimize_letters(letters, ["a"]) == [{"a": True}]
+
+    def test_disjoint_conjunction_structure(self):
+        # !(a&b) & !(c&d) has minimal SOP with exactly 4 products
+        variables = ["a", "b", "c", "d"]
+        letters = []
+        for bits in itertools.product((False, True), repeat=4):
+            a, b, c, d = bits
+            if not (a and b) and not (c and d):
+                letters.append(frozenset(v for v, x in zip(variables, bits) if x))
+        result = minimize_letters(letters, variables)
+        assert len(result) == 4
+        assert truth_table(variables, result) == set(letters)
+
+
+class TestImplicantToStr:
+    def test_true(self):
+        assert implicant_to_str({}) == "true"
+
+    def test_mixed_literals_sorted(self):
+        assert implicant_to_str({"b": False, "a": True}) == "a & !b"

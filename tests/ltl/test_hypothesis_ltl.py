@@ -1,0 +1,141 @@
+"""Property-based tests (hypothesis) for the LTL stack."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.ltl import (
+    Verdict,
+    all_assignments,
+    build_monitor,
+    evaluate_lasso,
+    minimize_letters,
+    parse,
+    simplify,
+    to_nnf,
+)
+from repro.ltl.ast import (
+    Always,
+    And,
+    Atom,
+    Eventually,
+    Formula,
+    Implies,
+    Next,
+    Not,
+    Or,
+    Release,
+    Until,
+)
+
+ATOMS = ("p", "q", "r")
+
+
+def formulas(max_depth=3):
+    """Hypothesis strategy generating random LTL formulas over ATOMS."""
+    leaves = st.sampled_from([Atom(a) for a in ATOMS])
+
+    def extend(children):
+        unary = st.builds(
+            lambda op, f: op(f),
+            st.sampled_from([Not, Next, Eventually, Always]),
+            children,
+        )
+        binary = st.builds(
+            lambda op, f, g: op(f, g),
+            st.sampled_from([And, Or, Implies, Until, Release]),
+            children,
+            children,
+        )
+        return st.one_of(unary, binary)
+
+    return st.recursive(leaves, extend, max_leaves=6)
+
+
+letters_strategy = st.frozensets(st.sampled_from(ATOMS))
+traces = st.lists(letters_strategy, min_size=0, max_size=4)
+loops = st.lists(letters_strategy, min_size=1, max_size=3)
+
+
+class TestRewritingProperties:
+    @given(formulas(), traces, loops)
+    @settings(max_examples=150, deadline=None)
+    def test_nnf_preserves_lasso_semantics(self, formula, prefix, loop):
+        assert evaluate_lasso(formula, prefix, loop) == evaluate_lasso(
+            to_nnf(formula), prefix, loop
+        )
+
+    @given(formulas(), traces, loops)
+    @settings(max_examples=150, deadline=None)
+    def test_simplify_preserves_lasso_semantics(self, formula, prefix, loop):
+        simplified = simplify(to_nnf(formula))
+        assert evaluate_lasso(formula, prefix, loop) == evaluate_lasso(
+            simplified, prefix, loop
+        )
+
+    @given(formulas(), traces, loops)
+    @settings(max_examples=100, deadline=None)
+    def test_negation_flips_satisfaction(self, formula, prefix, loop):
+        assert evaluate_lasso(formula, prefix, loop) != evaluate_lasso(
+            Not(formula), prefix, loop
+        )
+
+
+class TestMonitorProperties:
+    @given(formulas(), traces, loops)
+    @settings(max_examples=60, deadline=None)
+    def test_top_verdict_implies_all_extensions_satisfy(self, formula, prefix, loop):
+        """Soundness of ⊤/⊥: a conclusive verdict on a finite trace is
+        respected by every (sampled) infinite extension."""
+        monitor = build_monitor(formula, atoms=ATOMS)
+        verdict = monitor.verdict_of(prefix)
+        holds = evaluate_lasso(formula, prefix, loop)
+        if verdict is Verdict.TOP:
+            assert holds
+        elif verdict is Verdict.BOTTOM:
+            assert not holds
+
+    @given(formulas(), traces)
+    @settings(max_examples=60, deadline=None)
+    def test_final_verdicts_are_stable(self, formula, trace):
+        monitor = build_monitor(formula, atoms=ATOMS)
+        state = monitor.initial_state
+        seen_final = None
+        for letter in trace:
+            state = monitor.step(state, letter)
+            verdict = monitor.verdict(state)
+            if seen_final is not None:
+                assert verdict is seen_final
+            elif verdict.is_final:
+                seen_final = verdict
+
+    @given(formulas(), traces)
+    @settings(max_examples=40, deadline=None)
+    def test_firing_conjunctive_transitions_agree_on_target(self, formula, trace):
+        monitor = build_monitor(formula, atoms=ATOMS)
+        state = monitor.initial_state
+        for letter in trace:
+            candidates = [
+                t
+                for t in monitor.transitions
+                if t.source == state and t.guard_satisfied(letter)
+            ]
+            assert len(candidates) >= 1
+            assert {t.target for t in candidates} == {monitor.step(state, letter)}
+            state = candidates[0].target
+
+
+class TestBoolminProperties:
+    @given(st.sets(st.frozensets(st.sampled_from(("a", "b", "c", "d")))))
+    @settings(max_examples=200, deadline=None)
+    def test_cover_is_exact(self, letters):
+        variables = ("a", "b", "c", "d")
+        implicants = minimize_letters(letters, variables)
+        covered = set()
+        for assignment in all_assignments(variables):
+            for implicant in implicants:
+                if all(
+                    (var in assignment) == value for var, value in implicant.items()
+                ):
+                    covered.add(assignment)
+                    break
+        assert covered == set(letters)

@@ -1,0 +1,193 @@
+"""Tests for LTL3 monitor synthesis (both construction methods)."""
+
+import itertools
+
+import pytest
+
+from repro.ltl import (
+    Verdict,
+    all_assignments,
+    build_monitor,
+    ltl3_bruteforce,
+    parse,
+)
+
+
+def w(*names):
+    return [frozenset(name) for name in names]
+
+
+class TestRunningExample:
+    """The monitor of Fig. 2.3: ψ = G((x1>=5) -> ((x2>=15) U (x1=10)))."""
+
+    @pytest.fixture(scope="class")
+    def monitor(self):
+        return build_monitor("G(a -> (b U c))")  # a=x1>=5, b=x2>=15, c=x1=10
+
+    def test_three_states(self, monitor):
+        assert monitor.num_states == 3
+
+    def test_initial_verdict_inconclusive(self, monitor):
+        assert monitor.verdict(monitor.initial_state) is Verdict.INCONCLUSIVE
+
+    def test_has_bottom_state_but_no_top(self, monitor):
+        verdicts = {monitor.verdict(s) for s in monitor.states}
+        assert Verdict.BOTTOM in verdicts
+        assert Verdict.TOP not in verdicts
+
+    def test_violating_trace(self, monitor):
+        # x1 >= 5 with x2 < 15 and x1 != 10 => violation
+        assert monitor.verdict_of(w("a")) is Verdict.BOTTOM
+
+    def test_pending_until(self, monitor):
+        assert monitor.verdict_of(w("ab")) is Verdict.INCONCLUSIVE
+
+    def test_until_discharged(self, monitor):
+        assert monitor.verdict_of(w("ab", "c")) is Verdict.INCONCLUSIVE
+
+    def test_bottom_is_trap(self, monitor):
+        state = monitor.run(w("a"))
+        for letter in all_assignments(monitor.atoms):
+            assert monitor.step(state, letter) == state
+
+    def test_final_state_marked(self, monitor):
+        assert monitor.is_final(monitor.run(w("a")))
+        assert not monitor.is_final(monitor.initial_state)
+
+
+class TestVerdictsAgainstBruteforce:
+    FORMULAS = [
+        "G p",
+        "F p",
+        "p U q",
+        "p R q",
+        "X p",
+        "X X p",
+        "G(p -> F q)",
+        "G(p -> (q U r))",
+        "F(p & q)",
+        "(F p) & (F q)",
+        "(G p) | (G q)",
+        "p U (q U r)",
+        "G(p | q)",
+        "!(p U q)",
+    ]
+
+    @pytest.mark.parametrize("text", FORMULAS)
+    @pytest.mark.parametrize("method", ["automaton", "progression"])
+    def test_monitor_matches_bruteforce_on_short_traces(self, text, method):
+        formula = parse(text)
+        monitor = build_monitor(formula, method=method)
+        letters = all_assignments(monitor.atoms)
+        for length in range(0, 3):
+            for trace in itertools.product(letters, repeat=length):
+                expected = ltl3_bruteforce(formula, list(trace), atoms=monitor.atoms,
+                                           max_prefix=2, max_loop=2)
+                got = monitor.verdict_of(list(trace))
+                assert got is expected, f"{text} on {trace}: {got} != {expected}"
+
+    @pytest.mark.parametrize("text", FORMULAS)
+    def test_verdicts_are_monotone(self, text):
+        """Once ⊤ or ⊥ is reached the verdict never changes (Definition 11)."""
+        monitor = build_monitor(text)
+        letters = all_assignments(monitor.atoms)
+        for state in monitor.states:
+            if monitor.is_final(state):
+                for letter in letters:
+                    assert monitor.step(state, letter) == state
+
+    @pytest.mark.parametrize("text", FORMULAS)
+    def test_methods_agree(self, text):
+        """The progression machine and the Büchi-based machine compute the
+        same verdict on every short trace."""
+        reference = build_monitor(text, method="automaton")
+        progression = build_monitor(text, method="progression", minimize=False)
+        letters = all_assignments(reference.atoms)
+        for length in range(0, 3):
+            for trace in itertools.product(letters, repeat=length):
+                assert reference.verdict_of(list(trace)) is progression.verdict_of(
+                    list(trace)
+                )
+
+
+class TestTransitionView:
+    def test_deterministic_cover(self):
+        """For every state and letter at least one conjunctive transition fires
+        and all firing transitions agree on the target (determinism)."""
+        monitor = build_monitor("G(a -> (b U c))")
+        letters = all_assignments(monitor.atoms)
+        for state in monitor.states:
+            outgoing = monitor.outgoing_transitions(state) + monitor.self_loop_transitions(state)
+            for letter in letters:
+                firing = [t for t in outgoing if t.guard_satisfied(letter)]
+                assert len(firing) >= 1
+                assert {t.target for t in firing} == {monitor.step(state, letter)}
+
+    def test_transition_ids_unique(self):
+        monitor = build_monitor("G((a & b) U (c & d))")
+        ids = [t.transition_id for t in monitor.transitions]
+        assert len(ids) == len(set(ids))
+
+    def test_enabled_transition_lookup(self):
+        monitor = build_monitor("F p")
+        t = monitor.enabled_transition(monitor.initial_state, frozenset({"p"}))
+        assert t is not None
+        assert monitor.verdict(t.target) is Verdict.TOP
+
+    def test_self_loop_vs_outgoing_partition(self):
+        monitor = build_monitor("G((a & b) U (c & d))")
+        for t in monitor.transitions:
+            if t.is_self_loop:
+                assert t in monitor.self_loop_transitions(t.source)
+            else:
+                assert t in monitor.outgoing_transitions(t.source)
+
+    def test_counts_sum(self):
+        monitor = build_monitor("G(a -> (b U c))")
+        counts = monitor.transition_counts()
+        assert counts["total"] == counts["outgoing"] + counts["self_loops"]
+
+    def test_describe_contains_states_and_guards(self):
+        monitor = build_monitor("F p")
+        text = monitor.describe()
+        assert "verdict" in text
+        assert "-->" in text
+
+
+class TestAlphabetExtension:
+    def test_extra_atoms_allowed(self):
+        monitor = build_monitor("F p", atoms=["p", "q"])
+        assert monitor.atoms == ("p", "q")
+        assert monitor.verdict_of([frozenset({"q"})]) is Verdict.INCONCLUSIVE
+        assert monitor.verdict_of([frozenset({"p", "q"})]) is Verdict.TOP
+
+    def test_missing_atoms_rejected(self):
+        with pytest.raises(ValueError):
+            build_monitor("p & q", atoms=["p"])
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            build_monitor("p", method="magic")
+
+    def test_letters_may_contain_foreign_atoms(self):
+        monitor = build_monitor("F p")
+        assert monitor.verdict_of([frozenset({"p", "unrelated"})]) is Verdict.TOP
+
+
+class TestPaperTable51:
+    """Transition counts of the experimental automata (progression method)."""
+
+    CASES = [
+        ("G(P0.p U P1.p)", (7, 4, 3)),                               # A, 2 processes
+        ("F(P0.p & P1.p)", (4, 1, 3)),                               # B, 2 processes
+        ("G((P0.p & P1.p) U (P0.q & P1.q))", (15, 11, 4)),           # D, 2 processes
+        ("F(P0.p & P1.p & P0.q & P1.q)", (6, 1, 5)),                 # E, 2 processes
+        ("G(P0.p U (P1.p & P2.p))", (11, 7, 4)),                     # A/C, 3 processes
+        ("G((P0.p & P1.p) U (P2.p & P3.p))", (15, 11, 4)),           # A, 4 processes
+    ]
+
+    @pytest.mark.parametrize("text, expected", CASES)
+    def test_transition_counts_match_table(self, text, expected):
+        monitor = build_monitor(text, method="progression", minimize=False)
+        counts = monitor.transition_counts()
+        assert (counts["total"], counts["outgoing"], counts["self_loops"]) == expected
