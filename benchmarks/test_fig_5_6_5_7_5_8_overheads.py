@@ -15,7 +15,7 @@ computed once per benchmark session (see ``conftest.monitoring_sweep``).
 
 import pytest
 
-from conftest import BENCH_SCALE, series_of
+from conftest import series_of
 from repro.experiments import format_table
 
 

@@ -1,0 +1,83 @@
+"""Benchmarks for the two kernel hot paths of the LTL monitoring stack.
+
+These are the acceptance metrics tracked across PRs through the emitted
+``BENCH_*.json`` artifact (see ``conftest.py``):
+
+* ``build_progression_machine`` — the full case-study automaton sweep
+  (properties A–F at 2–5 processes).  The hash-consed AST with memoized
+  progression makes canonicalisation and ``progress(φ, letter)`` one-time
+  costs per distinct formula instead of per transition.
+* ``run_monitoring_experiment`` — one representative simulated monitoring
+  point (property C, 4 processes) at the default :class:`ExperimentScale`.
+
+The recorded wall-clock numbers land in the JSON document next to the fixed
+seed baseline (:data:`repro.experiments.benchjson.SEED_BASELINE_SECONDS`),
+so the speedup factor is directly computable from the artifact alone.
+"""
+
+import time
+
+import pytest
+
+from conftest import record_timing
+from repro.experiments import DEFAULT_SCALE, run_monitoring_experiment
+from repro.experiments.benchjson import SEED_BASELINE_SECONDS
+from repro.experiments.properties import PROPERTY_NAMES, property_formula
+from repro.ltl import parse
+from repro.ltl.progression import build_progression_machine
+
+
+@pytest.mark.benchmark(group="kernel")
+def test_build_progression_machine_sweep(benchmark):
+    def sweep():
+        machines = []
+        for name in PROPERTY_NAMES:
+            for n in (2, 3, 4, 5):
+                machine, _ = build_progression_machine(parse(property_formula(name, n)))
+                machines.append(machine)
+        return machines
+
+    start = time.perf_counter()
+    machines = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    elapsed = time.perf_counter() - start
+    record_timing(
+        "build_progression_machine",
+        elapsed,
+        group="kernel",
+        replaces="test_build_progression_machine_sweep",
+        machines=len(machines),
+        seed_seconds=SEED_BASELINE_SECONDS["build_progression_machine"],
+    )
+    assert len(machines) == len(PROPERTY_NAMES) * 4
+    # every machine is non-trivial and fully defined over its alphabet
+    for machine in machines:
+        assert machine.num_states >= 2
+        assert all(len(row) == len(machine.letters) for row in machine.delta)
+
+
+@pytest.mark.benchmark(group="kernel")
+def test_run_monitoring_experiment_default_scale(benchmark):
+    start = time.perf_counter()
+    row = benchmark.pedantic(
+        run_monitoring_experiment,
+        args=("C", 4),
+        kwargs={"scale": DEFAULT_SCALE},
+        rounds=1,
+        iterations=1,
+    )
+    elapsed = time.perf_counter() - start
+    record_timing(
+        "run_monitoring_experiment",
+        elapsed,
+        group="kernel",
+        replaces="test_run_monitoring_experiment_default_scale",
+        property="C",
+        processes=4,
+        replications=DEFAULT_SCALE.replications,
+        workers=DEFAULT_SCALE.workers,
+        seed_seconds=SEED_BASELINE_SECONDS["run_monitoring_experiment"],
+    )
+    assert row["property"] == "C"
+    assert row["processes"] == 4
+    assert row["events"] > 0
+    assert row["messages"] > 0

@@ -1,17 +1,11 @@
 """Legacy setup shim.
 
-The environment ships setuptools without the ``wheel`` package, so PEP 660
-editable installs (which require building a wheel) are unavailable offline.
+Some offline environments ship setuptools without the ``wheel`` package, so
+PEP 660 editable installs (which require building a wheel) are unavailable.
 This ``setup.py`` lets ``pip install -e .`` fall back to the legacy editable
-install path.  All metadata lives in ``pyproject.toml``.
+install path.  All project metadata lives in ``pyproject.toml``.
 """
 
-from setuptools import find_packages, setup
+from setuptools import setup
 
-setup(
-    name="repro",
-    version="1.0.0",
-    package_dir={"": "src"},
-    packages=find_packages(where="src"),
-    python_requires=">=3.10",
-)
+setup()

@@ -10,8 +10,8 @@ memory (tracked global states) grows with the full lattice frontier.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set
 
 from ..distributed.computation import Computation, Cut
 from ..distributed.events import Event

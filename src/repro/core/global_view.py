@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Deque, Dict, FrozenSet, List, Optional, Tuple
+from typing import Deque, FrozenSet, List, Optional, Tuple
 
 from collections import deque
 

@@ -33,7 +33,7 @@ Differences from the thesis pseudo-code (documented in DESIGN.md):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..distributed.events import Event
@@ -700,63 +700,86 @@ class DecentralizedMonitor:
             for j in range(n)
         ]
 
-        def letter_at(j: int, position: int) -> Letter:
-            if position == base[j]:
-                return view.letters[j]
-            return entry.scanned_letters[j][position]
-
-        def vc_at(j: int, position: int) -> Tuple[int, ...]:
-            return entry.scanned_vcs[j][position]
-
         cells = 1
         for r in ranges:
             cells *= r + 1
         if cells > _BOX_CELL_LIMIT:
             return self._box_reachable_linear(view, entry), letters_at_target
 
-        def consistent(offsets: Tuple[int, ...]) -> bool:
-            for j in range(n):
-                if offsets[j] == 0:
-                    continue
-                vc = vc_at(j, base[j] + offsets[j])
-                for k in range(n):
-                    if vc[k] > base[k] + offsets[k]:
-                        return False
-            return True
+        # Precompute, per (process, offset): the letter at that position and
+        # the vector clock expressed relative to the base cut.  The inner
+        # consistency check then reduces to integer comparisons on small
+        # tuples, which dominates the cost of large boxes.
+        letters_by: List[List[Letter]] = []
+        rel_vc: List[List[Optional[Tuple[int, ...]]]] = []
+        for j in range(n):
+            col_letters = [view.letters[j]]
+            col_vcs: List[Optional[Tuple[int, ...]]] = [None]
+            for off in range(1, ranges[j] + 1):
+                position = base[j] + off
+                col_letters.append(entry.scanned_letters[j][position])
+                vc = entry.scanned_vcs[j][position]
+                col_vcs.append(tuple(vc[k] - base[k] for k in range(n)))
+            letters_by.append(col_letters)
+            rel_vc.append(col_vcs)
+        active = [j for j in range(n) if ranges[j] > 0]
+        automaton_step = self.automaton.step
+        is_final = self.automaton.is_final
+        n_range = range(n)
 
-        import itertools as _it
-
-        # enumerate box cells by level (total offset) so predecessors come first
-        reachable: Dict[Tuple[int, ...], Set[int]] = {}
+        # Level-synchronous BFS over the *reachable consistent* cells of the
+        # box (all predecessors of a cell sit exactly one level below it, so
+        # each level is complete before it is expanded).  Compared to
+        # enumerating the full product this skips unreachable regions and
+        # touches each cell once, with no predecessor reconstruction.
         origin = tuple([0] * n)
-        reachable[origin] = {view.state}
-        all_offsets = sorted(
-            _it.product(*[range(r + 1) for r in ranges]), key=sum
-        )
-        for offsets in all_offsets:
-            if offsets == origin:
-                continue
-            if not consistent(offsets):
-                continue
-            letter = self._combine(
-                letter_at(j, base[j] + offsets[j]) for j in range(n)
-            )
-            states: Set[int] = set()
-            for j in range(n):
-                if offsets[j] == 0:
-                    continue
-                predecessor = tuple(
-                    o - 1 if k == j else o for k, o in enumerate(offsets)
-                )
-                for state in reachable.get(predecessor, ()):
-                    states.add(self.automaton.step(state, letter))
-            if states:
-                reachable[offsets] = states
-                for state in states:
-                    if self.automaton.is_final(state):
-                        self._declare(state)
         final_offsets = tuple(ranges)
-        return set(reachable.get(final_offsets, set())), letters_at_target
+        final_states: Set[int] = {view.state} if final_offsets == origin else set()
+        inconsistent: Set[Tuple[int, ...]] = set()
+        current: Dict[Tuple[int, ...], Set[int]] = {origin: {view.state}}
+        while current:
+            nxt: Dict[Tuple[int, ...], Set[int]] = {}
+            letters_at: Dict[Tuple[int, ...], Letter] = {}
+            for offsets, states in current.items():
+                for j in active:
+                    oj = offsets[j]
+                    if oj >= ranges[j]:
+                        continue
+                    succ = offsets[:j] + (oj + 1,) + offsets[j + 1 :]
+                    bucket = nxt.get(succ)
+                    if bucket is None:
+                        if succ in inconsistent:
+                            continue
+                        consistent = True
+                        for i in active:
+                            oi = succ[i]
+                            if oi == 0:
+                                continue
+                            rel = rel_vc[i][oi]
+                            for k in n_range:
+                                if rel[k] > succ[k]:  # type: ignore[index]
+                                    consistent = False
+                                    break
+                            if not consistent:
+                                break
+                        if not consistent:
+                            inconsistent.add(succ)
+                            continue
+                        bucket = nxt[succ] = set()
+                        letters_at[succ] = self._combine(
+                            letters_by[i][succ[i]] for i in n_range
+                        )
+                    letter = letters_at[succ]
+                    for state in states:
+                        bucket.add(automaton_step(state, letter))
+            for states in nxt.values():
+                for state in states:
+                    if is_final(state):
+                        self._declare(state)
+            if final_offsets in nxt:
+                final_states = nxt[final_offsets]
+            current = nxt
+        return set(final_states), letters_at_target
 
     def _box_reachable_linear(self, view: GlobalView, entry: TokenEntry) -> Set[int]:
         """Fallback for oversized boxes: replay one causally-consistent

@@ -16,7 +16,7 @@ exactly the same verdict information.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Optional, Sequence, Set
 
 from ..distributed.computation import Computation, Cut
 from ..distributed.lattice import ComputationLattice

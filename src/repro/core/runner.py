@@ -11,8 +11,8 @@ latency and time-based metrics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set
 
 from ..distributed.computation import Computation
 from ..ltl.monitor import MonitorAutomaton, build_monitor

@@ -15,7 +15,7 @@ provided:
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Protocol, Tuple
+from typing import Deque, Dict, Protocol, Tuple
 
 __all__ = ["Transport", "LoopbackNetwork"]
 

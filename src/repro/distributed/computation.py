@@ -16,7 +16,7 @@ clocks and checks FIFO consistency of message matching.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from .clocks import VectorClock

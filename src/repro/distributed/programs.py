@@ -7,7 +7,7 @@ throughout the paper's exposition.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import List
 
 from ..ltl.predicates import Proposition, PropositionRegistry
 from .computation import Computation, ComputationBuilder

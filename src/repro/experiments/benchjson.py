@@ -1,0 +1,151 @@
+"""Machine-readable benchmark artifacts (``BENCH_*.json``).
+
+Both the benchmark suite under ``benchmarks/`` (via its ``conftest``) and the
+``repro.experiments.cli bench`` subcommand emit the same JSON document, so
+local numbers and CI numbers are directly comparable and the speedup of the
+LTL kernel can be tracked across PRs.
+
+Document layout (schema ``repro-bench/1``)::
+
+    {
+      "schema": "repro-bench/1",
+      "created_at": "2026-07-29T12:34:56+00:00",
+      "environment": {"python": "3.11.7", "platform": "...", "cpu_count": 1},
+      "scale": {"process_counts": [2, 3, 4], "events_per_process": 6, ...},
+      "timings": {
+        "build_progression_machine": {"seconds": 0.24, "group": "kernel", ...},
+        "run_monitoring_experiment": {"seconds": 1.02, "group": "kernel", ...},
+        "<pytest benchmark name>":   {"seconds": ..., "group": "fig-5.4"},
+        ...
+      },
+      "reference": {  # fixed baseline measured on the pre-interning kernel
+        "build_progression_machine": 1.318,
+        "run_monitoring_experiment": 4.773
+      }
+    }
+
+``timings`` values carry wall-clock seconds; ``reference`` carries the seed
+baseline for the two acceptance hot paths so any consumer can compute the
+speedup factor without digging through git history.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import asdict
+from typing import Dict, Optional, Sequence
+
+from .harness import DEFAULT_SCALE, ExperimentScale, run_monitoring_experiment
+from .properties import PROPERTY_NAMES, property_formula
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SEED_BASELINE_SECONDS",
+    "collect_kernel_timings",
+    "make_document",
+    "write_bench_json",
+]
+
+SCHEMA_VERSION = "repro-bench/1"
+
+#: Wall-clock seconds of the two acceptance hot paths measured on the seed
+#: (pre-interning) kernel, single fresh process, on the reference dev
+#: container (1 CPU).  Kept verbatim so every emitted artifact can report the
+#: speedup relative to the same fixed point.
+SEED_BASELINE_SECONDS: Dict[str, float] = {
+    "build_progression_machine": 1.318,
+    "run_monitoring_experiment": 4.773,
+}
+
+
+def _environment() -> Dict[str, object]:
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "executable": sys.executable,
+    }
+
+
+def collect_kernel_timings(
+    process_counts: Sequence[int] = (2, 3, 4, 5),
+    properties: Sequence[str] = PROPERTY_NAMES,
+    experiment_point: tuple = ("C", 4),
+    scale: ExperimentScale = DEFAULT_SCALE,
+) -> Dict[str, Dict[str, object]]:
+    """Time the two kernel hot paths of the acceptance criteria.
+
+    ``build_progression_machine`` is timed over the full case-study sweep
+    (every property at every process count); ``run_monitoring_experiment``
+    over one representative experiment point at *scale*.
+    """
+    from ..ltl.parser import parse
+    from ..ltl.progression import build_progression_machine
+
+    start = time.perf_counter()
+    machines = 0
+    for name in properties:
+        for n in process_counts:
+            build_progression_machine(parse(property_formula(name, n)))
+            machines += 1
+    build_seconds = time.perf_counter() - start
+
+    prop, n = experiment_point
+    start = time.perf_counter()
+    run_monitoring_experiment(prop, n, scale)
+    experiment_seconds = time.perf_counter() - start
+
+    return {
+        "build_progression_machine": {
+            "seconds": build_seconds,
+            "group": "kernel",
+            "machines": machines,
+            "properties": list(properties),
+            "process_counts": list(process_counts),
+        },
+        "run_monitoring_experiment": {
+            "seconds": experiment_seconds,
+            "group": "kernel",
+            "property": prop,
+            "processes": n,
+            "replications": scale.replications,
+            "workers": scale.workers,
+        },
+    }
+
+
+def make_document(
+    timings: Dict[str, Dict[str, object]],
+    scale: Optional[ExperimentScale] = None,
+) -> Dict[str, object]:
+    """Assemble a schema ``repro-bench/1`` document from raw timings."""
+    document: Dict[str, object] = {
+        "schema": SCHEMA_VERSION,
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "environment": _environment(),
+        "timings": timings,
+        "reference": dict(SEED_BASELINE_SECONDS),
+    }
+    if scale is not None:
+        document["scale"] = asdict(scale)
+    return document
+
+
+def write_bench_json(
+    path: str,
+    timings: Dict[str, Dict[str, object]],
+    scale: Optional[ExperimentScale] = None,
+) -> Dict[str, object]:
+    """Write a benchmark document to *path* and return it."""
+    document = make_document(timings, scale)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document

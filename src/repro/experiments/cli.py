@@ -6,17 +6,22 @@ Usage (after installing the package)::
     python -m repro.experiments.cli fig5.2
     python -m repro.experiments.cli fig5.4 --processes 2 3 4 --events 6
     python -m repro.experiments.cli fig5.9
+    python -m repro.experiments.cli bench --json BENCH_local.json
     python -m repro.experiments.cli all
 
 Each sub-command prints the corresponding rows/series as an aligned text
-table; the heavier figure sweeps accept ``--processes``, ``--events`` and
-``--replications`` to control the workload scale.
+table; the heavier figure sweeps accept ``--processes``, ``--events``,
+``--replications`` and ``--workers`` to control the workload scale.  The
+``bench`` sub-command times the kernel hot paths and the figure experiments
+and (with ``--json OUT``) writes the same ``repro-bench/1`` JSON document the
+CI benchmark suite emits, so local and CI numbers are directly comparable.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional, Sequence
 
 from .harness import (
@@ -38,6 +43,7 @@ def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
         events_per_process=args.events,
         replications=args.replications,
         max_views_per_state=args.view_budget,
+        workers=args.workers,
     )
 
 
@@ -96,6 +102,56 @@ def _emit_fig_5_9(args: argparse.Namespace) -> None:
     )
 
 
+def _emit_bench(args: argparse.Namespace) -> None:
+    from .benchjson import (
+        SEED_BASELINE_SECONDS,
+        collect_kernel_timings,
+        make_document,
+        write_bench_json,
+    )
+
+    scale = _scale_from_args(args)
+    # The kernel hot paths are always timed at the default ExperimentScale /
+    # full property sweep so the numbers stay comparable with the fixed seed
+    # baseline and across machines; the CLI scale flags only govern the
+    # figure-experiment timings below.
+    timings = collect_kernel_timings()
+    for label, runner in (
+        ("table_5_1", lambda: run_table_5_1(process_counts=tuple(args.processes))),
+        ("fig_5_4_5_5", lambda: run_fig_5_4_5_5(scale=scale)),
+        ("fig_5_9", lambda: run_fig_5_9(
+            num_processes=min(4, max(args.processes)), scale=scale
+        )),
+    ):
+        start = time.perf_counter()
+        runner()
+        timings[label] = {
+            "seconds": time.perf_counter() - start,
+            "group": "figures",
+        }
+
+    rows = []
+    for name, record in timings.items():
+        row = {"name": name, "seconds": record["seconds"], "seed_seconds": "-", "speedup": "-"}
+        baseline = SEED_BASELINE_SECONDS.get(name)
+        if baseline and record["seconds"]:
+            row["seed_seconds"] = f"{baseline:.2f}"
+            row["speedup"] = f"{baseline / record['seconds']:.2f}x"
+        rows.append(row)
+    print("Benchmark timings (wall-clock)")
+    print(format_table(rows, columns=["name", "seconds", "seed_seconds", "speedup"]))
+
+    if args.json:
+        try:
+            write_bench_json(args.json, timings, scale)
+        except OSError as error:
+            raise SystemExit(f"error: cannot write {args.json}: {error}")
+        print(f"\nwrote {args.json}")
+    else:
+        # still validate that the document assembles
+        make_document(timings, scale)
+
+
 _COMMANDS = {
     "table5.1": _emit_table_5_1,
     "fig5.1": _emit_fig_5_1,
@@ -107,6 +163,7 @@ _COMMANDS = {
     "fig5.7": _emit_fig_5_4_5_8,
     "fig5.8": _emit_fig_5_4_5_8,
     "fig5.9": _emit_fig_5_9,
+    "bench": _emit_bench,
 }
 
 
@@ -138,6 +195,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=2,
         help="per-state view budget of each monitor (0 disables the bound)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for experiment replications (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="OUT",
+        default=None,
+        help="bench only: write the repro-bench/1 JSON document to OUT",
     )
     return parser
 

@@ -15,17 +15,16 @@ from __future__ import annotations
 
 import math
 import statistics
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from ..distributed.computation import Computation
-from ..sim.runner import SimulationReport, simulate_monitored_run
+from ..sim.runner import simulate_monitored_run
 from ..sim.workload import WorkloadConfig, generate_computation
 from .properties import (
     PROPERTY_NAMES,
     case_study_monitor,
     case_study_registry,
-    property_formula,
 )
 
 __all__ = [
@@ -59,6 +58,13 @@ class ExperimentScale:
     #: reproduces the paper's lightweight behaviour on long workloads (the
     #: unbounded setting is used by the correctness test-suite instead).
     max_views_per_state: Optional[int] = 2
+    #: worker processes used to run replications in parallel.  ``1`` (the
+    #: default) runs everything in-process; any higher value fans the
+    #: replications of each experiment point out to a
+    #: :class:`concurrent.futures.ProcessPoolExecutor`.  Every replication
+    #: derives its own RNG seed from ``base_seed``, so results are
+    #: byte-identical regardless of the worker count.
+    workers: int = 1
 
 
 DEFAULT_SCALE = ExperimentScale()
@@ -115,23 +121,82 @@ def run_fig_5_2_5_3(num_processes: int = 2) -> Dict[str, str]:
 # ---------------------------------------------------------------------------
 # Simulated monitoring experiments (Figures 5.4 – 5.9)
 # ---------------------------------------------------------------------------
+def _replication_metrics(
+    args: Tuple[str, int, Optional[float], int, float, float, float, float,
+                Mapping[str, bool], Optional[int], int],
+) -> Dict[str, float]:
+    """Run one replication and return its slim metric record.
+
+    Module-level (and fed plain picklable arguments) so it can serve as the
+    task function of a :class:`~concurrent.futures.ProcessPoolExecutor`;
+    the monitor automata are rebuilt lazily per worker process through the
+    ``case_study_monitor`` cache.
+    """
+    (
+        property_name,
+        num_processes,
+        comm_mu,
+        events_per_process,
+        evt_mu,
+        evt_sigma,
+        comm_sigma,
+        truth_probability,
+        initial_valuation,
+        max_views_per_state,
+        seed,
+    ) = args
+    registry = case_study_registry(num_processes)
+    automaton = case_study_monitor(property_name, num_processes)
+    config = WorkloadConfig(
+        num_processes=num_processes,
+        events_per_process=events_per_process,
+        evt_mu=evt_mu,
+        evt_sigma=evt_sigma,
+        comm_mu=comm_mu,
+        comm_sigma=comm_sigma,
+        truth_probability=truth_probability,
+        initial_valuation=dict(initial_valuation),
+        seed=seed,
+    )
+    computation = generate_computation(config)
+    report = simulate_monitored_run(
+        computation,
+        automaton,
+        registry,
+        seed=config.seed,
+        max_views_per_state=max_views_per_state,
+    )
+    return {
+        "events": float(report.total_events),
+        "messages": float(report.monitor_messages),
+        "token_messages": float(report.token_messages),
+        "global_views": float(report.total_global_views),
+        "delayed_events": float(report.delayed_events),
+        "delay_time_pct_per_view": report.delay_time_percentage_per_view,
+    }
+
+
 def run_monitoring_experiment(
     property_name: str,
     num_processes: int,
     scale: ExperimentScale = DEFAULT_SCALE,
     comm_mu: Optional[float] = "default",
     seed_offset: int = 0,
+    pool: Optional[ProcessPoolExecutor] = None,
 ) -> Dict[str, float]:
     """Run the monitored workload for one (property, process-count) point.
 
     Replicates the experiment ``scale.replications`` times with different
     trace seeds (as in Section 5.3, which averages three replications) and
-    returns the averaged metrics.
+    returns the averaged metrics.  With ``scale.workers > 1`` the
+    replications run in a process pool; each replication's RNG seed is a
+    pure function of ``scale.base_seed`` and its index, so the averaged
+    metrics are byte-identical to a serial run.  Sweeps calling this for
+    many points can pass a shared *pool* to amortise worker start-up (see
+    :func:`run_fig_5_4_5_5`); without one, a pool is created per call.
     """
     if comm_mu == "default":
         comm_mu = scale.comm_mu
-    registry = case_study_registry(num_processes)
-    automaton = case_study_monitor(property_name, num_processes)
     # Trace design (Section 5.1): traces keep the property "alive" for most of
     # the run and reach a conclusive state near the end.  For the G(… U …)
     # properties (A, C, D, F) the initial valuation satisfies the obligations
@@ -143,28 +208,30 @@ def run_monitoring_experiment(
     else:
         initial_valuation = {"p": True, "q": True}
         truth_probability = 0.85
-    reports: List[SimulationReport] = []
-    for replication in range(scale.replications):
-        config = WorkloadConfig(
-            num_processes=num_processes,
-            events_per_process=scale.events_per_process,
-            evt_mu=scale.evt_mu,
-            evt_sigma=scale.evt_sigma,
-            comm_mu=comm_mu,
-            comm_sigma=scale.comm_sigma,
-            truth_probability=truth_probability,
-            initial_valuation=initial_valuation,
-            seed=scale.base_seed + 31 * replication + seed_offset,
+    tasks = [
+        (
+            property_name,
+            num_processes,
+            comm_mu,
+            scale.events_per_process,
+            scale.evt_mu,
+            scale.evt_sigma,
+            scale.comm_sigma,
+            truth_probability,
+            initial_valuation,
+            scale.max_views_per_state,
+            scale.base_seed + 31 * replication + seed_offset,
         )
-        computation = generate_computation(config)
-        report = simulate_monitored_run(
-            computation,
-            automaton,
-            registry,
-            seed=config.seed,
-            max_views_per_state=scale.max_views_per_state,
-        )
-        reports.append(report)
+        for replication in range(scale.replications)
+    ]
+    workers = max(1, min(scale.workers, len(tasks)))
+    if pool is not None:
+        reports = list(pool.map(_replication_metrics, tasks))
+    elif workers > 1:
+        with ProcessPoolExecutor(max_workers=workers) as fresh_pool:
+            reports = list(fresh_pool.map(_replication_metrics, tasks))
+    else:
+        reports = [_replication_metrics(task) for task in tasks]
 
     def mean(values: Iterable[float]) -> float:
         values = list(values)
@@ -173,16 +240,16 @@ def run_monitoring_experiment(
     return {
         "property": property_name,
         "processes": num_processes,
-        "events": mean(r.total_events for r in reports),
-        "messages": mean(r.monitor_messages for r in reports),
-        "token_messages": mean(r.token_messages for r in reports),
-        "global_views": mean(r.total_global_views for r in reports),
-        "delayed_events": mean(r.delayed_events for r in reports),
+        "events": mean(r["events"] for r in reports),
+        "messages": mean(r["messages"] for r in reports),
+        "token_messages": mean(r["token_messages"] for r in reports),
+        "global_views": mean(r["global_views"] for r in reports),
+        "delayed_events": mean(r["delayed_events"] for r in reports),
         "delay_time_pct_per_view": mean(
-            r.delay_time_percentage_per_view for r in reports
+            r["delay_time_pct_per_view"] for r in reports
         ),
-        "log_events": math.log10(max(1.0, mean(r.total_events for r in reports))),
-        "log_messages": math.log10(max(1.0, mean(r.monitor_messages for r in reports))),
+        "log_events": math.log10(max(1.0, mean(r["events"] for r in reports))),
+        "log_messages": math.log10(max(1.0, mean(r["messages"] for r in reports))),
     }
 
 
@@ -193,13 +260,19 @@ def run_fig_5_4_5_5(
     """Messages overhead vs. number of processes for all properties.
 
     Figure 5.4 plots properties A–C, Figure 5.5 properties D–F; both use the
-    same experiment, so a single sweep covers them.
+    same experiment, so a single sweep covers them.  With
+    ``scale.workers > 1`` one process pool is shared by every point of the
+    sweep, so worker start-up (and, on spawn-based platforms, automaton
+    reconstruction) is paid once instead of per point.
     """
-    rows = []
-    for name in properties:
-        for n in scale.process_counts:
-            rows.append(run_monitoring_experiment(name, n, scale))
-    return rows
+    points = [(name, n) for name in properties for n in scale.process_counts]
+    if scale.workers > 1 and points:
+        with ProcessPoolExecutor(max_workers=scale.workers) as pool:
+            return [
+                run_monitoring_experiment(name, n, scale, pool=pool)
+                for name, n in points
+            ]
+    return [run_monitoring_experiment(name, n, scale) for name, n in points]
 
 
 def run_fig_5_6(

@@ -21,7 +21,7 @@ F          ``G((P0.p U (P1.p & … & Pn-1.p)) & (P0.q U (P1.q & … & Pn-1.q)))`
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Dict, List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from ..ltl.monitor import MonitorAutomaton, build_monitor
 from ..ltl.predicates import PropositionRegistry

@@ -30,6 +30,21 @@ from .ast import (
     TrueConst,
     Until,
     atoms_of,
+    intern_formula,
+    intern_table_size,
+    mk_always,
+    mk_and,
+    mk_atom,
+    mk_eventually,
+    mk_false,
+    mk_iff,
+    mk_implies,
+    mk_next,
+    mk_not,
+    mk_or,
+    mk_release,
+    mk_true,
+    mk_until,
     subformulas,
 )
 from .boolmin import Implicant, implicant_to_str, minimize_letters
@@ -66,6 +81,21 @@ __all__ = [
     "Until",
     "atoms_of",
     "subformulas",
+    "intern_formula",
+    "intern_table_size",
+    "mk_always",
+    "mk_and",
+    "mk_atom",
+    "mk_eventually",
+    "mk_false",
+    "mk_iff",
+    "mk_implies",
+    "mk_next",
+    "mk_not",
+    "mk_or",
+    "mk_release",
+    "mk_true",
+    "mk_until",
     "Implicant",
     "implicant_to_str",
     "minimize_letters",

@@ -28,7 +28,8 @@ Class           Concrete syntax          Meaning
 
 from __future__ import annotations
 
-from typing import Iterator, Tuple
+import weakref
+from typing import Dict, Iterator, Tuple
 
 __all__ = [
     "Formula",
@@ -49,6 +50,22 @@ __all__ = [
     "FALSE",
     "atoms_of",
     "subformulas",
+    "intern_formula",
+    "intern_table_size",
+    "mk_atom",
+    "mk_true",
+    "mk_false",
+    "mk_not",
+    "mk_and",
+    "mk_or",
+    "mk_next",
+    "mk_until",
+    "mk_release",
+    "mk_implies",
+    "mk_iff",
+    "mk_eventually",
+    "mk_always",
+    "str_key",
 ]
 
 
@@ -57,9 +74,24 @@ class Formula:
 
     Instances compare structurally and hash on their structure, which allows
     formulas to be de-duplicated and used as set members / dict keys.
+
+    Nodes produced by :func:`intern_formula` or the ``mk_*`` smart
+    constructors are additionally *hash-consed*: structurally equal interned
+    formulas are the very same object, so equality degenerates to a pointer
+    comparison and per-node caches (cached hash, cached textual form, the
+    memoized progression table of :mod:`repro.ltl.progression`) are shared by
+    every use of the formula.
     """
 
-    __slots__ = ("_hash",)
+    __slots__ = (
+        "_hash",
+        "_str",
+        "_canon",
+        "_nnf",
+        "_progress_cache",
+        "_is_interned",
+        "__weakref__",
+    )
 
     #: tuple of child formulas, overridden by subclasses
     children: Tuple["Formula", ...] = ()
@@ -68,13 +100,20 @@ class Formula:
         raise NotImplementedError
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return isinstance(other, Formula) and self._key() == other._key()
 
     def __hash__(self) -> int:
         try:
             return self._hash
         except AttributeError:
-            h = hash(self._key())
+            if self.children:
+                # combine the (cached) child hashes instead of materialising
+                # the full recursive key tuple: O(1) amortised per node
+                h = hash((type(self).__name__,) + tuple(hash(c) for c in self.children))
+            else:
+                h = hash(self._key())
             object.__setattr__(self, "_hash", h)
             return h
 
@@ -137,9 +176,12 @@ class FalseConst(Formula):
         return "false"
 
 
-#: Singleton instances used pervasively by the rewriting rules.
+#: Singleton instances used pervasively by the rewriting rules.  They are the
+#: interned representatives of their class (see ``intern_formula`` below).
 TRUE = TrueConst()
 FALSE = FalseConst()
+object.__setattr__(TRUE, "_is_interned", True)
+object.__setattr__(FALSE, "_is_interned", True)
 
 
 class Atom(Formula):
@@ -308,3 +350,198 @@ def subformulas(formula: Formula) -> Tuple[Formula, ...]:
             seen_keys.add(k)
             seen.append(f)
     return tuple(seen)
+
+
+# ---------------------------------------------------------------------------
+# hash-consing (interning)
+# ---------------------------------------------------------------------------
+
+#: Global intern table.  Values are weakly referenced so the table stays
+#: bounded by the set of *live* formulas: when a construction is abandoned
+#: (e.g. :func:`repro.ltl.progression.build_progression_machine` hitting its
+#: ``max_states`` guard) the orphaned entries are reclaimed with their nodes.
+_INTERN_TABLE: "weakref.WeakValueDictionary[tuple, Formula]" = weakref.WeakValueDictionary()
+
+
+def intern_table_size() -> int:
+    """Number of live entries in the global intern table (for tests/metrics)."""
+    return len(_INTERN_TABLE)
+
+
+def _interned(cls, key: tuple, *args) -> Formula:
+    formula = _INTERN_TABLE.get(key)
+    if formula is None:
+        formula = cls(*args)
+        object.__setattr__(formula, "_is_interned", True)
+        _INTERN_TABLE[key] = formula
+    return formula
+
+
+def intern_formula(formula: Formula) -> Formula:
+    """Return the hash-consed representative of *formula* (recursively).
+
+    The result is structurally equal to the input; structurally equal inputs
+    always yield the identical object.  Already-interned nodes are returned
+    unchanged in O(1).
+    """
+    try:
+        if formula._is_interned:
+            return formula
+    except AttributeError:
+        pass
+    if isinstance(formula, TrueConst):
+        return TRUE
+    if isinstance(formula, FalseConst):
+        return FALSE
+    if isinstance(formula, Atom):
+        return _interned(Atom, ("atom", formula.name), formula.name)
+    children = tuple(intern_formula(child) for child in formula.children)
+    cls = type(formula)
+    return _interned(cls, (cls.__name__,) + children, *children)
+
+
+def str_key(formula: Formula) -> str:
+    """``str(formula)``, cached on the node.
+
+    The canonical operand order of ``&``/``|`` sorts by textual form; caching
+    the rendering makes that sort (and the progression state labels) O(1) per
+    node after the first computation.
+    """
+    try:
+        return formula._str
+    except AttributeError:
+        text = str(formula)
+        object.__setattr__(formula, "_str", text)
+        return text
+
+
+# ---------------------------------------------------------------------------
+# smart constructors
+# ---------------------------------------------------------------------------
+#
+# The ``mk_*`` constructors build hash-consed nodes and canonicalise at
+# construction time exactly like :func:`repro.ltl.progression.canonicalize`:
+# ``mk_not`` constant-folds and removes double negation, ``mk_and``/``mk_or``
+# flatten nested conjunctions/disjunctions, de-duplicate operands, sort them
+# by textual form and fold the identity/absorbing constants.  The temporal
+# constructors intern without rewriting (progression never rewrites them
+# either), so the canonical forms produced here coincide with the historical
+# ``canonicalize`` output node for node.
+
+
+def mk_true() -> Formula:
+    """The interned constant ``true``."""
+    return TRUE
+
+
+def mk_false() -> Formula:
+    """The interned constant ``false``."""
+    return FALSE
+
+
+def mk_atom(name: str) -> Formula:
+    """The interned atomic proposition *name*."""
+    return _interned(Atom, ("atom", name), name)
+
+
+def mk_not(operand: Formula) -> Formula:
+    """Interned negation with constant folding and double-negation removal."""
+    if isinstance(operand, TrueConst):
+        return FALSE
+    if isinstance(operand, FalseConst):
+        return TRUE
+    if isinstance(operand, Not):
+        return intern_formula(operand.operand)
+    operand = intern_formula(operand)
+    return _interned(Not, ("Not", operand), operand)
+
+
+def _flatten_into(formula: Formula, cls, out: list) -> None:
+    if isinstance(formula, cls):
+        _flatten_into(formula.left, cls, out)
+        _flatten_into(formula.right, cls, out)
+    else:
+        out.append(formula)
+
+
+def _mk_nary(cls, operands) -> Formula:
+    absorbing = FALSE if cls is And else TRUE
+    identity = TRUE if cls is And else FALSE
+    parts: list = []
+    for operand in operands:
+        _flatten_into(operand, cls, parts)
+    unique: list = []
+    seen = set()
+    for part in parts:
+        part = intern_formula(part)
+        if part is absorbing:
+            return absorbing
+        if part is identity:
+            continue
+        if part not in seen:
+            seen.add(part)
+            unique.append(part)
+    if not unique:
+        return identity
+    unique.sort(key=str_key)
+    result = unique[0]
+    name = cls.__name__
+    for operand in unique[1:]:
+        result = _interned(cls, (name, result, operand), result, operand)
+    return result
+
+
+def mk_and(*operands: Formula) -> Formula:
+    """Interned n-ary conjunction: flattened, de-duplicated, sorted, folded."""
+    return _mk_nary(And, operands)
+
+
+def mk_or(*operands: Formula) -> Formula:
+    """Interned n-ary disjunction: flattened, de-duplicated, sorted, folded."""
+    return _mk_nary(Or, operands)
+
+
+def _mk_unary(cls, operand: Formula) -> Formula:
+    operand = intern_formula(operand)
+    return _interned(cls, (cls.__name__, operand), operand)
+
+
+def _mk_binary(cls, left: Formula, right: Formula) -> Formula:
+    left = intern_formula(left)
+    right = intern_formula(right)
+    return _interned(cls, (cls.__name__, left, right), left, right)
+
+
+def mk_next(operand: Formula) -> Formula:
+    """Interned ``X operand``."""
+    return _mk_unary(Next, operand)
+
+
+def mk_until(left: Formula, right: Formula) -> Formula:
+    """Interned ``left U right``."""
+    return _mk_binary(Until, left, right)
+
+
+def mk_release(left: Formula, right: Formula) -> Formula:
+    """Interned ``left R right``."""
+    return _mk_binary(Release, left, right)
+
+
+def mk_implies(left: Formula, right: Formula) -> Formula:
+    """Interned ``left -> right``."""
+    return _mk_binary(Implies, left, right)
+
+
+def mk_iff(left: Formula, right: Formula) -> Formula:
+    """Interned ``left <-> right``."""
+    return _mk_binary(Iff, left, right)
+
+
+def mk_eventually(operand: Formula) -> Formula:
+    """Interned ``F operand``."""
+    return _mk_unary(Eventually, operand)
+
+
+def mk_always(operand: Formula) -> Formula:
+    """Interned ``G operand``."""
+    return _mk_unary(Always, operand)

@@ -44,6 +44,8 @@ class MooreMachine:
         self._letter_index: Dict[Letter, int] = {
             letter: i for i, letter in enumerate(self.letters)
         }
+        #: atoms the machine's alphabet actually mentions, for projection
+        self._atoms: FrozenSet[str] = frozenset().union(*self.letters) if self.letters else frozenset()
         if len(self.delta) != len(self.outputs):
             raise ValueError("delta and outputs must have the same number of states")
         for row in self.delta:
@@ -55,22 +57,22 @@ class MooreMachine:
         return len(self.outputs)
 
     def step(self, state: int, letter: Letter) -> int:
-        """Successor of *state* after reading *letter*."""
-        try:
-            column = self._letter_index[letter]
-        except KeyError:
-            # Letters may mention atoms outside the machine's alphabet
-            # (e.g. propositions of processes not appearing in the formula);
-            # project the letter onto the known atoms.
-            projected = frozenset(a for a in letter if a in self._atom_universe())
+        """Successor of *state* after reading *letter*.
+
+        Letters may mention atoms outside the machine's alphabet (e.g.
+        propositions of processes not appearing in the formula); they are
+        projected onto the known atoms.  The projection of every letter seen
+        is cached, so the per-transition cost is two dictionary lookups.
+        """
+        column = self._letter_index.get(letter)
+        if column is None:
+            projected = frozenset(a for a in letter if a in self._atoms)
             column = self._letter_index[projected]
+            self._letter_index[letter] = column
         return self.delta[state][column]
 
     def _atom_universe(self) -> FrozenSet[str]:
-        universe: set = set()
-        for letter in self.letters:
-            universe |= letter
-        return frozenset(universe)
+        return self._atoms
 
     def run(self, word: Sequence[Letter], start: int | None = None) -> int:
         """State reached after reading *word* from *start* (default: initial)."""

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from .ast import Formula, Not, atoms_of
-from .boolmin import Implicant, implicant_to_str, minimize_letters
+from .boolmin import implicant_to_str, minimize_letters
 from .buchi import BuchiAutomaton, ltl_to_buchi, nonempty_states
 from .dfa import MooreMachine, determinize
 from .parser import parse

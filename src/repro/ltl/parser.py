@@ -36,6 +36,7 @@ from .ast import (
     Or,
     Release,
     Until,
+    intern_formula,
 )
 
 __all__ = ["parse", "LTLSyntaxError"]
@@ -228,4 +229,6 @@ def parse(text: str) -> Formula:
     if not isinstance(text, str):
         raise TypeError("parse expects a string")
     tokens = _tokenize(text)
-    return _Parser(tokens).parse_formula()
+    # hash-cons the result: parsing the same formula twice (or two formulas
+    # sharing subterms) yields shared interned nodes with cached hashes
+    return intern_formula(_Parser(tokens).parse_formula())

@@ -15,7 +15,7 @@ owned by ``P1`` and ``P2.p`` is owned by ``P2``).  This module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Sequence
+from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Sequence, Tuple
 
 __all__ = ["LocalState", "Proposition", "PropositionRegistry"]
 
@@ -83,6 +83,12 @@ class PropositionRegistry:
             if proposition.name in self._by_name:
                 raise ValueError(f"duplicate proposition name {proposition.name!r}")
             self._by_name[proposition.name] = proposition
+        self._by_owner: Dict[int, List[Proposition]] = {}
+        for proposition in self._by_name.values():
+            self._by_owner.setdefault(proposition.owner, []).append(proposition)
+        #: memo for :meth:`conjuncts_by_process`; guards come from a fixed
+        #: monitor automaton, so the key space is small and bounded
+        self._conjunct_cache: Dict[tuple, Tuple[Dict[str, bool], ...]] = {}
 
     # -- introspection -------------------------------------------------
     @property
@@ -105,13 +111,15 @@ class PropositionRegistry:
 
     def owned_by(self, process: int) -> List[Proposition]:
         """Propositions owned by *process*."""
-        return [p for p in self._by_name.values() if p.owner == process]
+        return list(self._by_owner.get(process, ()))
 
     # -- evaluation ------------------------------------------------------
     def local_letter(self, process: int, local_state: LocalState) -> FrozenSet[str]:
         """The true propositions of *process* in *local_state*."""
         return frozenset(
-            p.name for p in self.owned_by(process) if p.holds_in(local_state)
+            p.name
+            for p in self._by_owner.get(process, ())
+            if p.holds_in(local_state)
         )
 
     def letter_of(self, global_state: Sequence[LocalState]) -> FrozenSet[str]:
@@ -126,19 +134,28 @@ class PropositionRegistry:
     # -- guard decomposition ---------------------------------------------
     def conjuncts_by_process(
         self, guard: Mapping[str, bool], num_processes: int
-    ) -> List[Dict[str, bool]]:
+    ) -> Tuple[Dict[str, bool], ...]:
         """Split a conjunctive transition guard into per-process conjuncts.
 
         The result has one entry per process: the literals of the guard owned
         by that process (empty when the process does not participate in the
         guard).  This mirrors the ``ConjunctsEvaluation`` vector of the
         paper's token objects.
+
+        The decomposition is memoized per (guard, process count) and the
+        *shared* cached tuple is returned: treat it and its dictionaries as
+        read-only, and copy before mutating (as the token entries do).
         """
-        per_process: List[Dict[str, bool]] = [dict() for _ in range(num_processes)]
-        for atom, required in guard.items():
-            owner = self.owner_of(atom)
-            per_process[owner][atom] = required
-        return per_process
+        key = (frozenset(guard.items()), num_processes)
+        cached = self._conjunct_cache.get(key)
+        if cached is None:
+            per_process: List[Dict[str, bool]] = [dict() for _ in range(num_processes)]
+            for atom, required in guard.items():
+                owner = self.owner_of(atom)
+                per_process[owner][atom] = required
+            cached = tuple(per_process)
+            self._conjunct_cache[key] = cached
+        return cached
 
     def participating_processes(self, guard: Mapping[str, bool]) -> FrozenSet[int]:
         """Indices of processes owning at least one literal of *guard*."""

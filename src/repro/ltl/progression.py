@@ -38,6 +38,14 @@ from .ast import (
     TrueConst,
     Until,
     atoms_of,
+    mk_and,
+    mk_atom,
+    mk_next,
+    mk_not,
+    mk_or,
+    mk_release,
+    mk_until,
+    str_key,
 )
 from .dfa import MooreMachine
 from .rewriting import to_nnf
@@ -54,68 +62,53 @@ Letter = FrozenSet[str]
 # ---------------------------------------------------------------------------
 
 
-def _flatten(formula: Formula, cls) -> List[Formula]:
-    """Flatten nested binary ``cls`` nodes into a list of operands."""
-    if isinstance(formula, cls):
-        return _flatten(formula.left, cls) + _flatten(formula.right, cls)
-    return [formula]
+def canonicalize(formula: Formula) -> Formula:
+    """Return the canonical hash-consed representative of *formula*.
 
-
-def _rebuild(operands: List[Formula], cls, identity: Formula) -> Formula:
-    if not operands:
-        return identity
-    result = operands[0]
-    for operand in operands[1:]:
-        result = cls(result, operand)
+    Conjunctions and disjunctions are flattened, deduplicated, sorted by
+    their textual form and constant-folded (this is what the ``mk_*`` smart
+    constructors of :mod:`repro.ltl.ast` do at construction time).  Two
+    formulas that are equal modulo associativity, commutativity and
+    idempotence of ``&``/``|`` canonicalise to the *same object*, so
+    canonical-form equality is a pointer comparison.  The result is memoized
+    on the input node: each distinct formula is canonicalised exactly once.
+    """
+    try:
+        return formula._canon
+    except AttributeError:
+        pass
+    result = _canonicalize(formula)
+    object.__setattr__(result, "_canon", result)  # canonical form is a fixpoint
+    object.__setattr__(formula, "_canon", result)
     return result
 
 
-def canonicalize(formula: Formula) -> Formula:
-    """Return a canonical representative of *formula*.
-
-    Conjunctions and disjunctions are flattened, deduplicated, sorted by
-    their textual form and constant-folded; double work is avoided by
-    recursing bottom-up.  Two formulas that are equal modulo associativity,
-    commutativity and idempotence of ``&``/``|`` canonicalise identically.
-    """
-    if isinstance(formula, (TrueConst, FalseConst, Atom)):
-        return formula
+def _canonicalize(formula: Formula) -> Formula:
+    if isinstance(formula, (TrueConst, FalseConst)):
+        return TRUE if isinstance(formula, TrueConst) else FALSE
+    if isinstance(formula, Atom):
+        return mk_atom(formula.name)
     if isinstance(formula, Not):
-        inner = canonicalize(formula.operand)
-        if isinstance(inner, TrueConst):
-            return FALSE
-        if isinstance(inner, FalseConst):
-            return TRUE
-        if isinstance(inner, Not):
-            return inner.operand
-        return Not(inner)
+        return mk_not(canonicalize(formula.operand))
     if isinstance(formula, Next):
-        return Next(canonicalize(formula.operand))
+        return mk_next(canonicalize(formula.operand))
     if isinstance(formula, Until):
-        return Until(canonicalize(formula.left), canonicalize(formula.right))
+        return mk_until(canonicalize(formula.left), canonicalize(formula.right))
     if isinstance(formula, Release):
-        return Release(canonicalize(formula.left), canonicalize(formula.right))
+        return mk_release(canonicalize(formula.left), canonicalize(formula.right))
     if isinstance(formula, (And, Or)):
         cls = And if isinstance(formula, And) else Or
-        absorbing = FALSE if cls is And else TRUE
-        identity = TRUE if cls is And else FALSE
+        mk = mk_and if cls is And else mk_or
         operands: List[Formula] = []
-        seen = set()
-        for operand in _flatten(formula, cls):
-            operand = canonicalize(operand)
-            if operand == absorbing:
-                return absorbing
-            if operand == identity:
-                continue
-            for part in _flatten(operand, cls):
-                key = str(part)
-                if key not in seen:
-                    seen.add(key)
-                    operands.append(part)
-        if not operands:
-            return identity
-        operands.sort(key=str)
-        return _rebuild(operands, cls, identity)
+        stack = [formula]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, cls):
+                stack.append(node.right)
+                stack.append(node.left)
+            else:
+                operands.append(canonicalize(node))
+        return mk(*operands)
     # any syntactic sugar left: expand via NNF first
     return canonicalize(to_nnf(formula))
 
@@ -130,7 +123,25 @@ def progress(formula: Formula, letter: Letter) -> Formula:
 
     The returned formula holds on an infinite word ``w`` iff the original
     formula holds on ``letter · w``.
+
+    Results are memoized in a per-formula transition cache: progressing the
+    same (hash-consed) formula through the same letter twice costs one dict
+    lookup.  The cache is keyed by the letter, so a formula shared by several
+    machines with different alphabets stays correct.
     """
+    try:
+        cache = formula._progress_cache
+    except AttributeError:
+        cache = {}
+        object.__setattr__(formula, "_progress_cache", cache)
+    successor = cache.get(letter)
+    if successor is None:
+        successor = _progress(formula, letter)
+        cache[letter] = successor
+    return successor
+
+
+def _progress(formula: Formula, letter: Letter) -> Formula:
     if isinstance(formula, TrueConst) or isinstance(formula, FalseConst):
         return formula
     if isinstance(formula, Atom):
@@ -140,28 +151,24 @@ def progress(formula: Formula, letter: Letter) -> Formula:
         inner = formula.operand
         if isinstance(inner, Atom):
             return FALSE if inner.name in letter else TRUE
-        return canonicalize(Not(progress(inner, letter)))
+        return mk_not(progress(inner, letter))
     if isinstance(formula, And):
-        return canonicalize(And(progress(formula.left, letter), progress(formula.right, letter)))
+        return mk_and(progress(formula.left, letter), progress(formula.right, letter))
     if isinstance(formula, Or):
-        return canonicalize(Or(progress(formula.left, letter), progress(formula.right, letter)))
+        return mk_or(progress(formula.left, letter), progress(formula.right, letter))
     if isinstance(formula, Next):
         return canonicalize(formula.operand)
     if isinstance(formula, Until):
         # X U Y  ≡  Y | (X & X(X U Y))
-        return canonicalize(
-            Or(
-                progress(formula.right, letter),
-                And(progress(formula.left, letter), formula),
-            )
+        return mk_or(
+            progress(formula.right, letter),
+            mk_and(progress(formula.left, letter), canonicalize(formula)),
         )
     if isinstance(formula, Release):
         # X R Y  ≡  Y & (X | X(X R Y))
-        return canonicalize(
-            And(
-                progress(formula.right, letter),
-                Or(progress(formula.left, letter), formula),
-            )
+        return mk_and(
+            progress(formula.right, letter),
+            mk_or(progress(formula.left, letter), canonicalize(formula)),
         )
     # sugar: normalise first
     return progress(to_nnf(formula), letter)
@@ -205,7 +212,9 @@ def build_progression_machine(
     letters = tuple(all_assignments(atoms))
 
     initial_formula = canonicalize(to_nnf(formula))
-    index: Dict[str, int] = {str(initial_formula): 0}
+    # canonical formulas are hash-consed, so they key the state index directly
+    # (hash is cached, equality is a pointer comparison)
+    index: Dict[Formula, int] = {initial_formula: 0}
     formulas: List[Formula] = [initial_formula]
     reference_states: List[int] = (
         [verdict_machine.initial] if verdict_machine is not None else []
@@ -221,24 +230,23 @@ def build_progression_machine(
         current_formula = formulas[state]
         for letter in letters:
             successor_formula = progress(current_formula, letter)
-            key = str(successor_formula)
-            if key not in index:
+            if successor_formula not in index:
                 if len(formulas) >= max_states:
                     raise RuntimeError(
                         "formula progression did not converge within "
                         f"{max_states} states for {formula}"
                     )
-                index[key] = len(formulas)
+                index[successor_formula] = len(formulas)
                 formulas.append(successor_formula)
                 if verdict_machine is not None:
                     reference_states.append(
                         verdict_machine.step(reference_states[state], letter)
                     )
-                frontier.append(index[key])
+                frontier.append(index[successor_formula])
             elif verdict_machine is not None:
                 # soundness check: a progressed formula always corresponds to
                 # a unique verdict; detect canonicalisation bugs eagerly.
-                existing = index[key]
+                existing = index[successor_formula]
                 expected = verdict_machine.outputs[reference_states[existing]]
                 actual = verdict_machine.outputs[
                     verdict_machine.step(reference_states[state], letter)
@@ -248,7 +256,7 @@ def build_progression_machine(
                         "progression state reached with two different verdicts; "
                         "canonicalisation is unsound for this formula"
                     )
-            row.append(index[key])
+            row.append(index[successor_formula])
         delta[state] = row
 
     if verdict_machine is not None:
@@ -262,7 +270,7 @@ def build_progression_machine(
         initial=0,
         delta=delta,
         outputs=outputs,
-        state_names=[str(f) for f in formulas],
+        state_names=[str_key(f) for f in formulas],
     )
     return machine, formulas
 

@@ -25,6 +25,7 @@ from .ast import (
     Release,
     TrueConst,
     Until,
+    intern_formula,
 )
 
 __all__ = ["expand", "negate", "to_nnf", "simplify"]
@@ -70,8 +71,19 @@ def to_nnf(formula: Formula) -> Formula:
     Implication/equivalence/F/G are expanded first; negation is then pushed
     down to the atoms using De Morgan and the temporal dualities
     ``!(f U g) = !f R !g`` and ``!(f R g) = !f U !g``.
+
+    The result is hash-consed (see :func:`repro.ltl.ast.intern_formula`) and
+    memoized on the input node, so repeated conversions of the same formula
+    are O(1).
     """
-    return _nnf(expand(formula))
+    try:
+        return formula._nnf
+    except AttributeError:
+        pass
+    result = intern_formula(_nnf(expand(formula)))
+    object.__setattr__(result, "_nnf", result)  # NNF is a fixpoint of to_nnf
+    object.__setattr__(formula, "_nnf", result)
+    return result
 
 
 def _nnf(formula: Formula) -> Formula:

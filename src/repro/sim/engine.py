@@ -12,7 +12,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional
 
 __all__ = ["Simulator"]
 
@@ -33,10 +33,27 @@ class Simulator:
         self.now: float = 0.0
         self.events_executed: int = 0
 
+    #: relative tolerance for the "scheduling at the current instant" check:
+    #: times within one part in 10^12 of ``now`` (well above the float64
+    #: rounding error accumulated by summing delays) are clamped to ``now``.
+    _TIME_EPSILON = 1e-12
+
     def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
-        """Schedule *callback* at absolute simulated time *time*."""
+        """Schedule *callback* at absolute simulated time *time*.
+
+        Scheduling at exactly ``self.now`` is allowed — in particular from
+        within a callback executing at ``now`` — and runs *after* the
+        currently executing callback, in FIFO order with other work scheduled
+        for the same instant.  Because absolute times are often reconstructed
+        by summing float delays, a *time* that undershoots ``now`` by no more
+        than a relative ``_TIME_EPSILON`` is treated as "now" rather than
+        rejected; anything earlier raises :class:`ValueError`.
+        """
         if time < self.now:
-            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+            if self.now - time <= self._TIME_EPSILON * max(1.0, abs(self.now)):
+                time = self.now
+            else:
+                raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
         heapq.heappush(self._queue, _Scheduled(time, next(self._sequence), callback))
 
     def schedule_after(self, delay: float, callback: Callable[[], None]) -> None:

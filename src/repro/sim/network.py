@@ -10,7 +10,6 @@ the communication-overhead figures.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from .engine import Simulator

@@ -23,7 +23,7 @@ fully random computations used by the property-based correctness tests.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..distributed.computation import Computation, ComputationBuilder

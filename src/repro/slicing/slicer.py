@@ -19,23 +19,13 @@ join-irreducible cuts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional
 
 from ..distributed.computation import Computation, Cut
 from ..distributed.lattice import ComputationLattice
 from ..ltl.predicates import PropositionRegistry
 
 __all__ = ["least_consistent_cut", "satisfying_cuts", "Slice"]
-
-
-def _local_conjunct_of(
-    registry: PropositionRegistry, guard: Mapping[str, bool], process: int
-) -> Dict[str, bool]:
-    return {
-        atom: value
-        for atom, value in guard.items()
-        if registry.owner_of(atom) == process
-    }
 
 
 def _conjunct_holds(
@@ -89,7 +79,8 @@ def least_consistent_cut(
     cut = list(start) if start is not None else [0] * n
     if len(cut) != n:
         raise ValueError("start cut arity must match the number of processes")
-    conjuncts = [_local_conjunct_of(registry, guard, i) for i in range(n)]
+    # same memoized per-process decomposition the decentralized monitors use
+    conjuncts = registry.conjuncts_by_process(guard, n)
 
     changed = True
     while changed:

@@ -15,7 +15,7 @@ from repro.experiments import (
     run_monitoring_experiment,
     run_table_5_1,
 )
-from repro.ltl import Verdict, atoms_of, parse
+from repro.ltl import atoms_of, parse
 
 
 SMALL_SCALE = ExperimentScale(

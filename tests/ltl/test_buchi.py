@@ -4,7 +4,6 @@ import pytest
 
 from repro.ltl import (
     Not,
-    all_assignments,
     ltl_to_buchi,
     nonempty_states,
     parse,

@@ -1,31 +1,44 @@
 """Property-based tests (hypothesis) for the LTL stack."""
 
+import gc
+
 import hypothesis.strategies as st
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 
 from repro.ltl import (
     Verdict,
     all_assignments,
     build_monitor,
     evaluate_lasso,
+    intern_formula,
+    intern_table_size,
     minimize_letters,
+    mk_and,
+    mk_not,
+    mk_or,
+    mk_release,
+    mk_until,
     parse,
     simplify,
     to_nnf,
 )
 from repro.ltl.ast import (
+    FALSE,
+    TRUE,
     Always,
     And,
     Atom,
     Eventually,
-    Formula,
+    FalseConst,
     Implies,
     Next,
     Not,
     Or,
     Release,
+    TrueConst,
     Until,
 )
+from repro.ltl.progression import build_progression_machine, canonicalize, progress
 
 ATOMS = ("p", "q", "r")
 
@@ -122,6 +135,247 @@ class TestMonitorProperties:
             assert len(candidates) >= 1
             assert {t.target for t in candidates} == {monitor.step(state, letter)}
             state = candidates[0].target
+
+
+def _fresh(formula):
+    """A structurally equal but non-interned copy of *formula*.
+
+    Rebuilds the tree through the raw class constructors, bypassing both the
+    intern table and the ``mk_*`` canonicalisation — this reconstructs what
+    every formula looked like before the hash-consing layer existed.
+    """
+    if isinstance(formula, TrueConst):
+        return TrueConst()
+    if isinstance(formula, FalseConst):
+        return FalseConst()
+    if isinstance(formula, Atom):
+        return Atom(formula.name)
+    children = [_fresh(child) for child in formula.children]
+    return type(formula)(*children)
+
+
+# -- reference (pre-interning) canonicaliser and progression -----------------
+# A faithful reimplementation of the historical string-keyed algorithm, used
+# to assert that the hash-consed kernel computes identical automata.
+
+
+def _ref_flatten(formula, cls):
+    if isinstance(formula, cls):
+        return _ref_flatten(formula.left, cls) + _ref_flatten(formula.right, cls)
+    return [formula]
+
+
+def _ref_canonicalize(formula):
+    if isinstance(formula, (TrueConst, FalseConst, Atom)):
+        return formula
+    if isinstance(formula, Not):
+        inner = _ref_canonicalize(formula.operand)
+        if isinstance(inner, TrueConst):
+            return FALSE
+        if isinstance(inner, FalseConst):
+            return TRUE
+        if isinstance(inner, Not):
+            return inner.operand
+        return Not(inner)
+    if isinstance(formula, Next):
+        return Next(_ref_canonicalize(formula.operand))
+    if isinstance(formula, Until):
+        return Until(_ref_canonicalize(formula.left), _ref_canonicalize(formula.right))
+    if isinstance(formula, Release):
+        return Release(_ref_canonicalize(formula.left), _ref_canonicalize(formula.right))
+    if isinstance(formula, (And, Or)):
+        cls = And if isinstance(formula, And) else Or
+        absorbing = FALSE if cls is And else TRUE
+        identity = TRUE if cls is And else FALSE
+        operands = []
+        seen = set()
+        for operand in _ref_flatten(formula, cls):
+            operand = _ref_canonicalize(operand)
+            if operand == absorbing:
+                return absorbing
+            if operand == identity:
+                continue
+            for part in _ref_flatten(operand, cls):
+                key = str(part)
+                if key not in seen:
+                    seen.add(key)
+                    operands.append(part)
+        if not operands:
+            return identity
+        operands.sort(key=str)
+        result = operands[0]
+        for operand in operands[1:]:
+            result = cls(result, operand)
+        return result
+    return _ref_canonicalize(to_nnf(formula))
+
+
+def _ref_progress(formula, letter):
+    if isinstance(formula, (TrueConst, FalseConst)):
+        return formula
+    if isinstance(formula, Atom):
+        return TRUE if formula.name in letter else FALSE
+    if isinstance(formula, Not):
+        inner = formula.operand
+        if isinstance(inner, Atom):
+            return FALSE if inner.name in letter else TRUE
+        return _ref_canonicalize(Not(_ref_progress(inner, letter)))
+    if isinstance(formula, And):
+        return _ref_canonicalize(
+            And(_ref_progress(formula.left, letter), _ref_progress(formula.right, letter))
+        )
+    if isinstance(formula, Or):
+        return _ref_canonicalize(
+            Or(_ref_progress(formula.left, letter), _ref_progress(formula.right, letter))
+        )
+    if isinstance(formula, Next):
+        return _ref_canonicalize(formula.operand)
+    if isinstance(formula, Until):
+        return _ref_canonicalize(
+            Or(
+                _ref_progress(formula.right, letter),
+                And(_ref_progress(formula.left, letter), formula),
+            )
+        )
+    if isinstance(formula, Release):
+        return _ref_canonicalize(
+            And(
+                _ref_progress(formula.right, letter),
+                Or(_ref_progress(formula.left, letter), formula),
+            )
+        )
+    return _ref_progress(to_nnf(formula), letter)
+
+
+def _ref_progression_machine(formula, atoms, max_states):
+    """String-keyed progression automaton, exactly as built pre-interning.
+
+    ``max_states`` bounds the construction: the reference algorithm is
+    deliberately unmemoized, so without a cap an unlucky formula draw could
+    grind for minutes.
+    """
+    letters = tuple(all_assignments(atoms))
+    initial = _ref_canonicalize(to_nnf(formula))
+    index = {str(initial): 0}
+    formulas = [initial]
+    delta = []
+    frontier = [0]
+    while frontier:
+        state = frontier.pop(0)
+        while len(delta) <= state:
+            delta.append([])
+        row = []
+        for letter in letters:
+            successor = _ref_progress(formulas[state], letter)
+            key = str(successor)
+            if key not in index:
+                if len(formulas) >= max_states:
+                    raise RuntimeError("reference construction exceeded max_states")
+                index[key] = len(formulas)
+                formulas.append(successor)
+                frontier.append(index[key])
+            row.append(index[key])
+        delta[state] = row
+    return [str(f) for f in formulas], delta
+
+
+class TestInterning:
+    @given(formulas())
+    @settings(max_examples=150, deadline=None)
+    def test_intern_formula_is_canonical_identity(self, formula):
+        interned = intern_formula(formula)
+        assert interned == formula
+        # structurally equal fresh copies intern to the very same object
+        assert intern_formula(_fresh(formula)) is interned
+        assert intern_formula(interned) is interned
+
+    @given(formulas())
+    @settings(max_examples=150, deadline=None)
+    def test_canonicalize_is_idempotent_and_interned(self, formula):
+        canonical = canonicalize(formula)
+        assert canonicalize(canonical) is canonical
+        # the same input always canonicalises to the same object
+        assert canonicalize(_fresh(formula)) is canonical
+
+    @given(formulas(), traces, loops)
+    @settings(max_examples=100, deadline=None)
+    def test_canonicalize_preserves_lasso_semantics(self, formula, prefix, loop):
+        assert evaluate_lasso(formula, prefix, loop) == evaluate_lasso(
+            canonicalize(to_nnf(formula)), prefix, loop
+        )
+
+    @given(formulas())
+    @settings(max_examples=150, deadline=None)
+    def test_mk_constructors_are_idempotent(self, formula):
+        c = canonicalize(to_nnf(formula))
+        # conjunction/disjunction with itself collapses to the same object
+        assert mk_and(c, c) is c
+        assert mk_or(c, c) is c
+        # double negation round-trips to the identical node
+        assert mk_not(mk_not(c)) is c
+        # rebuilding a canonical binary node from its own parts is a no-op
+        if isinstance(c, (And, Or)):
+            mk = mk_and if isinstance(c, And) else mk_or
+            assert mk(c.left, c.right) is c
+        if isinstance(c, Until):
+            assert mk_until(c.left, c.right) is c
+        if isinstance(c, Release):
+            assert mk_release(c.left, c.right) is c
+
+    @given(formulas())
+    @settings(max_examples=40, deadline=None)
+    def test_interned_progression_matches_reference_machine(self, formula):
+        # Bound the comparison: progression automata can blow up, and the
+        # unmemoized reference would grind on such draws.  The interned
+        # builder (cheap) probes the size first; oversized draws are
+        # discarded.  Since both algorithms construct the same state space,
+        # the reference then converges within the same bound — a RuntimeError
+        # from it would itself be a mismatch and fail the test.
+        bound = 64
+        try:
+            machine, state_formulas = build_progression_machine(
+                formula, atoms=ATOMS, max_states=bound
+            )
+        except RuntimeError:
+            assume(False)  # automaton too large to compare cheaply
+        ref_names, ref_delta = _ref_progression_machine(formula, ATOMS, max_states=bound)
+        assert machine.state_names == ref_names
+        assert machine.delta == ref_delta
+        assert [str(f) for f in state_formulas] == ref_names
+
+    @given(formulas(), letters_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_progress_memo_is_stable(self, formula, letter):
+        first = progress(formula, letter)
+        assert progress(formula, letter) is first
+        # a structurally equal canonical formula progresses identically
+        assert progress(canonicalize(to_nnf(formula)), letter) == _ref_progress(
+            _ref_canonicalize(to_nnf(formula)), letter
+        )
+
+    def test_intern_table_bounded_under_max_states_guard(self):
+        # A progression abandoned by the max_states guard must not leak its
+        # intermediate formulas: the intern table holds only weak references,
+        # so the working set is reclaimed once the construction unwinds.
+        # The atoms are unique to this test — a formula shared with other
+        # tests (e.g. a case-study property kept alive by the monitor cache)
+        # would legitimately retain its progression cache.
+        formula = parse(
+            "G((z0 U (z1 & z2 & z3)) & (z4 U (z5 & z6 & z7)))"
+        )
+        gc.collect()
+        before = intern_table_size()
+        try:
+            build_progression_machine(formula, max_states=3)
+            raise AssertionError("expected the max_states guard to trigger")
+        except RuntimeError:
+            pass
+        del formula
+        gc.collect()
+        after = intern_table_size()
+        # everything the aborted construction interned is collectable; only
+        # nodes owned by other live objects (e.g. other tests' caches) remain
+        assert after <= before + 5
 
 
 class TestBoolminProperties:

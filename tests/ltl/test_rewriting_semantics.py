@@ -15,7 +15,7 @@ from repro.ltl import (
     simplify,
     to_nnf,
 )
-from repro.ltl.ast import Always, And, Eventually, Next, Or, Release, Until
+from repro.ltl.ast import And, Next, Or, Release, Until
 from repro.ltl.rewriting import expand, negate
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.ltl import Verdict, build_monitor
+from repro.ltl import Verdict
 from repro.sim import (
     SimulatedNetwork,
     Simulator,
@@ -50,6 +50,43 @@ class TestSimulator:
             simulator.schedule_at(0.5, lambda: None)
         with pytest.raises(ValueError):
             simulator.schedule_after(-1.0, lambda: None)
+
+    def test_schedule_at_now_during_callback_allowed(self):
+        # regression: scheduling at exactly self.now from inside a callback
+        # executing at that instant must be accepted and run afterwards
+        simulator = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            simulator.schedule_at(simulator.now, lambda: order.append("second"))
+
+        simulator.schedule_at(1.5, first)
+        simulator.run()
+        assert order == ["first", "second"]
+        assert simulator.now == 1.5
+
+    def test_schedule_at_clamps_float_rounding_drift(self):
+        # regression: an absolute time reconstructed by summing float delays
+        # can undershoot `now` by one ulp (0.1 + 0.2 = 0.30000000000000004
+        # while the caller computes 0.3); such times are clamped to `now`
+        simulator = Simulator()
+        times = []
+
+        def at_drifted():
+            assert simulator.now == 0.1 + 0.2  # > 0.3
+            simulator.schedule_at(0.3, lambda: times.append(simulator.now))
+
+        simulator.schedule_at(0.1, lambda: simulator.schedule_after(0.2, at_drifted))
+        simulator.run()
+        assert times == [0.1 + 0.2]
+
+    def test_schedule_clearly_in_the_past_still_rejected(self):
+        simulator = Simulator()
+        simulator.schedule_at(1.0, lambda: None)
+        simulator.run()
+        with pytest.raises(ValueError):
+            simulator.schedule_at(1.0 - 1e-6, lambda: None)
 
     def test_run_until(self):
         simulator = Simulator()
