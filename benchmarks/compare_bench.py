@@ -1,0 +1,157 @@
+"""Compare two sets of ``repro-bench/1`` BENCH_*.json documents.
+
+CI runs this after the benchmarks-smoke job: the previous successful main
+run's ``bench-json`` artifact is downloaded into one directory, the current
+run's documents sit in another, and this script pairs them by file name,
+compares every common timing and emits GitHub workflow annotations —
+``::warning::`` for regressions at or above the threshold (default 10%),
+``::notice::`` for comparable improvements.  It is equally usable locally::
+
+    python benchmarks/compare_bench.py --previous prev/ --current .
+
+Exit status is 0 unless ``--fail-threshold`` is given and some timing
+regresses past it (CI keeps the comparison advisory; wall-clock noise on
+shared runners makes a hard gate counterproductive).
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+from collections.abc import Iterable, Sequence
+
+SCHEMA = "repro-bench/1"
+
+
+def load_documents(directory: str) -> dict[str, dict]:
+    """Map ``basename -> parsed document`` for every BENCH_*.json under *directory*."""
+    documents: dict[str, dict] = {}
+    paths = sorted(glob.glob(os.path.join(directory, "BENCH_*.json")))
+    if not paths:
+        # artifact directories sometimes nest the files one level down
+        paths = sorted(
+            glob.glob(os.path.join(directory, "**", "BENCH_*.json"), recursive=True)
+        )
+    for path in paths:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"skipping {path}: {error}", file=sys.stderr)
+            continue
+        if document.get("schema") != SCHEMA:
+            print(f"skipping {path}: not a {SCHEMA} document", file=sys.stderr)
+            continue
+        documents[os.path.basename(path)] = document
+    return documents
+
+
+def compare_timings(
+    previous: dict, current: dict
+) -> list[tuple[str, float, float, float]]:
+    """``(name, old_seconds, new_seconds, ratio)`` for every common timing."""
+    rows = []
+    old_timings = previous.get("timings", {})
+    new_timings = current.get("timings", {})
+    for name in sorted(set(old_timings) & set(new_timings)):
+        old_seconds = float(old_timings[name].get("seconds") or 0.0)
+        new_seconds = float(new_timings[name].get("seconds") or 0.0)
+        if old_seconds <= 0.0 or new_seconds <= 0.0:
+            continue
+        rows.append((name, old_seconds, new_seconds, new_seconds / old_seconds))
+    return rows
+
+
+def annotate(
+    file_name: str,
+    rows: Iterable[tuple[str, float, float, float]],
+    warn_threshold: float,
+    github: bool,
+) -> list[str]:
+    """Print the comparison table; return the names that regressed."""
+    regressions = []
+    print(f"== {file_name}")
+    print(f"{'timing':45} {'prev s':>9} {'curr s':>9} {'delta':>8}")
+    for name, old_seconds, new_seconds, ratio in rows:
+        delta = (ratio - 1.0) * 100.0
+        marker = ""
+        if ratio >= 1.0 + warn_threshold:
+            marker = "  << regression"
+            regressions.append(name)
+            if github:
+                print(
+                    f"::warning title=benchmark regression::{name} "
+                    f"({file_name}): {old_seconds:.3f}s -> {new_seconds:.3f}s "
+                    f"(+{delta:.1f}%, threshold {warn_threshold * 100:.0f}%)"
+                )
+        elif ratio <= 1.0 - warn_threshold and github:
+            print(
+                f"::notice title=benchmark improvement::{name} "
+                f"({file_name}): {old_seconds:.3f}s -> {new_seconds:.3f}s "
+                f"({delta:.1f}%)"
+            )
+        print(f"{name:45} {old_seconds:9.3f} {new_seconds:9.3f} {delta:+7.1f}%{marker}")
+    return regressions
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--previous", required=True, help="directory with the baseline BENCH_*.json"
+    )
+    parser.add_argument(
+        "--current", required=True, help="directory with the current BENCH_*.json"
+    )
+    parser.add_argument(
+        "--warn-threshold",
+        type=float,
+        default=0.10,
+        help="relative slowdown that triggers a warning (default: 0.10 = 10%%)",
+    )
+    parser.add_argument(
+        "--fail-threshold",
+        type=float,
+        default=None,
+        help="relative slowdown that fails the run (default: never fail)",
+    )
+    parser.add_argument(
+        "--no-github",
+        action="store_true",
+        help="plain output without ::warning:: / ::notice:: annotations",
+    )
+    args = parser.parse_args(argv)
+
+    previous_documents = load_documents(args.previous)
+    current_documents = load_documents(args.current)
+    if not previous_documents:
+        print(f"no baseline documents under {args.previous}; nothing to compare")
+        return 0
+    if not current_documents:
+        print(f"no current documents under {args.current}; nothing to compare")
+        return 0
+
+    worst_ratio = 1.0
+    compared = 0
+    for file_name in sorted(set(previous_documents) & set(current_documents)):
+        rows = compare_timings(previous_documents[file_name], current_documents[file_name])
+        if not rows:
+            continue
+        compared += len(rows)
+        annotate(file_name, rows, args.warn_threshold, github=not args.no_github)
+        worst_ratio = max(worst_ratio, max(ratio for *_, ratio in rows))
+        print()
+    missing = sorted(set(current_documents) - set(previous_documents))
+    if missing:
+        print(f"(no baseline yet for: {', '.join(missing)})")
+    print(f"compared {compared} timings; worst ratio {worst_ratio:.2f}x")
+    if args.fail_threshold is not None and worst_ratio >= 1.0 + args.fail_threshold:
+        print(f"failing: worst ratio exceeds {1.0 + args.fail_threshold:.2f}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,7 +22,6 @@ budget).
 from __future__ import annotations
 
 import os
-from typing import Dict
 
 import pytest
 
@@ -50,7 +49,7 @@ else:
 #: Timing records contributed by the benchmark tests themselves
 #: (name -> {"seconds": ..., "group": ..., ...}); merged into the emitted
 #: JSON document at session finish.
-_TIMING_RECORDS: Dict[str, Dict[str, object]] = {}
+_TIMING_RECORDS: dict[str, dict[str, object]] = {}
 
 #: pytest-benchmark entries superseded by an explicit record (the explicit
 #: wall-clock number is authoritative; keeping both would double-report the
@@ -89,9 +88,9 @@ def series_of(rows, metric):
     return series
 
 
-def _harvest_pytest_benchmarks(session) -> Dict[str, Dict[str, object]]:
+def _harvest_pytest_benchmarks(session) -> dict[str, dict[str, object]]:
     """Pull per-test means out of pytest-benchmark's session, if present."""
-    harvested: Dict[str, Dict[str, object]] = {}
+    harvested: dict[str, dict[str, object]] = {}
     bench_session = getattr(session.config, "_benchmarksession", None)
     if bench_session is None:
         return harvested
@@ -123,14 +122,29 @@ def pytest_sessionfinish(session, exitstatus):
         return
     try:
         from repro.experiments.benchjson import write_bench_json
+        from repro.scenarios import get_scenario
     except ImportError:  # pragma: no cover - repro not importable
         return
+    # embed the metadata of every scenario the timings reference, so the
+    # document stays self-describing (the figure benchmarks run paper-default)
+    names = {"paper-default"}
+    names.update(
+        record["scenario"]
+        for record in timings.values()
+        if isinstance(record, dict) and isinstance(record.get("scenario"), str)
+    )
+    scenarios = {}
+    for name in sorted(names):
+        try:
+            scenarios[name] = get_scenario(name).describe()
+        except KeyError:  # pragma: no cover - stale tag in a timing record
+            pass
     path = os.environ.get(
         "BENCH_JSON",
         os.path.join(os.path.dirname(__file__), "BENCH_results.json"),
     )
     try:
-        write_bench_json(path, timings, BENCH_SCALE)
+        write_bench_json(path, timings, BENCH_SCALE, scenarios=scenarios)
     except OSError as error:  # pragma: no cover - read-only checkout etc.
         print(f"\n[benchmarks] could not write {path}: {error}")
     else:

@@ -18,7 +18,7 @@ from .messages import TerminationNotice, Token, TokenEntry
 from .monitor import DecentralizedMonitor, MonitorMetrics
 from .oracle import LatticeOracle, OracleResult
 from .runner import DecentralizedResult, run_decentralized
-from .transport import LoopbackNetwork, Transport
+from .transport import LoopbackNetwork, MonitorNetwork, Transport
 
 __all__ = [
     "CentralizedMonitor",
@@ -36,4 +36,5 @@ __all__ = [
     "run_decentralized",
     "LoopbackNetwork",
     "Transport",
+    "MonitorNetwork",
 ]

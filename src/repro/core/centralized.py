@@ -11,7 +11,6 @@ memory (tracked global states) grows with the full lattice frontier.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Set
 
 from ..distributed.computation import Computation, Cut
 from ..distributed.events import Event
@@ -21,15 +20,15 @@ from ..ltl.verdict import Verdict
 
 __all__ = ["CentralizedMonitor", "CentralizedResult"]
 
-Letter = FrozenSet[str]
+Letter = frozenset[str]
 
 
 @dataclass
 class CentralizedResult:
     """Outcome of a centralized monitoring run."""
 
-    final_states: FrozenSet[int]
-    verdicts: FrozenSet[Verdict]
+    final_states: frozenset[int]
+    verdicts: frozenset[Verdict]
     messages: int
     max_tracked_cuts: int
     total_tracked_cuts: int
@@ -49,28 +48,28 @@ class CentralizedMonitor:
         num_processes: int,
         automaton: MonitorAutomaton,
         registry: PropositionRegistry,
-        initial_letters: List[Letter],
+        initial_letters: list[Letter],
     ) -> None:
         self.num_processes = num_processes
         self.automaton = automaton
         self.registry = registry
         self.initial_letters = list(initial_letters)
-        self._events: List[Dict[int, Event]] = [dict() for _ in range(num_processes)]
+        self._events: list[dict[int, Event]] = [dict() for _ in range(num_processes)]
         bottom: Cut = (0,) * num_processes
         initial_state = automaton.step(
             automaton.initial_state, self._combine(initial_letters)
         )
-        self._reachable: Dict[Cut, Set[int]] = {bottom: {initial_state}}
+        self._reachable: dict[Cut, set[int]] = {bottom: {initial_state}}
         self.messages = 0
         self.max_tracked_cuts = 1
         self.total_tracked_cuts = 1
-        self.declared: Set[Verdict] = set()
+        self.declared: set[Verdict] = set()
         if automaton.verdict(initial_state).is_final:
             self.declared.add(automaton.verdict(initial_state))
 
     # ------------------------------------------------------------------
     @staticmethod
-    def _combine(letters: List[Letter]) -> Letter:
+    def _combine(letters: list[Letter]) -> Letter:
         result: set = set()
         for letter in letters:
             result |= letter

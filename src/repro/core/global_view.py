@@ -11,16 +11,14 @@ several automaton states — possible at the same time (Chapter 3).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Deque, FrozenSet, List, Optional, Tuple
-
 from collections import deque
+from dataclasses import dataclass, field
 
 from ..distributed.events import Event
 
 __all__ = ["ViewStatus", "GlobalView"]
 
-Letter = FrozenSet[str]
+Letter = frozenset[str]
 
 _view_ids = itertools.count(1)
 
@@ -57,15 +55,15 @@ class GlobalView:
         became stale are dropped once their token returns — Section 4.2).
     """
 
-    cut: List[int]
+    cut: list[int]
     state: int
-    letters: List[Letter]
+    letters: list[Letter]
     view_id: int = field(default_factory=lambda: next(_view_ids))
     status: str = ViewStatus.UNBLOCKED
-    pending_events: Deque[Event] = field(default_factory=deque)
-    outstanding_token: Optional[int] = None
+    pending_events: deque[Event] = field(default_factory=deque)
+    outstanding_token: int | None = None
     keep_after_fork: bool = True
-    forked_from: Optional[int] = None
+    forked_from: int | None = None
 
     # ------------------------------------------------------------------
     def global_letter(self) -> Letter:
@@ -82,7 +80,7 @@ class GlobalView:
             result |= letter if j == process else existing
         return frozenset(result)
 
-    def signature(self) -> Tuple[int, Tuple[int, ...]]:
+    def signature(self) -> tuple[int, tuple[int, ...]]:
         """Merging key: views with equal signatures are duplicates."""
         return (self.state, tuple(self.cut))
 

@@ -11,12 +11,12 @@ an inconsistent global view.
 from __future__ import annotations
 
 import itertools
+from collections.abc import Mapping
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 __all__ = ["TokenEntry", "Token", "TerminationNotice"]
 
-Letter = FrozenSet[str]
+Letter = frozenset[str]
 
 _token_ids = itertools.count(1)
 
@@ -68,19 +68,19 @@ class TokenEntry:
         Process whose *future* event the entry is waiting for, if any.
     """
 
-    transition_id: Optional[int]
+    transition_id: int | None
     guard: Mapping[str, bool]
-    conjuncts: List[Dict[str, bool]]
-    start_cut: List[int]
-    cut: List[int]
-    depend: List[int]
-    min_positions: List[int]
-    satisfied: List[bool]
-    letters: Dict[int, Letter] = field(default_factory=dict)
-    scanned_letters: Dict[int, Dict[int, Letter]] = field(default_factory=dict)
-    scanned_vcs: Dict[int, Dict[int, Tuple[int, ...]]] = field(default_factory=dict)
-    eval: Optional[bool] = None
-    parked_on: Optional[int] = None
+    conjuncts: list[dict[str, bool]]
+    start_cut: list[int]
+    cut: list[int]
+    depend: list[int]
+    min_positions: list[int]
+    satisfied: list[bool]
+    letters: dict[int, Letter] = field(default_factory=dict)
+    scanned_letters: dict[int, dict[int, Letter]] = field(default_factory=dict)
+    scanned_vcs: dict[int, dict[int, tuple[int, ...]]] = field(default_factory=dict)
+    eval: bool | None = None
+    parked_on: int | None = None
     #: processes already visited that currently have no useful event; the
     #: token will not be routed back to them until they produce new events,
     #: terminate, or some other component of the search makes progress.
@@ -92,7 +92,7 @@ class TokenEntry:
         return self.transition_id is None
 
     # -- progress assessment ------------------------------------------------
-    def lagging_processes(self) -> List[int]:
+    def lagging_processes(self) -> list[int]:
         """Processes whose component must still advance."""
         n = len(self.cut)
         lagging = []
@@ -103,7 +103,7 @@ class TokenEntry:
                 lagging.append(j)
         return lagging
 
-    def pending_targets(self) -> List[int]:
+    def pending_targets(self) -> list[int]:
         """Processes this entry still needs to visit (empty once decided)."""
         if self.eval is not None:
             return []
@@ -114,7 +114,7 @@ class TokenEntry:
         if self.eval is None and not self.pending_targets():
             self.eval = True
 
-    def record_scan(self, process: int, sn: int, letter: Letter, vc: Tuple[int, ...]) -> None:
+    def record_scan(self, process: int, sn: int, letter: Letter, vc: tuple[int, ...]) -> None:
         self.scanned_letters.setdefault(process, {})[sn] = letter
         self.scanned_vcs.setdefault(process, {})[sn] = tuple(vc)
         self.depend = [max(a, b) for a, b in zip(self.depend, vc)]
@@ -132,24 +132,24 @@ class Token:
     parent_process: int
     parent_view: int
     parent_event_sn: int
-    entries: List[TokenEntry]
+    entries: list[TokenEntry]
     token_id: int = field(default_factory=lambda: next(_token_ids))
     hops: int = 0
 
-    def undecided_entries(self) -> List[TokenEntry]:
+    def undecided_entries(self) -> list[TokenEntry]:
         return [entry for entry in self.entries if entry.eval is None]
 
     def all_decided(self) -> bool:
         return not self.undecided_entries()
 
-    def targets(self) -> List[int]:
+    def targets(self) -> list[int]:
         """Union of processes still needed by undecided entries."""
         targets = set()
         for entry in self.undecided_entries():
             targets.update(entry.pending_targets())
         return sorted(targets)
 
-    def parked_targets(self) -> List[int]:
+    def parked_targets(self) -> list[int]:
         """Processes known to have nothing actionable for this token yet."""
         parked = set()
         for entry in self.undecided_entries():

@@ -33,8 +33,9 @@ Differences from the thesis pseudo-code (documented in DESIGN.md):
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Mapping, Sequence
+
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..distributed.events import Event
 from ..ltl.monitor import MonitorAutomaton, Transition
@@ -46,7 +47,7 @@ from .transport import Transport
 
 __all__ = ["MonitorMetrics", "DecentralizedMonitor"]
 
-Letter = FrozenSet[str]
+Letter = frozenset[str]
 
 #: Maximum number of cuts replayed exactly inside a token's box before the
 #: monitor falls back to a single topologically-sorted interleaving.
@@ -119,33 +120,33 @@ class DecentralizedMonitor:
         registry: PropositionRegistry,
         initial_letters: Sequence[Letter],
         transport: Transport,
-        max_views_per_state: Optional[int] = None,
+        max_views_per_state: int | None = None,
     ) -> None:
         self.process = process
         self.num_processes = num_processes
         self.automaton = automaton
         self.registry = registry
-        self.initial_letters: List[Letter] = [frozenset(l) for l in initial_letters]
+        self.initial_letters: list[Letter] = [frozenset(l) for l in initial_letters]
         self.transport = transport
         self.max_views_per_state = max_views_per_state
         self.metrics = MonitorMetrics()
 
-        self.history: Dict[int, Event] = {}
-        self.local_letters: Dict[int, Letter] = {0: self.initial_letters[process]}
+        self.history: dict[int, Event] = {}
+        self.local_letters: dict[int, Letter] = {0: self.initial_letters[process]}
         self.last_local_sn = 0
         self.local_terminated = False
         #: final event count of each process, once known
-        self.terminated: Dict[int, Optional[int]] = {
+        self.terminated: dict[int, int | None] = {
             j: None for j in range(num_processes)
         }
 
-        self.views: List[GlobalView] = []
-        self.final_views: List[GlobalView] = []
-        self.waiting_tokens: List[Token] = []
-        self._outstanding: Dict[int, GlobalView] = {}  # token_id -> waiting view
+        self.views: list[GlobalView] = []
+        self.final_views: list[GlobalView] = []
+        self.waiting_tokens: list[Token] = []
+        self._outstanding: dict[int, GlobalView] = {}  # token_id -> waiting view
 
-        self.declared_verdicts: Set[Verdict] = set()
-        self.declared_states: Set[int] = set()
+        self.declared_verdicts: set[Verdict] = set()
+        self.declared_states: set[int] = set()
 
         initial_state = automaton.step(
             automaton.initial_state, self._combine(self.initial_letters)
@@ -272,13 +273,13 @@ class DecentralizedMonitor:
         """No outstanding work besides possibly waiting on other monitors."""
         return not self.waiting_tokens and not self._outstanding
 
-    def active_view_states(self) -> Set[int]:
+    def active_view_states(self) -> set[int]:
         return {view.state for view in self.views}
 
-    def active_views(self) -> List[GlobalView]:
+    def active_views(self) -> list[GlobalView]:
         return list(self.views)
 
-    def reported_verdicts(self) -> Set[Verdict]:
+    def reported_verdicts(self) -> set[Verdict]:
         """Verdicts this monitor reports at the end of the run."""
         verdicts = set(self.declared_verdicts)
         for view in self.views:
@@ -344,7 +345,7 @@ class DecentralizedMonitor:
         """
         if view.status != ViewStatus.UNBLOCKED:
             return
-        entries: List[TokenEntry] = []
+        entries: list[TokenEntry] = []
         for transition in self.automaton.outgoing_transitions(view.state):
             conjuncts = self.registry.conjuncts_by_process(
                 transition.guard, self.num_processes
@@ -399,9 +400,9 @@ class DecentralizedMonitor:
         self,
         view: GlobalView,
         transition: Transition,
-        conjuncts: List[Dict[str, bool]],
-        satisfied_now: List[bool],
-        bump: Optional[int] = None,
+        conjuncts: list[dict[str, bool]],
+        satisfied_now: list[bool],
+        bump: int | None = None,
     ) -> TokenEntry:
         n = self.num_processes
         min_positions = list(view.cut)
@@ -421,7 +422,7 @@ class DecentralizedMonitor:
         return entry
 
     def _create_repair_token(
-        self, view: GlobalView, event: Event, lagging: List[int]
+        self, view: GlobalView, event: Event, lagging: list[int]
     ) -> None:
         """Pull the view up to the causal past of an out-of-order local event."""
         n = self.num_processes
@@ -595,7 +596,7 @@ class DecentralizedMonitor:
         repair_entries = [e for e in token.entries if e.is_repair]
         transition_entries = [e for e in token.entries if not e.is_repair]
 
-        forked: List[GlobalView] = []
+        forked: list[GlobalView] = []
         for entry in transition_entries:
             if entry.eval is not True:
                 continue
@@ -616,7 +617,7 @@ class DecentralizedMonitor:
             self._advance_view(view)
         self._merge_views()
 
-    def _fork_from_entry(self, view: GlobalView, entry: TokenEntry) -> List[GlobalView]:
+    def _fork_from_entry(self, view: GlobalView, entry: TokenEntry) -> list[GlobalView]:
         """Fork one view per automaton state reachable inside the entry's box.
 
         Only *pivot* states are forked: a reachable state equal to the parent
@@ -629,7 +630,7 @@ class DecentralizedMonitor:
         """
         target_cut = list(entry.cut)
         reachable, letters_at_target = self._box_reachable(view, entry)
-        children: List[GlobalView] = []
+        children: list[GlobalView] = []
         for state in sorted(reachable):
             if self.automaton.is_final(state):
                 self._declare(state)
@@ -656,7 +657,7 @@ class DecentralizedMonitor:
         return children
 
     def _covered_by_existing_view(
-        self, state: int, cut: List[int], exact_only: bool = False
+        self, state: int, cut: list[int], exact_only: bool = False
     ) -> bool:
         """Whether some live view already subsumes a candidate fork.
 
@@ -682,7 +683,7 @@ class DecentralizedMonitor:
 
     def _box_reachable(
         self, view: GlobalView, entry: TokenEntry
-    ) -> Tuple[Set[int], List[Letter]]:
+    ) -> tuple[set[int], list[Letter]]:
         """States reachable at ``entry.cut`` from the view, over all
         interleavings of the events inside ``[view.cut, entry.cut]``.
 
@@ -710,11 +711,11 @@ class DecentralizedMonitor:
         # the vector clock expressed relative to the base cut.  The inner
         # consistency check then reduces to integer comparisons on small
         # tuples, which dominates the cost of large boxes.
-        letters_by: List[List[Letter]] = []
-        rel_vc: List[List[Optional[Tuple[int, ...]]]] = []
+        letters_by: list[list[Letter]] = []
+        rel_vc: list[list[tuple[int, ...] | None]] = []
         for j in range(n):
             col_letters = [view.letters[j]]
-            col_vcs: List[Optional[Tuple[int, ...]]] = [None]
+            col_vcs: list[tuple[int, ...] | None] = [None]
             for off in range(1, ranges[j] + 1):
                 position = base[j] + off
                 col_letters.append(entry.scanned_letters[j][position])
@@ -734,12 +735,12 @@ class DecentralizedMonitor:
         # touches each cell once, with no predecessor reconstruction.
         origin = tuple([0] * n)
         final_offsets = tuple(ranges)
-        final_states: Set[int] = {view.state} if final_offsets == origin else set()
-        inconsistent: Set[Tuple[int, ...]] = set()
-        current: Dict[Tuple[int, ...], Set[int]] = {origin: {view.state}}
+        final_states: set[int] = {view.state} if final_offsets == origin else set()
+        inconsistent: set[tuple[int, ...]] = set()
+        current: dict[tuple[int, ...], set[int]] = {origin: {view.state}}
         while current:
-            nxt: Dict[Tuple[int, ...], Set[int]] = {}
-            letters_at: Dict[Tuple[int, ...], Letter] = {}
+            nxt: dict[tuple[int, ...], set[int]] = {}
+            letters_at: dict[tuple[int, ...], Letter] = {}
             for offsets, states in current.items():
                 for j in active:
                     oj = offsets[j]
@@ -781,13 +782,13 @@ class DecentralizedMonitor:
             current = nxt
         return set(final_states), letters_at_target
 
-    def _box_reachable_linear(self, view: GlobalView, entry: TokenEntry) -> Set[int]:
+    def _box_reachable_linear(self, view: GlobalView, entry: TokenEntry) -> set[int]:
         """Fallback for oversized boxes: replay one causally-consistent
         linearisation of the box events (sound, possibly incomplete)."""
         n = self.num_processes
         base = list(view.cut)
         target = list(entry.cut)
-        events: List[Tuple[Tuple[int, ...], int, int]] = []
+        events: list[tuple[tuple[int, ...], int, int]] = []
         for j in range(n):
             for sn in range(base[j] + 1, target[j] + 1):
                 events.append((entry.scanned_vcs[j][sn], j, sn))
@@ -822,8 +823,8 @@ class DecentralizedMonitor:
         active = [view for view in self.views if not view.is_waiting()]
 
         # exact duplicates first
-        seen: Dict[Tuple[int, Tuple[int, ...]], GlobalView] = {}
-        deduped: List[GlobalView] = []
+        seen: dict[tuple[int, tuple[int, ...]], GlobalView] = {}
+        deduped: list[GlobalView] = []
         for view in active:
             signature = view.signature()
             if signature in seen:
@@ -833,12 +834,12 @@ class DecentralizedMonitor:
             deduped.append(view)
 
         # dominance merging per automaton state: keep the minimal antichain
-        by_state: Dict[int, List[GlobalView]] = {}
+        by_state: dict[int, list[GlobalView]] = {}
         for view in deduped:
             by_state.setdefault(view.state, []).append(view)
-        kept: List[GlobalView] = []
+        kept: list[GlobalView] = []
         for state_views in by_state.values():
-            minimal: List[GlobalView] = []
+            minimal: list[GlobalView] = []
             for view in sorted(state_views, key=lambda v: sum(v.cut)):
                 if any(
                     all(small <= big for small, big in zip(other.cut, view.cut))
@@ -865,10 +866,10 @@ class DecentralizedMonitor:
         """
         if self.max_views_per_state is None:
             return
-        by_state: Dict[int, List[GlobalView]] = {}
+        by_state: dict[int, list[GlobalView]] = {}
         for view in self.views:
             by_state.setdefault(view.state, []).append(view)
-        kept: List[GlobalView] = []
+        kept: list[GlobalView] = []
         for state_views in by_state.values():
             state_views.sort(key=lambda v: (sum(v.cut), tuple(v.cut)))
             kept.extend(state_views[: self.max_views_per_state])

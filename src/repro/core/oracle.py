@@ -15,8 +15,9 @@ exactly the same verdict information.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Optional, Sequence, Set
 
 from ..distributed.computation import Computation, Cut
 from ..distributed.lattice import ComputationLattice
@@ -31,15 +32,15 @@ __all__ = ["OracleResult", "LatticeOracle"]
 class OracleResult:
     """Summary of the oracle evaluation of one computation."""
 
-    final_states: FrozenSet[int]
-    verdicts: FrozenSet[Verdict]
-    reachable: Dict[Cut, FrozenSet[int]]
-    pivot_cuts: FrozenSet[Cut]
+    final_states: frozenset[int]
+    verdicts: frozenset[Verdict]
+    reachable: dict[Cut, frozenset[int]]
+    pivot_cuts: frozenset[Cut]
     num_cuts: int
     num_paths: int
 
     @property
-    def conclusive_verdicts(self) -> FrozenSet[Verdict]:
+    def conclusive_verdicts(self) -> frozenset[Verdict]:
         return frozenset(v for v in self.verdicts if v.is_final)
 
 
@@ -56,10 +57,10 @@ class LatticeOracle:
         self.automaton = automaton
         self.registry = registry
         self.lattice = ComputationLattice.from_computation(computation)
-        self._letters: Dict[Cut, FrozenSet[str]] = {}
+        self._letters: dict[Cut, frozenset[str]] = {}
 
     # ------------------------------------------------------------------
-    def letter_of(self, cut: Cut) -> FrozenSet[str]:
+    def letter_of(self, cut: Cut) -> frozenset[str]:
         """The letter (true propositions) of the global state at *cut*."""
         cut = tuple(cut)
         if cut not in self._letters:
@@ -78,14 +79,14 @@ class LatticeOracle:
         return self.automaton.verdict(self.evaluate_path(path))
 
     # ------------------------------------------------------------------
-    def reachable_states(self) -> Dict[Cut, FrozenSet[int]]:
+    def reachable_states(self) -> dict[Cut, frozenset[int]]:
         """For every cut the set of automaton states reachable over paths.
 
         The bottom cut is assigned ``δ(q0, letter(bottom))`` — i.e. the
         initial global state is the first letter of every trace, as in the
         problem statement of Chapter 3.
         """
-        reachable: Dict[Cut, Set[int]] = {}
+        reachable: dict[Cut, set[int]] = {}
         bottom = self.lattice.bottom
         reachable[bottom] = {
             self.automaton.step(self.automaton.initial_state, self.letter_of(bottom))
@@ -94,7 +95,7 @@ class LatticeOracle:
             for cut in level:
                 if cut == bottom:
                     continue
-                states: Set[int] = set()
+                states: set[int] = set()
                 letter = self.letter_of(cut)
                 for predecessor in self.lattice.predecessors(cut):
                     for state in reachable.get(predecessor, ()):
@@ -102,12 +103,12 @@ class LatticeOracle:
                 reachable[cut] = states
         return {cut: frozenset(states) for cut, states in reachable.items()}
 
-    def pivot_cuts(self, reachable: Optional[Dict[Cut, FrozenSet[int]]] = None) -> Set[Cut]:
+    def pivot_cuts(self, reachable: dict[Cut, frozenset[int]] | None = None) -> set[Cut]:
         """Cuts where the automaton state changes relative to a predecessor
         (Definition 17 generalised to state sets)."""
         if reachable is None:
             reachable = self.reachable_states()
-        pivots: Set[Cut] = set()
+        pivots: set[Cut] = set()
         for cut in self.lattice.cuts():
             if cut == self.lattice.bottom:
                 continue
@@ -137,13 +138,13 @@ class LatticeOracle:
         )
 
     # ------------------------------------------------------------------
-    def verdicts_by_path_enumeration(self, max_paths: Optional[int] = None) -> FrozenSet[Verdict]:
+    def verdicts_by_path_enumeration(self, max_paths: int | None = None) -> frozenset[Verdict]:
         """Reference implementation enumerating paths one by one.
 
         Used in tests to validate :meth:`reachable_states`; ``max_paths``
         bounds the enumeration for safety.
         """
-        verdicts: Set[Verdict] = set()
+        verdicts: set[Verdict] = set()
         for index, path in enumerate(self.lattice.paths()):
             if max_paths is not None and index >= max_paths:
                 break

@@ -12,7 +12,6 @@ latency and time-based metrics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Set
 
 from ..distributed.computation import Computation
 from ..ltl.monitor import MonitorAutomaton, build_monitor
@@ -29,29 +28,29 @@ __all__ = ["DecentralizedResult", "run_decentralized"]
 class DecentralizedResult:
     """Aggregated outcome of a decentralized monitoring run."""
 
-    monitors: List[DecentralizedMonitor]
+    monitors: list[DecentralizedMonitor]
     network: LoopbackNetwork
 
     # -- verdicts --------------------------------------------------------
     @property
-    def declared_verdicts(self) -> FrozenSet[Verdict]:
+    def declared_verdicts(self) -> frozenset[Verdict]:
         """Conclusive verdicts (⊤/⊥) declared by any monitor."""
-        verdicts: Set[Verdict] = set()
+        verdicts: set[Verdict] = set()
         for monitor in self.monitors:
             verdicts |= monitor.declared_verdicts
         return frozenset(verdicts)
 
     @property
-    def reported_verdicts(self) -> FrozenSet[Verdict]:
+    def reported_verdicts(self) -> frozenset[Verdict]:
         """All verdicts reported by any monitor (declared + live views)."""
-        verdicts: Set[Verdict] = set()
+        verdicts: set[Verdict] = set()
         for monitor in self.monitors:
             verdicts |= monitor.reported_verdicts()
         return frozenset(verdicts)
 
     @property
-    def declared_states(self) -> FrozenSet[int]:
-        states: Set[int] = set()
+    def declared_states(self) -> frozenset[int]:
+        states: set[int] = set()
         for monitor in self.monitors:
             states |= monitor.declared_states
         return frozenset(states)
@@ -75,7 +74,7 @@ class DecentralizedResult:
         return sum(m.metrics.delayed_events for m in self.monitors)
 
     @property
-    def metrics_by_monitor(self) -> List[MonitorMetrics]:
+    def metrics_by_monitor(self) -> list[MonitorMetrics]:
         return [m.metrics for m in self.monitors]
 
     def is_quiescent(self) -> bool:
@@ -84,7 +83,7 @@ class DecentralizedResult:
             not m.waiting_tokens for m in self.monitors
         )
 
-    def summary(self) -> Dict[str, object]:
+    def summary(self) -> dict[str, object]:
         return {
             "verdicts": sorted(str(v) for v in self.reported_verdicts),
             "declared": sorted(str(v) for v in self.declared_verdicts),
@@ -97,10 +96,10 @@ class DecentralizedResult:
 
 def run_decentralized(
     computation: Computation,
-    property_or_automaton: "MonitorAutomaton | str",
+    property_or_automaton: MonitorAutomaton | str,
     registry: PropositionRegistry,
     deliver_after_each_event: bool = True,
-    max_views_per_state: "int | None" = None,
+    max_views_per_state: int | None = None,
 ) -> DecentralizedResult:
     """Monitor a finished computation with the decentralized algorithm.
 

@@ -1,23 +1,27 @@
 """Transport abstraction connecting decentralized monitor processes.
 
 The monitoring algorithm only ever calls :meth:`Transport.send`; how and when
-messages are delivered is the transport's business.  Two implementations are
-provided:
+messages are delivered is the transport's business.  Implementations:
 
 * :class:`LoopbackNetwork` — an in-process FIFO network used by the library
   runner and the tests.  Messages are queued and delivered when the caller
   pumps the network, which models an asynchronous but reliable network with
   no notion of time.
-* ``repro.sim.network.SimulatedNetwork`` — a discrete-event network with
-  latency, used by the experiment harness.
+* ``repro.sim.network.SimulatedNetwork`` and its behaviour subclasses
+  (lossy-with-retransmit, partition/heal, bursty) — discrete-event networks
+  with latency, used by the scenario engine and the experiment harness.
+
+Every implementation also satisfies the wider :class:`MonitorNetwork`
+protocol (registration, in-flight accounting, per-sender counters), which is
+what the scenario layer (:mod:`repro.scenarios`) programs against.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Protocol, Tuple
+from typing import Protocol, runtime_checkable
 
-__all__ = ["Transport", "LoopbackNetwork"]
+__all__ = ["Transport", "MonitorNetwork", "LoopbackNetwork"]
 
 
 class Transport(Protocol):
@@ -25,6 +29,26 @@ class Transport(Protocol):
 
     def send(self, sender: int, target: int, message: object) -> None:
         """Deliver *message* from monitor *sender* to monitor *target*."""
+
+
+@runtime_checkable
+class MonitorNetwork(Transport, Protocol):
+    """A full monitor-to-monitor network: transport + wiring + accounting.
+
+    Both :class:`LoopbackNetwork` and the discrete-event
+    ``repro.sim.network.SimulatedNetwork`` family implement this protocol
+    structurally; the scenario engine only relies on these members.
+    """
+
+    messages_sent: int
+    messages_by_sender: dict[int, int]
+
+    def register(self, process: int, monitor: object) -> None:
+        """Attach *monitor* as the endpoint for *process*."""
+
+    @property
+    def pending(self) -> int:
+        """Number of sent-but-undelivered messages."""
 
 
 class LoopbackNetwork:
@@ -36,10 +60,10 @@ class LoopbackNetwork:
     """
 
     def __init__(self) -> None:
-        self._monitors: Dict[int, object] = {}
-        self._queue: Deque[Tuple[int, int, object]] = deque()
+        self._monitors: dict[int, object] = {}
+        self._queue: deque[tuple[int, int, object]] = deque()
         self.messages_sent = 0
-        self.messages_by_sender: Dict[int, int] = {}
+        self.messages_by_sender: dict[int, int] = {}
 
     def register(self, process: int, monitor: object) -> None:
         """Attach *monitor* as the endpoint for *process*."""

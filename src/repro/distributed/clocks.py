@@ -10,7 +10,8 @@ later event of another process than the cut does).
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from collections.abc import Iterable, Iterator, Sequence
+
 
 __all__ = ["VectorClock"]
 
@@ -48,10 +49,10 @@ class VectorClock:
         return iter(self._components)
 
     @property
-    def components(self) -> Tuple[int, ...]:
+    def components(self) -> tuple[int, ...]:
         return self._components
 
-    def as_list(self) -> List[int]:
+    def as_list(self) -> list[int]:
         return list(self._components)
 
     # -- updates (returning new clocks) ------------------------------------
@@ -117,7 +118,7 @@ class VectorClock:
         """Whether ``self[i] >= other[i]`` for every index in *indices*."""
         return all(self._components[i] >= other[i] for i in indices)
 
-    def lagging_components(self, other: "VectorClock") -> List[int]:
+    def lagging_components(self, other: "VectorClock") -> list[int]:
         """Indices where *self* knows strictly less than *other*.
 
         These are exactly the processes whose state must be refreshed before

@@ -16,8 +16,9 @@ clocks and checks FIFO consistency of message matching.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Mapping, Sequence
+
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from .clocks import VectorClock
 from .events import Event, EventKind
@@ -25,15 +26,15 @@ from .events import Event, EventKind
 __all__ = ["Cut", "Computation", "ComputationBuilder"]
 
 #: A cut is identified by how many events of each process it contains.
-Cut = Tuple[int, ...]
+Cut = tuple[int, ...]
 
 
 @dataclass
 class Computation:
     """A complete asynchronous computation of ``n`` processes."""
 
-    initial_states: List[Dict[str, object]]
-    events: List[List[Event]]
+    initial_states: list[dict[str, object]]
+    events: list[list[Event]]
 
     def __post_init__(self) -> None:
         if len(self.initial_states) != len(self.events):
@@ -58,7 +59,7 @@ class Computation:
     def num_events(self) -> int:
         return sum(len(evts) for evts in self.events)
 
-    def events_of(self, process: int) -> List[Event]:
+    def events_of(self, process: int) -> list[Event]:
         return self.events[process]
 
     def event(self, process: int, sn: int) -> Event:
@@ -74,13 +75,13 @@ class Computation:
         return tuple(len(evts) for evts in self.events)
 
     # -- states ----------------------------------------------------------------
-    def local_state(self, process: int, count: int) -> Dict[str, object]:
+    def local_state(self, process: int, count: int) -> dict[str, object]:
         """Local state of *process* after its first *count* events."""
         if count == 0:
             return dict(self.initial_states[process])
         return dict(self.events[process][count - 1].state)
 
-    def global_state(self, cut: Cut) -> List[Dict[str, object]]:
+    def global_state(self, cut: Cut) -> list[dict[str, object]]:
         """The global state corresponding to a cut (one local state each)."""
         if len(cut) != self.num_processes:
             raise ValueError("cut arity must equal the number of processes")
@@ -114,14 +115,14 @@ class Computation:
                     return False
         return True
 
-    def consistent_cuts(self) -> List[Cut]:
+    def consistent_cuts(self) -> list[Cut]:
         """All consistent cuts (the vertex set of the computation lattice)."""
         from .lattice import ComputationLattice  # local import to avoid a cycle
 
         return ComputationLattice.from_computation(self).cuts()
 
     # -- convenience -------------------------------------------------------------
-    def frontier_events(self, cut: Cut) -> List[Optional[Event]]:
+    def frontier_events(self, cut: Cut) -> list[Event | None]:
         """The last event of each process inside the cut (``None`` if none)."""
         return [
             self.events[i][cut[i] - 1] if cut[i] > 0 else None
@@ -156,14 +157,14 @@ class ComputationBuilder:
             raise ValueError("at least one process is required")
         self._initial = [dict(s) for s in initial_states]
         self._n = len(self._initial)
-        self._events: List[List[Event]] = [[] for _ in range(self._n)]
+        self._events: list[list[Event]] = [[] for _ in range(self._n)]
         self._clocks = [VectorClock.zero(self._n) for _ in range(self._n)]
         self._states = [dict(s) for s in self._initial]
-        self._pending_messages: Dict[int, VectorClock] = {}
-        self._message_sender: Dict[int, int] = {}
+        self._pending_messages: dict[int, VectorClock] = {}
+        self._message_sender: dict[int, int] = {}
         self._time = 0.0
 
-    def _next_timestamp(self, timestamp: Optional[float]) -> float:
+    def _next_timestamp(self, timestamp: float | None) -> float:
         if timestamp is None:
             self._time += 1.0
             return self._time
@@ -179,7 +180,7 @@ class ComputationBuilder:
         self,
         process: int,
         updates: Mapping[str, object],
-        timestamp: Optional[float] = None,
+        timestamp: float | None = None,
     ) -> Event:
         """An internal event applying *updates* to the local state."""
         clock = self._clocks[process].increment(process)
@@ -202,7 +203,7 @@ class ComputationBuilder:
         process: int,
         to: int,
         message_id: int,
-        timestamp: Optional[float] = None,
+        timestamp: float | None = None,
     ) -> Event:
         """A send event to process *to* with a fresh *message_id*."""
         if message_id in self._message_sender:
@@ -232,7 +233,7 @@ class ComputationBuilder:
         process: int,
         frm: int,
         message_id: int,
-        timestamp: Optional[float] = None,
+        timestamp: float | None = None,
     ) -> Event:
         """A receive event consuming *message_id* previously sent by *frm*."""
         if message_id not in self._pending_messages:

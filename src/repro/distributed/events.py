@@ -14,8 +14,8 @@ exactly the tuple ``e = 〈T, D, VC, sn〉`` used by the monitoring algorithm.
 from __future__ import annotations
 
 import enum
+from collections.abc import Mapping
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
 
 from .clocks import VectorClock
 
@@ -65,8 +65,8 @@ class Event:
     kind: EventKind
     vc: VectorClock
     state: Mapping[str, object] = field(default_factory=dict)
-    peer: Optional[int] = None
-    message_id: Optional[int] = None
+    peer: int | None = None
+    message_id: int | None = None
     timestamp: float = 0.0
 
     def __post_init__(self) -> None:
@@ -100,7 +100,7 @@ class Event:
     def is_receive(self) -> bool:
         return self.kind is EventKind.RECEIVE
 
-    def local_copy(self) -> Dict[str, object]:
+    def local_copy(self) -> dict[str, object]:
         """A mutable copy of the local state after the event."""
         return dict(self.state)
 

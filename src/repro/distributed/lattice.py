@@ -16,8 +16,9 @@ lattice.
 
 from __future__ import annotations
 
+from collections.abc import Iterator, Sequence
+
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Set
 
 from .computation import Computation, Cut
 
@@ -29,20 +30,20 @@ class ComputationLattice:
     """Explicit lattice of the consistent cuts of a computation."""
 
     computation: Computation
-    _cuts: List[Cut]
-    _successors: Dict[Cut, List[Cut]]
-    _predecessors: Dict[Cut, List[Cut]]
+    _cuts: list[Cut]
+    _successors: dict[Cut, list[Cut]]
+    _predecessors: dict[Cut, list[Cut]]
 
     # -- construction -----------------------------------------------------
     @classmethod
     def from_computation(cls, computation: Computation) -> "ComputationLattice":
         """Enumerate all consistent cuts reachable from the empty cut."""
         bottom: Cut = (0,) * computation.num_processes
-        cuts: List[Cut] = [bottom]
-        seen: Set[Cut] = {bottom}
-        successors: Dict[Cut, List[Cut]] = {}
-        predecessors: Dict[Cut, List[Cut]] = {bottom: []}
-        frontier: List[Cut] = [bottom]
+        cuts: list[Cut] = [bottom]
+        seen: set[Cut] = {bottom}
+        successors: dict[Cut, list[Cut]] = {}
+        predecessors: dict[Cut, list[Cut]] = {bottom: []}
+        frontier: list[Cut] = [bottom]
         limits = computation.final_cut()
         while frontier:
             cut = frontier.pop(0)
@@ -69,7 +70,7 @@ class ComputationLattice:
         )
 
     # -- structure ----------------------------------------------------------
-    def cuts(self) -> List[Cut]:
+    def cuts(self) -> list[Cut]:
         """All consistent cuts, in breadth-first (level) order."""
         return list(self._cuts)
 
@@ -87,11 +88,11 @@ class ComputationLattice:
     def top(self) -> Cut:
         return self.computation.final_cut()
 
-    def successors(self, cut: Cut) -> List[Cut]:
+    def successors(self, cut: Cut) -> list[Cut]:
         """Immediate successors (one more event of exactly one process)."""
         return list(self._successors.get(tuple(cut), ()))
 
-    def predecessors(self, cut: Cut) -> List[Cut]:
+    def predecessors(self, cut: Cut) -> list[Cut]:
         return list(self._predecessors.get(tuple(cut), ()))
 
     # -- lattice operations ---------------------------------------------------
@@ -120,8 +121,8 @@ class ComputationLattice:
 
     # -- paths -----------------------------------------------------------------
     def paths(
-        self, start: Optional[Cut] = None, end: Optional[Cut] = None
-    ) -> Iterator[List[Cut]]:
+        self, start: Cut | None = None, end: Cut | None = None
+    ) -> Iterator[list[Cut]]:
         """Enumerate all paths from *start* (default bottom) to *end* (default top).
 
         Every path is a total-order interpretation of the computation: each
@@ -133,9 +134,9 @@ class ComputationLattice:
         if start not in self or end not in self:
             raise ValueError("start and end must be consistent cuts of the lattice")
 
-        path: List[Cut] = [start]
+        path: list[Cut] = [start]
 
-        def backtrack(cut: Cut) -> Iterator[List[Cut]]:
+        def backtrack(cut: Cut) -> Iterator[list[Cut]]:
             if cut == end:
                 yield list(path)
                 return
@@ -150,21 +151,21 @@ class ComputationLattice:
 
     def count_paths(self) -> int:
         """The number of maximal paths (computed by dynamic programming)."""
-        counts: Dict[Cut, int] = {self.top: 1}
+        counts: dict[Cut, int] = {self.top: 1}
         for cut in sorted(self._cuts, key=sum, reverse=True):
             if cut == self.top:
                 continue
             counts[cut] = sum(counts[s] for s in self._successors[cut])
         return counts.get(self.bottom, 0)
 
-    def global_states_on_path(self, path: Sequence[Cut]) -> List[List[dict]]:
+    def global_states_on_path(self, path: Sequence[Cut]) -> list[list[dict]]:
         """The global-state trace corresponding to a lattice path (Definition 7)."""
         return [self.computation.global_state(cut) for cut in path]
 
     # -- levels ------------------------------------------------------------------
-    def levels(self) -> List[List[Cut]]:
+    def levels(self) -> list[list[Cut]]:
         """Cuts grouped by the number of events they contain."""
-        by_level: Dict[int, List[Cut]] = {}
+        by_level: dict[int, list[Cut]] = {}
         for cut in self._cuts:
             by_level.setdefault(sum(cut), []).append(cut)
         return [by_level[k] for k in sorted(by_level)]

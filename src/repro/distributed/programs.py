@@ -7,7 +7,6 @@ throughout the paper's exposition.
 
 from __future__ import annotations
 
-from typing import List
 
 from ..ltl.predicates import Proposition, PropositionRegistry
 from .computation import Computation, ComputationBuilder
@@ -75,14 +74,14 @@ def two_phase_commit_example(num_participants: int = 2) -> Computation:
     message_id = 0
 
     # phase 1: prepare
-    prepare_ids: List[int] = []
+    prepare_ids: list[int] = []
     for participant in range(1, n):
         message_id += 1
         prepare_ids.append(message_id)
         builder.send(0, to=participant, message_id=message_id)
     builder.internal(0, {"phase": "waiting"})
 
-    vote_ids: List[int] = []
+    vote_ids: list[int] = []
     for participant in range(1, n):
         builder.receive(participant, frm=0, message_id=prepare_ids[participant - 1])
         builder.internal(participant, {"phase": "prepared", "voted": True})
@@ -94,7 +93,7 @@ def two_phase_commit_example(num_participants: int = 2) -> Computation:
     for participant in range(1, n):
         builder.receive(0, frm=participant, message_id=vote_ids[participant - 1])
     builder.internal(0, {"phase": "committed", "committed": True})
-    commit_ids: List[int] = []
+    commit_ids: list[int] = []
     for participant in range(1, n):
         message_id += 1
         commit_ids.append(message_id)

@@ -4,11 +4,15 @@ Public API
 ----------
 * :func:`property_formula` / :func:`case_study_monitor` /
   :func:`case_study_registry` — properties A–F of Section 5.1.
-* ``run_table_5_1`` … ``run_fig_5_9`` — one function per table/figure.
+* ``run_table_5_1`` … ``run_fig_5_9`` — one function per table/figure, each
+  a thin scenario+grid declaration.
+* :func:`run_scenario` / :func:`execute_sweep` — the generic sharded engine
+  executing any :class:`repro.scenarios.Scenario`.
 * :class:`ExperimentScale` — workload size knobs.
 * :func:`format_table` — plain-text rendering of result rows.
 """
 
+from .engine import execute_points, execute_sweep, run_scenario, trace_design
 from .harness import (
     DEFAULT_SCALE,
     ExperimentScale,
@@ -42,6 +46,10 @@ __all__ = [
     "run_fig_5_8",
     "run_fig_5_9",
     "run_monitoring_experiment",
+    "run_scenario",
+    "execute_sweep",
+    "execute_points",
+    "trace_design",
     "run_table_5_1",
     "PROPERTY_NAMES",
     "case_study_monitor",

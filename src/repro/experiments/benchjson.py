@@ -12,6 +12,7 @@ Document layout (schema ``repro-bench/1``)::
       "created_at": "2026-07-29T12:34:56+00:00",
       "environment": {"python": "3.11.7", "platform": "...", "cpu_count": 1},
       "scale": {"process_counts": [2, 3, 4], "events_per_process": 6, ...},
+      "scenarios": {"paper-default": {"name": ..., "workload": ..., ...}},
       "timings": {
         "build_progression_machine": {"seconds": 0.24, "group": "kernel", ...},
         "run_monitoring_experiment": {"seconds": 1.02, "group": "kernel", ...},
@@ -24,9 +25,12 @@ Document layout (schema ``repro-bench/1``)::
       }
     }
 
-``timings`` values carry wall-clock seconds; ``reference`` carries the seed
-baseline for the two acceptance hot paths so any consumer can compute the
-speedup factor without digging through git history.
+``timings`` values carry wall-clock seconds (records of simulated sweeps are
+tagged with their ``scenario`` name); ``reference`` carries the seed baseline
+for the two acceptance hot paths so any consumer can compute the speedup
+factor without digging through git history.  ``scale`` embeds the resolved
+:class:`ExperimentScale` and ``scenarios`` the metadata of every scenario
+exercised, so each document is fully self-describing.
 """
 
 from __future__ import annotations
@@ -36,8 +40,8 @@ import os
 import platform
 import sys
 import time
+from collections.abc import Sequence
 from dataclasses import asdict
-from typing import Dict, Optional, Sequence
 
 from .harness import DEFAULT_SCALE, ExperimentScale, run_monitoring_experiment
 from .properties import PROPERTY_NAMES, property_formula
@@ -56,13 +60,13 @@ SCHEMA_VERSION = "repro-bench/1"
 #: (pre-interning) kernel, single fresh process, on the reference dev
 #: container (1 CPU).  Kept verbatim so every emitted artifact can report the
 #: speedup relative to the same fixed point.
-SEED_BASELINE_SECONDS: Dict[str, float] = {
+SEED_BASELINE_SECONDS: dict[str, float] = {
     "build_progression_machine": 1.318,
     "run_monitoring_experiment": 4.773,
 }
 
 
-def _environment() -> Dict[str, object]:
+def _environment() -> dict[str, object]:
     return {
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
@@ -77,7 +81,7 @@ def collect_kernel_timings(
     properties: Sequence[str] = PROPERTY_NAMES,
     experiment_point: tuple = ("C", 4),
     scale: ExperimentScale = DEFAULT_SCALE,
-) -> Dict[str, Dict[str, object]]:
+) -> dict[str, dict[str, object]]:
     """Time the two kernel hot paths of the acceptance criteria.
 
     ``build_progression_machine`` is timed over the full case-study sweep
@@ -115,21 +119,34 @@ def collect_kernel_timings(
             "processes": n,
             "replications": scale.replications,
             "workers": scale.workers,
+            "scenario": "paper-default",
         },
     }
 
 
 def make_document(
-    timings: Dict[str, Dict[str, object]],
-    scale: Optional[ExperimentScale] = None,
-) -> Dict[str, object]:
-    """Assemble a schema ``repro-bench/1`` document from raw timings."""
-    document: Dict[str, object] = {
+    timings: dict[str, dict[str, object]],
+    scale: ExperimentScale | None = None,
+    scenarios: dict[str, dict[str, object]] | None = None,
+) -> dict[str, object]:
+    """Assemble a schema ``repro-bench/1`` document from raw timings.
+
+    *scale* embeds the resolved :class:`ExperimentScale` and *scenarios* the
+    ``Scenario.describe()`` metadata of every scenario the timings exercise;
+    when *scenarios* is omitted the paper-default scenario is recorded, since
+    that is what the figure experiments run under.
+    """
+    if scenarios is None:
+        from ..scenarios import get_scenario
+
+        scenarios = {"paper-default": get_scenario("paper-default").describe()}
+    document: dict[str, object] = {
         "schema": SCHEMA_VERSION,
         "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "environment": _environment(),
         "timings": timings,
         "reference": dict(SEED_BASELINE_SECONDS),
+        "scenarios": scenarios,
     }
     if scale is not None:
         document["scale"] = asdict(scale)
@@ -138,11 +155,12 @@ def make_document(
 
 def write_bench_json(
     path: str,
-    timings: Dict[str, Dict[str, object]],
-    scale: Optional[ExperimentScale] = None,
-) -> Dict[str, object]:
+    timings: dict[str, dict[str, object]],
+    scale: ExperimentScale | None = None,
+    scenarios: dict[str, dict[str, object]] | None = None,
+) -> dict[str, object]:
     """Write a benchmark document to *path* and return it."""
-    document = make_document(timings, scale)
+    document = make_document(timings, scale, scenarios=scenarios)
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
     with open(path, "w", encoding="utf-8") as handle:

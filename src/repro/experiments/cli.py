@@ -6,15 +6,22 @@ Usage (after installing the package)::
     python -m repro.experiments.cli fig5.2
     python -m repro.experiments.cli fig5.4 --processes 2 3 4 --events 6
     python -m repro.experiments.cli fig5.9
+    python -m repro.experiments.cli list-scenarios
+    python -m repro.experiments.cli run --scenario lossy-retransmit --workers 4
     python -m repro.experiments.cli bench --json BENCH_local.json
     python -m repro.experiments.cli all
 
 Each sub-command prints the corresponding rows/series as an aligned text
-table; the heavier figure sweeps accept ``--processes``, ``--events``,
-``--replications`` and ``--workers`` to control the workload scale.  The
-``bench`` sub-command times the kernel hot paths and the figure experiments
-and (with ``--json OUT``) writes the same ``repro-bench/1`` JSON document the
-CI benchmark suite emits, so local and CI numbers are directly comparable.
+table; the heavier sweeps accept ``--processes``, ``--events``,
+``--replications`` and ``--workers`` to control the workload scale (with
+``--workers`` the engine shards the full sweep-point × replication product
+across a process pool).  ``list-scenarios`` shows the registered scenario
+catalogue and ``run --scenario NAME`` executes one of them.  The ``bench``
+sub-command times the kernel hot paths and the figure experiments and (with
+``--json OUT``) writes the same ``repro-bench/1`` JSON document the CI
+benchmark suite emits — embedding the resolved :class:`ExperimentScale` and
+the scenario metadata, so local and CI numbers are directly comparable and
+each BENCH file is self-describing.
 """
 
 from __future__ import annotations
@@ -22,8 +29,9 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
+from ..scenarios import get_scenario, list_scenarios
 from .harness import (
     ExperimentScale,
     format_table,
@@ -31,10 +39,23 @@ from .harness import (
     run_fig_5_2_5_3,
     run_fig_5_4_5_5,
     run_fig_5_9,
+    run_scenario,
     run_table_5_1,
 )
 
 __all__ = ["main"]
+
+#: result columns shared by every simulated sweep; scenario-specific network
+#: counters (retransmissions, held_messages, ...) are appended dynamically
+_SWEEP_COLUMNS = [
+    "property",
+    "processes",
+    "events",
+    "messages",
+    "global_views",
+    "delayed_events",
+    "delay_time_pct_per_view",
+]
 
 
 def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
@@ -72,20 +93,7 @@ def _emit_fig_5_2_5_3(args: argparse.Namespace) -> None:
 def _emit_fig_5_4_5_8(args: argparse.Namespace) -> None:
     rows = run_fig_5_4_5_5(scale=_scale_from_args(args))
     print("Figures 5.4–5.8 — monitored workload sweep")
-    print(
-        format_table(
-            rows,
-            columns=[
-                "property",
-                "processes",
-                "events",
-                "messages",
-                "global_views",
-                "delayed_events",
-                "delay_time_pct_per_view",
-            ],
-        )
-    )
+    print(format_table(rows, columns=_SWEEP_COLUMNS))
 
 
 def _emit_fig_5_9(args: argparse.Namespace) -> None:
@@ -102,6 +110,39 @@ def _emit_fig_5_9(args: argparse.Namespace) -> None:
     )
 
 
+def _emit_list_scenarios(args: argparse.Namespace) -> None:
+    rows = []
+    for scenario in list_scenarios():
+        description = scenario.describe()
+        rows.append(
+            {
+                "name": scenario.name,
+                "workload": description["workload"]["kind"],
+                "network": description["network"]["kind"],
+                "tags": ",".join(scenario.tags),
+                "description": scenario.description,
+            }
+        )
+    print(f"{len(rows)} registered scenarios")
+    print(format_table(rows, columns=["name", "workload", "network", "tags", "description"]))
+
+
+def _emit_run_scenario(args: argparse.Namespace) -> None:
+    try:
+        scenario = get_scenario(args.scenario)
+    except KeyError as error:
+        raise SystemExit(f"error: {error.args[0]}")
+    scale = _scale_from_args(args)
+    rows = run_scenario(scenario, scale)
+    columns = list(_SWEEP_COLUMNS)
+    for row in rows:
+        for key in row:
+            if key not in columns and key not in ("token_messages", "log_events", "log_messages"):
+                columns.append(key)
+    print(f"scenario {scenario.name} — {scenario.description}")
+    print(format_table(rows, columns=columns))
+
+
 def _emit_bench(args: argparse.Namespace) -> None:
     from .benchjson import (
         SEED_BASELINE_SECONDS,
@@ -111,6 +152,10 @@ def _emit_bench(args: argparse.Namespace) -> None:
     )
 
     scale = _scale_from_args(args)
+    try:
+        bench_scenario = get_scenario(args.scenario)
+    except KeyError as error:
+        raise SystemExit(f"error: {error.args[0]}")
     # The kernel hot paths are always timed at the default ExperimentScale /
     # full property sweep so the numbers stay comparable with the fixed seed
     # baseline and across machines; the CLI scale flags only govern the
@@ -128,6 +173,15 @@ def _emit_bench(args: argparse.Namespace) -> None:
         timings[label] = {
             "seconds": time.perf_counter() - start,
             "group": "figures",
+            "scenario": "paper-default",
+        }
+    if bench_scenario.name != "paper-default":
+        start = time.perf_counter()
+        run_scenario(bench_scenario, scale)
+        timings[f"scenario_{bench_scenario.name}"] = {
+            "seconds": time.perf_counter() - start,
+            "group": "scenarios",
+            "scenario": bench_scenario.name,
         }
 
     rows = []
@@ -141,15 +195,18 @@ def _emit_bench(args: argparse.Namespace) -> None:
     print("Benchmark timings (wall-clock)")
     print(format_table(rows, columns=["name", "seconds", "seed_seconds", "speedup"]))
 
+    scenarios = {bench_scenario.name: bench_scenario.describe()}
+    if bench_scenario.name != "paper-default":
+        scenarios["paper-default"] = get_scenario("paper-default").describe()
     if args.json:
         try:
-            write_bench_json(args.json, timings, scale)
+            write_bench_json(args.json, timings, scale, scenarios=scenarios)
         except OSError as error:
             raise SystemExit(f"error: cannot write {args.json}: {error}")
         print(f"\nwrote {args.json}")
     else:
         # still validate that the document assembles
-        make_document(timings, scale)
+        make_document(timings, scale, scenarios=scenarios)
 
 
 _COMMANDS = {
@@ -163,6 +220,8 @@ _COMMANDS = {
     "fig5.7": _emit_fig_5_4_5_8,
     "fig5.8": _emit_fig_5_4_5_8,
     "fig5.9": _emit_fig_5_9,
+    "list-scenarios": _emit_list_scenarios,
+    "run": _emit_run_scenario,
     "bench": _emit_bench,
 }
 
@@ -175,7 +234,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "artefact",
         choices=sorted(_COMMANDS) + ["all"],
-        help="which table/figure to regenerate ('all' runs everything)",
+        help="which table/figure to regenerate ('all' runs everything), "
+        "'list-scenarios' to show the scenario catalogue, or 'run' to "
+        "execute one scenario",
+    )
+    parser.add_argument(
+        "--scenario",
+        default="paper-default",
+        help="scenario name for 'run' (see list-scenarios); with 'bench' a "
+        "non-default scenario is timed and tagged in addition to the figures",
     )
     parser.add_argument(
         "--processes",
@@ -200,7 +267,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=1,
-        help="worker processes for experiment replications (default: 1, serial)",
+        help="worker processes sharding the sweep-point x replication product "
+        "(default: 1, serial)",
     )
     parser.add_argument(
         "--json",
@@ -211,12 +279,14 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.view_budget == 0:
         args.view_budget = None
     if args.artefact == "all":
-        artefacts: List[str] = ["table5.1", "fig5.1", "fig5.2", "fig5.4", "fig5.9"]
+        artefacts: list[str] = [
+            "table5.1", "fig5.1", "fig5.2", "fig5.4", "fig5.9", "list-scenarios",
+        ]
     else:
         artefacts = [args.artefact]
     for artefact in artefacts:

@@ -1,0 +1,202 @@
+"""The generic scenario-sweep engine: one executor for every experiment.
+
+Every ``run_*`` artefact of the harness is now a thin declaration — a
+:class:`~repro.scenarios.Scenario` plus a :class:`~repro.scenarios.SweepGrid`
+— executed here.  The engine expands the grid into ordered sweep points,
+multiplies them by the replication count, derives one RNG seed per cell as a
+pure function of ``(base_seed, replication, point.seed_offset)``, and shards
+the **full (point × replication) product** across a process pool.  Because
+cell seeds are derived (never drawn) and aggregation walks cells in list
+order, serial and sharded executions are byte-identical.
+
+The per-cell task function is a module-level callable fed plain picklable
+values (the scenario itself is a frozen dataclass of frozen dataclasses), so
+it works under both fork and spawn start methods; monitor automata are
+rebuilt lazily per worker through the ``case_study_monitor`` cache.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from collections.abc import Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+
+from ..scenarios import GridPoint, Scenario, SweepGrid, get_scenario
+from ..sim.runner import simulate_monitored_run
+from ..sim.workload import generate_computation
+from .properties import PROPERTY_NAMES, case_study_monitor, case_study_registry
+
+__all__ = [
+    "trace_design",
+    "run_scenario_cell",
+    "execute_points",
+    "execute_sweep",
+    "run_scenario",
+]
+
+
+def trace_design(property_name: str) -> tuple[dict[str, bool], float]:
+    """The paper's trace design for one property (Section 5.1).
+
+    Traces keep the property "alive" for most of the run and reach a
+    conclusive state near the end.  For the ``G(… U …)`` properties (A, C,
+    D, F) the initial valuation satisfies the obligations and propositions
+    are mostly true; for the ``F(…)`` properties (B, E) the target
+    conjunction is rare until the forced all-true final events.
+    """
+    if property_name.upper() in ("B", "E"):
+        return {"p": False, "q": False}, 0.3
+    return {"p": True, "q": True}, 0.85
+
+
+class _ScaleLike:
+    """Structural subset of ``ExperimentScale`` the engine relies on.
+
+    Typed loosely (not a Protocol instance check) to avoid a circular import
+    with :mod:`repro.experiments.harness`, where the real dataclass lives.
+    """
+
+    process_counts: tuple[int, ...]
+    events_per_process: int
+    replications: int
+    evt_mu: float
+    evt_sigma: float
+    comm_mu: float | None
+    comm_sigma: float
+    base_seed: int
+    max_views_per_state: int | None
+    workers: int
+
+
+def run_scenario_cell(
+    scenario: Scenario, point: GridPoint, scale: _ScaleLike, seed: int
+) -> dict[str, float]:
+    """Run one (sweep-point, replication) cell and return its slim metrics."""
+    comm_mu = scale.comm_mu if point.comm_mu == "default" else point.comm_mu
+    initial_valuation, truth_probability = trace_design(point.property_name)
+    config = scenario.workload.build_config(
+        num_processes=point.num_processes,
+        events_per_process=scale.events_per_process,
+        evt_mu=scale.evt_mu,
+        evt_sigma=scale.evt_sigma,
+        comm_mu=comm_mu,
+        comm_sigma=scale.comm_sigma,
+        truth_probability=truth_probability,
+        initial_valuation=dict(initial_valuation),
+        seed=seed,
+    )
+    registry = case_study_registry(point.num_processes)
+    automaton = case_study_monitor(point.property_name, point.num_processes)
+    computation = generate_computation(config)
+    report = simulate_monitored_run(
+        computation,
+        automaton,
+        registry,
+        seed=seed,
+        max_views_per_state=scale.max_views_per_state,
+        network=scenario.network,
+    )
+    metrics = {
+        "events": float(report.total_events),
+        "messages": float(report.monitor_messages),
+        "token_messages": float(report.token_messages),
+        "global_views": float(report.total_global_views),
+        "delayed_events": float(report.delayed_events),
+        "delay_time_pct_per_view": report.delay_time_percentage_per_view,
+    }
+    metrics.update(report.network_stats)
+    return metrics
+
+
+def _run_cell(
+    task: tuple[Scenario | str, GridPoint, _ScaleLike, int],
+) -> dict[str, float]:
+    """Process-pool task: resolve the scenario (by value or name) and run."""
+    scenario, point, scale, seed = task
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    return run_scenario_cell(scenario, point, scale, seed)
+
+
+def _mean(values: Iterable[float]) -> float:
+    values = list(values)
+    return statistics.fmean(values) if values else 0.0
+
+
+def _aggregate(point: GridPoint, cells: Sequence[dict[str, float]]) -> dict[str, float]:
+    """Average the replications of one point into a result row."""
+    keys: list[str] = []
+    for cell in cells:
+        for key in cell:
+            if key not in keys:
+                keys.append(key)
+    row: dict[str, float] = {
+        "property": point.property_name,
+        "processes": point.num_processes,
+    }
+    for key in keys:
+        row[key] = _mean(cell[key] for cell in cells if key in cell)
+    row["log_events"] = math.log10(max(1.0, row.get("events", 0.0)))
+    row["log_messages"] = math.log10(max(1.0, row.get("messages", 0.0)))
+    if point.comm_mu != "default":
+        row["comm_mu"] = point.comm_mu if point.comm_mu is not None else "no-comm"
+    return row
+
+
+def execute_points(
+    scenario: Scenario,
+    points: Sequence[GridPoint],
+    scale: _ScaleLike,
+    pool: ProcessPoolExecutor | None = None,
+) -> list[dict[str, float]]:
+    """Run every (point × replication) cell of *scenario* and aggregate.
+
+    This is the sharding heart of the engine: the full cell product — not
+    just the replications of one point — is mapped over the pool, so a sweep
+    with P points and R replications keeps ``min(P*R, workers)`` workers
+    busy.  Cell seeds are ``base_seed + 31*replication + point.seed_offset``
+    (the scheme the pre-scenario harness used), so results are byte-identical
+    to a serial run and to earlier releases.
+    """
+    replications = max(1, scale.replications)
+    cells = [
+        (scenario, point, scale, scale.base_seed + 31 * rep + point.seed_offset)
+        for point in points
+        for rep in range(replications)
+    ]
+    if pool is not None:
+        results = list(pool.map(_run_cell, cells))
+    elif scale.workers > 1 and len(cells) > 1:
+        workers = min(scale.workers, len(cells))
+        with ProcessPoolExecutor(max_workers=workers) as fresh_pool:
+            results = list(fresh_pool.map(_run_cell, cells))
+    else:
+        results = [_run_cell(cell) for cell in cells]
+    return [
+        _aggregate(point, results[i * replications : (i + 1) * replications])
+        for i, point in enumerate(points)
+    ]
+
+
+def execute_sweep(
+    scenario: Scenario,
+    scale: _ScaleLike,
+    grid: SweepGrid | None = None,
+    pool: ProcessPoolExecutor | None = None,
+) -> list[dict[str, float]]:
+    """Expand *grid* (default: the scenario's own) and run every cell."""
+    grid = grid if grid is not None else scenario.grid
+    points = grid.points(PROPERTY_NAMES, scale.process_counts)
+    return execute_points(scenario, points, scale, pool=pool)
+
+
+def run_scenario(
+    scenario: Scenario | str,
+    scale: _ScaleLike,
+    grid: SweepGrid | None = None,
+) -> list[dict[str, float]]:
+    """Run a scenario (by value or registered name) over its sweep grid."""
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    return execute_sweep(scenario, scale, grid=grid)

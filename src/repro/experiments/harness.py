@@ -2,8 +2,13 @@
 
 Each ``run_*`` function reproduces one artefact of the paper's evaluation and
 returns plain Python data (lists of dict rows / series) so that the benchmark
-targets in ``benchmarks/`` can both time them and print them.  The
-:func:`format_table` helper renders rows the way the paper's tables read.
+targets in ``benchmarks/`` can both time them and print them.  Since the
+scenario-engine refactor every simulated artefact is a *declaration* — the
+``paper-default`` :class:`~repro.scenarios.Scenario` plus a
+:class:`~repro.scenarios.SweepGrid` — executed by the generic sharded engine
+of :mod:`repro.experiments.engine`; other conditions (lossy links,
+partitions, bursty traffic, hot-proposition skew) are one
+:func:`~repro.experiments.engine.run_scenario` call away.
 
 The default experiment scale (events per process, replications) is reduced
 with respect to the iOS testbed so that the full suite runs in seconds on a
@@ -13,19 +18,13 @@ touching the harness logic.
 
 from __future__ import annotations
 
-import math
-import statistics
+from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from ..sim.runner import simulate_monitored_run
-from ..sim.workload import WorkloadConfig, generate_computation
-from .properties import (
-    PROPERTY_NAMES,
-    case_study_monitor,
-    case_study_registry,
-)
+from ..scenarios import GridPoint, SweepGrid, get_scenario
+from .engine import execute_points, execute_sweep, run_scenario
+from .properties import PROPERTY_NAMES, case_study_monitor
 
 __all__ = [
     "ExperimentScale",
@@ -38,6 +37,7 @@ __all__ = [
     "run_fig_5_7",
     "run_fig_5_8",
     "run_fig_5_9",
+    "run_scenario",
     "format_table",
 ]
 
@@ -46,24 +46,24 @@ __all__ = [
 class ExperimentScale:
     """Knobs controlling how heavy the simulated experiments are."""
 
-    process_counts: Tuple[int, ...] = (2, 3, 4, 5)
+    process_counts: tuple[int, ...] = (2, 3, 4, 5)
     events_per_process: int = 6
     replications: int = 2
     evt_mu: float = 3.0
     evt_sigma: float = 1.0
-    comm_mu: Optional[float] = 3.0
+    comm_mu: float | None = 3.0
     comm_sigma: float = 1.0
     base_seed: int = 2015
     #: per-state exploration budget of each monitor; the bounded setting
     #: reproduces the paper's lightweight behaviour on long workloads (the
     #: unbounded setting is used by the correctness test-suite instead).
-    max_views_per_state: Optional[int] = 2
-    #: worker processes used to run replications in parallel.  ``1`` (the
-    #: default) runs everything in-process; any higher value fans the
-    #: replications of each experiment point out to a
-    #: :class:`concurrent.futures.ProcessPoolExecutor`.  Every replication
-    #: derives its own RNG seed from ``base_seed``, so results are
-    #: byte-identical regardless of the worker count.
+    max_views_per_state: int | None = 2
+    #: worker processes used to shard sweep execution.  ``1`` (the default)
+    #: runs everything in-process; any higher value fans the full
+    #: (sweep-point × replication) cell product out to a
+    #: :class:`concurrent.futures.ProcessPoolExecutor`.  Every cell derives
+    #: its own RNG seed from ``base_seed``, so results are byte-identical
+    #: regardless of the worker count.
     workers: int = 1
 
 
@@ -76,9 +76,9 @@ DEFAULT_SCALE = ExperimentScale()
 def run_table_5_1(
     process_counts: Sequence[int] = (2, 3, 4, 5),
     properties: Sequence[str] = PROPERTY_NAMES,
-) -> List[Dict[str, object]]:
+) -> list[dict[str, object]]:
     """Number of transitions per automaton (Table 5.1)."""
-    rows: List[Dict[str, object]] = []
+    rows: list[dict[str, object]] = []
     for name in properties:
         for n in process_counts:
             monitor = case_study_monitor(name, n)
@@ -99,18 +99,18 @@ def run_table_5_1(
 def run_fig_5_1(
     process_counts: Sequence[int] = (2, 3, 4, 5),
     properties: Sequence[str] = PROPERTY_NAMES,
-) -> Dict[str, Dict[str, List[int]]]:
+) -> dict[str, dict[str, list[int]]]:
     """Series for Fig 5.1a (all transitions) and Fig 5.1b (outgoing only)."""
     table = run_table_5_1(process_counts, properties)
-    all_series: Dict[str, List[int]] = {name: [] for name in properties}
-    outgoing_series: Dict[str, List[int]] = {name: [] for name in properties}
+    all_series: dict[str, list[int]] = {name: [] for name in properties}
+    outgoing_series: dict[str, list[int]] = {name: [] for name in properties}
     for row in table:
         all_series[row["property"]].append(row["total"])
         outgoing_series[row["property"]].append(row["outgoing"])
     return {"all_transitions": all_series, "outgoing_transitions": outgoing_series}
 
 
-def run_fig_5_2_5_3(num_processes: int = 2) -> Dict[str, str]:
+def run_fig_5_2_5_3(num_processes: int = 2) -> dict[str, str]:
     """Textual rendering of the monitor automata shown in Figures 5.2/5.3."""
     return {
         name: case_study_monitor(name, num_processes).describe()
@@ -121,164 +121,48 @@ def run_fig_5_2_5_3(num_processes: int = 2) -> Dict[str, str]:
 # ---------------------------------------------------------------------------
 # Simulated monitoring experiments (Figures 5.4 – 5.9)
 # ---------------------------------------------------------------------------
-def _replication_metrics(
-    args: Tuple[str, int, Optional[float], int, float, float, float, float,
-                Mapping[str, bool], Optional[int], int],
-) -> Dict[str, float]:
-    """Run one replication and return its slim metric record.
-
-    Module-level (and fed plain picklable arguments) so it can serve as the
-    task function of a :class:`~concurrent.futures.ProcessPoolExecutor`;
-    the monitor automata are rebuilt lazily per worker process through the
-    ``case_study_monitor`` cache.
-    """
-    (
-        property_name,
-        num_processes,
-        comm_mu,
-        events_per_process,
-        evt_mu,
-        evt_sigma,
-        comm_sigma,
-        truth_probability,
-        initial_valuation,
-        max_views_per_state,
-        seed,
-    ) = args
-    registry = case_study_registry(num_processes)
-    automaton = case_study_monitor(property_name, num_processes)
-    config = WorkloadConfig(
-        num_processes=num_processes,
-        events_per_process=events_per_process,
-        evt_mu=evt_mu,
-        evt_sigma=evt_sigma,
-        comm_mu=comm_mu,
-        comm_sigma=comm_sigma,
-        truth_probability=truth_probability,
-        initial_valuation=dict(initial_valuation),
-        seed=seed,
-    )
-    computation = generate_computation(config)
-    report = simulate_monitored_run(
-        computation,
-        automaton,
-        registry,
-        seed=config.seed,
-        max_views_per_state=max_views_per_state,
-    )
-    return {
-        "events": float(report.total_events),
-        "messages": float(report.monitor_messages),
-        "token_messages": float(report.token_messages),
-        "global_views": float(report.total_global_views),
-        "delayed_events": float(report.delayed_events),
-        "delay_time_pct_per_view": report.delay_time_percentage_per_view,
-    }
-
-
 def run_monitoring_experiment(
     property_name: str,
     num_processes: int,
     scale: ExperimentScale = DEFAULT_SCALE,
-    comm_mu: Optional[float] = "default",
+    comm_mu: float | None | str = "default",
     seed_offset: int = 0,
-    pool: Optional[ProcessPoolExecutor] = None,
-) -> Dict[str, float]:
+    pool: ProcessPoolExecutor | None = None,
+    scenario: str = "paper-default",
+) -> dict[str, float]:
     """Run the monitored workload for one (property, process-count) point.
 
     Replicates the experiment ``scale.replications`` times with different
     trace seeds (as in Section 5.3, which averages three replications) and
-    returns the averaged metrics.  With ``scale.workers > 1`` the
-    replications run in a process pool; each replication's RNG seed is a
-    pure function of ``scale.base_seed`` and its index, so the averaged
-    metrics are byte-identical to a serial run.  Sweeps calling this for
-    many points can pass a shared *pool* to amortise worker start-up (see
-    :func:`run_fig_5_4_5_5`); without one, a pool is created per call.
+    returns the averaged metrics.  A thin wrapper over the scenario engine:
+    the point runs under *scenario* (default: the paper's own condition) and
+    with ``scale.workers > 1`` its replications shard over a process pool,
+    byte-identically to a serial run.
     """
-    if comm_mu == "default":
-        comm_mu = scale.comm_mu
-    # Trace design (Section 5.1): traces keep the property "alive" for most of
-    # the run and reach a conclusive state near the end.  For the G(… U …)
-    # properties (A, C, D, F) the initial valuation satisfies the obligations
-    # and propositions are mostly true; for the F(…) properties (B, E) the
-    # target conjunction is rare until the forced all-true final events.
-    if property_name.upper() in ("B", "E"):
-        initial_valuation = {"p": False, "q": False}
-        truth_probability = 0.3
-    else:
-        initial_valuation = {"p": True, "q": True}
-        truth_probability = 0.85
-    tasks = [
-        (
-            property_name,
-            num_processes,
-            comm_mu,
-            scale.events_per_process,
-            scale.evt_mu,
-            scale.evt_sigma,
-            scale.comm_sigma,
-            truth_probability,
-            initial_valuation,
-            scale.max_views_per_state,
-            scale.base_seed + 31 * replication + seed_offset,
-        )
-        for replication in range(scale.replications)
-    ]
-    workers = max(1, min(scale.workers, len(tasks)))
-    if pool is not None:
-        reports = list(pool.map(_replication_metrics, tasks))
-    elif workers > 1:
-        with ProcessPoolExecutor(max_workers=workers) as fresh_pool:
-            reports = list(fresh_pool.map(_replication_metrics, tasks))
-    else:
-        reports = [_replication_metrics(task) for task in tasks]
-
-    def mean(values: Iterable[float]) -> float:
-        values = list(values)
-        return statistics.fmean(values) if values else 0.0
-
-    return {
-        "property": property_name,
-        "processes": num_processes,
-        "events": mean(r["events"] for r in reports),
-        "messages": mean(r["messages"] for r in reports),
-        "token_messages": mean(r["token_messages"] for r in reports),
-        "global_views": mean(r["global_views"] for r in reports),
-        "delayed_events": mean(r["delayed_events"] for r in reports),
-        "delay_time_pct_per_view": mean(
-            r["delay_time_pct_per_view"] for r in reports
-        ),
-        "log_events": math.log10(max(1.0, mean(r["events"] for r in reports))),
-        "log_messages": math.log10(max(1.0, mean(r["messages"] for r in reports))),
-    }
+    point = GridPoint(property_name, num_processes, comm_mu, seed_offset)
+    return execute_points(get_scenario(scenario), [point], scale, pool=pool)[0]
 
 
 def run_fig_5_4_5_5(
     properties: Sequence[str] = PROPERTY_NAMES,
     scale: ExperimentScale = DEFAULT_SCALE,
-) -> List[Dict[str, float]]:
+) -> list[dict[str, float]]:
     """Messages overhead vs. number of processes for all properties.
 
     Figure 5.4 plots properties A–C, Figure 5.5 properties D–F; both use the
     same experiment, so a single sweep covers them.  With
-    ``scale.workers > 1`` one process pool is shared by every point of the
-    sweep, so worker start-up (and, on spawn-based platforms, automaton
-    reconstruction) is paid once instead of per point.
+    ``scale.workers > 1`` the engine shards the full
+    (property × process-count × replication) cell product across one process
+    pool, keeping every worker busy for the whole sweep.
     """
-    points = [(name, n) for name in properties for n in scale.process_counts]
-    if scale.workers > 1 and points:
-        with ProcessPoolExecutor(max_workers=scale.workers) as pool:
-            return [
-                run_monitoring_experiment(name, n, scale, pool=pool)
-                for name, n in points
-            ]
-    return [run_monitoring_experiment(name, n, scale) for name, n in points]
+    grid = SweepGrid(properties=tuple(properties))
+    return execute_sweep(get_scenario("paper-default"), scale, grid=grid)
 
 
 def run_fig_5_6(
     properties: Sequence[str] = PROPERTY_NAMES,
     scale: ExperimentScale = DEFAULT_SCALE,
-) -> List[Dict[str, float]]:
+) -> list[dict[str, float]]:
     """Delay-time percentage per global view vs. process count (Fig 5.6)."""
     return [
         {
@@ -293,7 +177,7 @@ def run_fig_5_6(
 def run_fig_5_7(
     properties: Sequence[str] = PROPERTY_NAMES,
     scale: ExperimentScale = DEFAULT_SCALE,
-) -> List[Dict[str, float]]:
+) -> list[dict[str, float]]:
     """Average delayed (queued) events vs. process count (Fig 5.7)."""
     return [
         {
@@ -308,7 +192,7 @@ def run_fig_5_7(
 def run_fig_5_8(
     properties: Sequence[str] = PROPERTY_NAMES,
     scale: ExperimentScale = DEFAULT_SCALE,
-) -> List[Dict[str, float]]:
+) -> list[dict[str, float]]:
     """Total global views created vs. process count (Fig 5.8)."""
     return [
         {
@@ -321,34 +205,32 @@ def run_fig_5_8(
 
 
 def run_fig_5_9(
-    comm_mus: Sequence[Optional[float]] = (3.0, 6.0, 9.0, 15.0, None),
+    comm_mus: Sequence[float | None] = (3.0, 6.0, 9.0, 15.0, None),
     num_processes: int = 4,
     property_name: str = "C",
     scale: ExperimentScale = DEFAULT_SCALE,
-) -> List[Dict[str, float]]:
+) -> list[dict[str, float]]:
     """Effect of the communication frequency (Fig 5.9).
 
     Runs property C with 4 processes while varying ``Commμ``; ``None`` is the
-    no-communication configuration.
+    no-communication configuration.  Declared as a one-property grid with a
+    ``comm_mus`` axis, so the engine shards its (Commμ × replication) cells
+    just like any other sweep.
     """
-    rows = []
-    for index, comm_mu in enumerate(comm_mus):
-        row = run_monitoring_experiment(
-            property_name,
-            num_processes,
-            scale,
-            comm_mu=comm_mu,
-            seed_offset=1000 * index,
-        )
-        row["comm_mu"] = comm_mu if comm_mu is not None else "no-comm"
-        rows.append(row)
-    return rows
+    grid = SweepGrid(
+        properties=(property_name,),
+        process_counts=(num_processes,),
+        comm_mus=tuple(comm_mus),
+    )
+    return execute_sweep(get_scenario("paper-default"), scale, grid=grid)
 
 
 # ---------------------------------------------------------------------------
 # formatting
 # ---------------------------------------------------------------------------
-def format_table(rows: Sequence[Dict[str, object]], columns: Optional[Sequence[str]] = None) -> str:
+def format_table(
+    rows: Sequence[dict[str, object]], columns: Sequence[str] | None = None
+) -> str:
     """Render a list of row dictionaries as an aligned text table."""
     rows = list(rows)
     if not rows:

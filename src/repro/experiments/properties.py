@@ -20,8 +20,9 @@ F          ``G((P0.p U (P1.p & … & Pn-1.p)) & (P0.q U (P1.q & … & Pn-1.q)))`
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 from functools import lru_cache
-from typing import Sequence, Tuple
 
 from ..ltl.monitor import MonitorAutomaton, build_monitor
 from ..ltl.predicates import PropositionRegistry
@@ -33,7 +34,7 @@ __all__ = [
     "case_study_monitor",
 ]
 
-PROPERTY_NAMES: Tuple[str, ...] = ("A", "B", "C", "D", "E", "F")
+PROPERTY_NAMES: tuple[str, ...] = ("A", "B", "C", "D", "E", "F")
 
 
 def _conj(atoms: Sequence[str]) -> str:

@@ -29,7 +29,7 @@ Class           Concrete syntax          Meaning
 from __future__ import annotations
 
 import weakref
-from typing import Dict, Iterator, Tuple
+from collections.abc import Iterable, Iterator
 
 __all__ = [
     "Formula",
@@ -94,7 +94,7 @@ class Formula:
     )
 
     #: tuple of child formulas, overridden by subclasses
-    children: Tuple["Formula", ...] = ()
+    children: tuple["Formula", ...] = ()
 
     def _key(self) -> tuple:
         raise NotImplementedError
@@ -135,7 +135,7 @@ class Formula:
         return Implies(self, other)
 
     # -- traversal -----------------------------------------------------------
-    def walk(self) -> Iterator["Formula"]:
+    def walk(self) -> Iterator[Formula]:
         """Yield this node and all descendants (pre-order)."""
         yield self
         for child in self.children:
@@ -154,7 +154,7 @@ class TrueConst(Formula):
     """The constant ``true``."""
 
     __slots__ = ()
-    children: Tuple[Formula, ...] = ()
+    children: tuple[Formula, ...] = ()
 
     def _key(self) -> tuple:
         return ("true",)
@@ -167,7 +167,7 @@ class FalseConst(Formula):
     """The constant ``false``."""
 
     __slots__ = ()
-    children: Tuple[Formula, ...] = ()
+    children: tuple[Formula, ...] = ()
 
     def _key(self) -> tuple:
         return ("false",)
@@ -193,14 +193,14 @@ class Atom(Formula):
     """
 
     __slots__ = ("name",)
-    children: Tuple[Formula, ...] = ()
+    children: tuple[Formula, ...] = ()
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         if not name:
             raise ValueError("atomic proposition name must be non-empty")
         object.__setattr__(self, "name", name)
 
-    def __setattr__(self, key, value):  # immutability guard
+    def __setattr__(self, key: str, value: object) -> None:  # immutability guard
         raise AttributeError("Formula instances are immutable")
 
     def _key(self) -> tuple:
@@ -214,13 +214,13 @@ class _Unary(Formula):
     __slots__ = ("operand", "children")
     _symbol = "?"
 
-    def __init__(self, operand: Formula):
+    def __init__(self, operand: Formula) -> None:
         if not isinstance(operand, Formula):
             raise TypeError(f"expected Formula, got {type(operand).__name__}")
         object.__setattr__(self, "operand", operand)
         object.__setattr__(self, "children", (operand,))
 
-    def __setattr__(self, key, value):
+    def __setattr__(self, key: str, value: object) -> None:
         raise AttributeError("Formula instances are immutable")
 
     def _key(self) -> tuple:
@@ -234,14 +234,14 @@ class _Binary(Formula):
     __slots__ = ("left", "right", "children")
     _symbol = "?"
 
-    def __init__(self, left: Formula, right: Formula):
+    def __init__(self, left: Formula, right: Formula) -> None:
         if not isinstance(left, Formula) or not isinstance(right, Formula):
             raise TypeError("expected Formula operands")
         object.__setattr__(self, "left", left)
         object.__setattr__(self, "right", right)
         object.__setattr__(self, "children", (left, right))
 
-    def __setattr__(self, key, value):
+    def __setattr__(self, key: str, value: object) -> None:
         raise AttributeError("Formula instances are immutable")
 
     def _key(self) -> tuple:
@@ -334,13 +334,13 @@ class Always(_Unary):
         return f"G({self.operand})"
 
 
-def atoms_of(formula: Formula) -> Tuple[str, ...]:
+def atoms_of(formula: Formula) -> tuple[str, ...]:
     """Return the sorted tuple of atomic proposition names used in *formula*."""
     names = {f.name for f in formula.walk() if isinstance(f, Atom)}
     return tuple(sorted(names))
 
 
-def subformulas(formula: Formula) -> Tuple[Formula, ...]:
+def subformulas(formula: Formula) -> tuple[Formula, ...]:
     """Return the set of distinct subformulas of *formula* (including itself)."""
     seen = []
     seen_keys = set()
@@ -368,7 +368,7 @@ def intern_table_size() -> int:
     return len(_INTERN_TABLE)
 
 
-def _interned(cls, key: tuple, *args) -> Formula:
+def _interned(cls: type, key: tuple, *args: object) -> Formula:
     formula = _INTERN_TABLE.get(key)
     if formula is None:
         formula = cls(*args)
@@ -464,7 +464,7 @@ def _flatten_into(formula: Formula, cls, out: list) -> None:
         out.append(formula)
 
 
-def _mk_nary(cls, operands) -> Formula:
+def _mk_nary(cls: type, operands: Iterable[Formula]) -> Formula:
     absorbing = FALSE if cls is And else TRUE
     identity = TRUE if cls is And else FALSE
     parts: list = []

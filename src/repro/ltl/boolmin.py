@@ -19,18 +19,19 @@ two propositions each), for which this exact method is comfortably fast.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+from collections.abc import Iterable, Sequence
+
 
 __all__ = ["Implicant", "minimize_letters", "implicant_to_str"]
 
 #: An implicant maps a variable name to the required truth value.  Variables
 #: absent from the mapping are don't-cares.  The empty implicant is ``true``.
-Implicant = Dict[str, bool]
+Implicant = dict[str, bool]
 
 
 def _letters_to_minterms(
-    letters: Iterable[FrozenSet[str]], variables: Sequence[str]
-) -> List[int]:
+    letters: Iterable[frozenset[str]], variables: Sequence[str]
+) -> list[int]:
     """Encode each letter (set of true atoms) as an integer minterm."""
     index = {v: i for i, v in enumerate(variables)}
     minterms = []
@@ -44,8 +45,8 @@ def _letters_to_minterms(
 
 
 def _combine(
-    term_a: Tuple[int, int], term_b: Tuple[int, int]
-) -> Tuple[int, int] | None:
+    term_a: tuple[int, int], term_b: tuple[int, int]
+) -> tuple[int, int] | None:
     """Combine two (value, mask) terms differing in exactly one cared bit."""
     value_a, mask_a = term_a
     value_b, mask_b = term_b
@@ -57,7 +58,7 @@ def _combine(
     return value_a & ~diff, mask_a | diff
 
 
-def _prime_implicants(minterms: List[int], nbits: int) -> List[Tuple[int, int]]:
+def _prime_implicants(minterms: list[int], nbits: int) -> list[tuple[int, int]]:
     """Classic iterative combination returning all prime implicants.
 
     Terms are ``(value, dontcare_mask)`` pairs; a bit set in the mask means
@@ -70,7 +71,7 @@ def _prime_implicants(minterms: List[int], nbits: int) -> List[Tuple[int, int]]:
         combined = set()
         current_list = sorted(current)
         # group by (mask, popcount) to limit the pairs examined
-        groups: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+        groups: dict[tuple[int, int], list[tuple[int, int]]] = {}
         for term in current_list:
             value, mask = term
             key = (mask, bin(value).count("1"))
@@ -90,14 +91,14 @@ def _prime_implicants(minterms: List[int], nbits: int) -> List[Tuple[int, int]]:
     return sorted(primes)
 
 
-def _covers(term: Tuple[int, int], minterm: int) -> bool:
+def _covers(term: tuple[int, int], minterm: int) -> bool:
     value, mask = term
     return (minterm & ~mask) == (value & ~mask)
 
 
 def _cover(
-    primes: List[Tuple[int, int]], minterms: List[int]
-) -> List[Tuple[int, int]]:
+    primes: list[tuple[int, int]], minterms: list[int]
+) -> list[tuple[int, int]]:
     """Select a small subset of primes covering all minterms.
 
     Essential primes are chosen first, then a greedy largest-cover heuristic
@@ -106,7 +107,7 @@ def _cover(
     paper's automata were produced by practical tooling.
     """
     remaining = set(minterms)
-    chosen: List[Tuple[int, int]] = []
+    chosen: list[tuple[int, int]] = []
     coverage = {p: {m for m in minterms if _covers(p, m)} for p in primes}
 
     # essential primes: minterms covered by exactly one prime
@@ -127,8 +128,8 @@ def _cover(
 
 
 def minimize_letters(
-    letters: Iterable[FrozenSet[str]], variables: Sequence[str]
-) -> List[Implicant]:
+    letters: Iterable[frozenset[str]], variables: Sequence[str]
+) -> list[Implicant]:
     """Express the set of *letters* as a small list of conjunctive implicants.
 
     Parameters
@@ -156,7 +157,7 @@ def minimize_letters(
         return [{}]
     primes = _prime_implicants(minterms, nbits)
     cover = _cover(primes, minterms)
-    implicants: List[Implicant] = []
+    implicants: list[Implicant] = []
     for value, mask in sorted(cover):
         imp: Implicant = {}
         for i, var in enumerate(variables):

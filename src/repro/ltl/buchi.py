@@ -20,8 +20,8 @@ ingredient of the LTL3 monitor construction (Bauer–Leucker–Schallhart).
 from __future__ import annotations
 
 import itertools
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
 
 from .ast import (
     And,
@@ -54,10 +54,10 @@ class Guard:
     the guard to be satisfied by a letter (a set of true atoms).
     """
 
-    positive: FrozenSet[str]
-    negative: FrozenSet[str]
+    positive: frozenset[str]
+    negative: frozenset[str]
 
-    def satisfied_by(self, letter: FrozenSet[str]) -> bool:
+    def satisfied_by(self, letter: frozenset[str]) -> bool:
         return self.positive <= letter and not (self.negative & letter)
 
     def is_consistent(self) -> bool:
@@ -87,13 +87,13 @@ class BuchiAutomaton:
         The atomic propositions the guards may mention.
     """
 
-    states: Set[object] = field(default_factory=set)
-    initial: Set[object] = field(default_factory=set)
-    transitions: Dict[object, List[Tuple[Guard, object]]] = field(default_factory=dict)
-    accepting: Set[object] = field(default_factory=set)
-    atoms: Tuple[str, ...] = ()
+    states: set[object] = field(default_factory=set)
+    initial: set[object] = field(default_factory=set)
+    transitions: dict[object, list[tuple[Guard, object]]] = field(default_factory=dict)
+    accepting: set[object] = field(default_factory=set)
+    atoms: tuple[str, ...] = ()
 
-    def successors(self, state: object, letter: FrozenSet[str]) -> Set[object]:
+    def successors(self, state: object, letter: frozenset[str]) -> set[object]:
         """States reachable from *state* by reading *letter*."""
         result = set()
         for guard, target in self.transitions.get(state, ()):
@@ -101,11 +101,11 @@ class BuchiAutomaton:
                 result.add(target)
         return result
 
-    def run_prefix(self, word: Sequence[FrozenSet[str]]) -> Set[object]:
+    def run_prefix(self, word: Sequence[frozenset[str]]) -> set[object]:
         """The set of states reachable from the initial states on *word*."""
         current = set(self.initial)
         for letter in word:
-            nxt: Set[object] = set()
+            nxt: set[object] = set()
             for state in current:
                 nxt |= self.successors(state, letter)
             current = nxt
@@ -135,11 +135,11 @@ class _Node:
 
     def __init__(
         self,
-        incoming: Set[int],
-        new: Set[Formula],
-        old: Set[Formula],
-        nxt: Set[Formula],
-    ):
+        incoming: set[int],
+        new: set[Formula],
+        old: set[Formula],
+        nxt: set[Formula],
+    ) -> None:
         self.name = next(_Node._counter)
         self.incoming = set(incoming)
         self.new = set(new)
@@ -162,7 +162,7 @@ def _negation_of(formula: Formula) -> Formula:
     return Not(formula)
 
 
-def _expand(node: _Node, nodes: List[_Node]) -> List[_Node]:
+def _expand(node: _Node, nodes: list[_Node]) -> list[_Node]:
     """The recursive ``expand`` procedure of GPVW (iterative set semantics)."""
     if not node.new:
         for existing in nodes:
@@ -202,7 +202,7 @@ def _expand(node: _Node, nodes: List[_Node]) -> List[_Node]:
         if isinstance(formula, Or):
             new1 = {formula.left}
             new2 = {formula.right}
-            next1: Set[Formula] = set()
+            next1: set[Formula] = set()
         elif isinstance(formula, Until):
             new1 = {formula.left}
             new2 = {formula.right}
@@ -241,7 +241,7 @@ def _node_guard(node: _Node) -> Guard:
     return Guard(frozenset(positive), frozenset(negative))
 
 
-def _tableau(formula: Formula) -> Tuple[List[_Node], List[Formula]]:
+def _tableau(formula: Formula) -> tuple[list[_Node], list[Formula]]:
     """Run the GPVW expansion and return the nodes plus the Until subformulas."""
     nnf = simplify(to_nnf(formula))
     start = _Node(incoming={_INIT}, new={nnf}, old=set(), nxt=set())
@@ -283,7 +283,7 @@ def ltl_to_buchi(formula: Formula, atoms: Sequence[str] | None = None) -> BuchiA
     node_by_name = {node.name: node for node in nodes}
     gba_states = set(node_by_name)
     gba_initial = {node.name for node in nodes if _INIT in node.incoming}
-    gba_edges: Dict[int, List[Tuple[Guard, int]]] = {name: [] for name in gba_states}
+    gba_edges: dict[int, list[tuple[Guard, int]]] = {name: [] for name in gba_states}
     for node in nodes:
         guard = _node_guard(node)
         for source in node.incoming:
@@ -293,7 +293,7 @@ def ltl_to_buchi(formula: Formula, atoms: Sequence[str] | None = None) -> BuchiA
 
     # acceptance sets: for each Until f1 U f2, nodes where the until is
     # either not pending or already fulfilled
-    acceptance_sets: List[Set[int]] = []
+    acceptance_sets: list[set[int]] = []
     for until in untils:
         acceptance_sets.append(
             {
@@ -308,11 +308,11 @@ def ltl_to_buchi(formula: Formula, atoms: Sequence[str] | None = None) -> BuchiA
     # --- degeneralisation --------------------------------------------------
     k = len(acceptance_sets)
     nba = BuchiAutomaton(atoms=tuple(atoms))
-    initial_guards: Dict[int, Guard] = {
+    initial_guards: dict[int, Guard] = {
         node.name: _node_guard(node) for node in nodes
     }
 
-    def deg_state(name: int, copy: int) -> Tuple[int, int]:
+    def deg_state(name: int, copy: int) -> tuple[int, int]:
         return (name, copy)
 
     # A fresh initial state reading the first letter via the guards of the
@@ -355,14 +355,14 @@ def ltl_to_buchi(formula: Formula, atoms: Sequence[str] | None = None) -> BuchiA
 
 
 def _strongly_connected_components(
-    states: Set[object], edges: Dict[object, List[object]]
-) -> List[Set[object]]:
+    states: set[object], edges: dict[object, list[object]]
+) -> list[set[object]]:
     """Iterative Tarjan SCC computation (avoids Python recursion limits)."""
-    index: Dict[object, int] = {}
-    lowlink: Dict[object, int] = {}
-    on_stack: Set[object] = set()
-    stack: List[object] = []
-    result: List[Set[object]] = []
+    index: dict[object, int] = {}
+    lowlink: dict[object, int] = {}
+    on_stack: set[object] = set()
+    stack: list[object] = []
+    result: list[set[object]] = []
     counter = itertools.count()
 
     for root in states:
@@ -403,18 +403,18 @@ def _strongly_connected_components(
     return result
 
 
-def nonempty_states(automaton: BuchiAutomaton) -> Set[object]:
+def nonempty_states(automaton: BuchiAutomaton) -> set[object]:
     """States of *automaton* from which the accepted language is non-empty.
 
     A state's language is non-empty iff it can reach an accepting state that
     lies on a cycle (equivalently, an accepting state inside a non-trivial
     strongly connected component or with a self-loop).
     """
-    succ: Dict[object, List[object]] = {
+    succ: dict[object, list[object]] = {
         s: [t for _, t in automaton.transitions.get(s, ())] for s in automaton.states
     }
     components = _strongly_connected_components(set(automaton.states), succ)
-    live_accepting: Set[object] = set()
+    live_accepting: set[object] = set()
     for component in components:
         nontrivial = len(component) > 1 or any(
             s in succ.get(s, ()) for s in component
@@ -424,7 +424,7 @@ def nonempty_states(automaton: BuchiAutomaton) -> Set[object]:
         live_accepting |= component & automaton.accepting
 
     # backward reachability from live accepting states
-    predecessors: Dict[object, Set[object]] = {s: set() for s in automaton.states}
+    predecessors: dict[object, set[object]] = {s: set() for s in automaton.states}
     for source, targets in succ.items():
         for target in targets:
             predecessors.setdefault(target, set()).add(source)

@@ -8,12 +8,13 @@ restriction, product of subset constructions and Moore minimisation — used by
 
 from __future__ import annotations
 
+from collections.abc import Callable, Hashable, Sequence
+
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, Hashable, List, Sequence, Tuple
 
 __all__ = ["MooreMachine", "determinize"]
 
-Letter = FrozenSet[str]
+Letter = frozenset[str]
 
 
 @dataclass
@@ -32,20 +33,20 @@ class MooreMachine:
         ``outputs[state]`` is the (hashable) output of the state.
     """
 
-    letters: Tuple[Letter, ...]
+    letters: tuple[Letter, ...]
     initial: int
-    delta: List[List[int]]
-    outputs: List[Hashable]
-    state_names: List[str] = field(default_factory=list)
+    delta: list[list[int]]
+    outputs: list[Hashable]
+    state_names: list[str] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if not self.state_names:
             self.state_names = [f"q{i}" for i in range(len(self.outputs))]
-        self._letter_index: Dict[Letter, int] = {
+        self._letter_index: dict[Letter, int] = {
             letter: i for i, letter in enumerate(self.letters)
         }
         #: atoms the machine's alphabet actually mentions, for projection
-        self._atoms: FrozenSet[str] = frozenset().union(*self.letters) if self.letters else frozenset()
+        self._atoms: frozenset[str] = frozenset().union(*self.letters) if self.letters else frozenset()
         if len(self.delta) != len(self.outputs):
             raise ValueError("delta and outputs must have the same number of states")
         for row in self.delta:
@@ -71,7 +72,7 @@ class MooreMachine:
             self._letter_index[letter] = column
         return self.delta[state][column]
 
-    def _atom_universe(self) -> FrozenSet[str]:
+    def _atom_universe(self) -> frozenset[str]:
         return self._atoms
 
     def run(self, word: Sequence[Letter], start: int | None = None) -> int:
@@ -119,7 +120,7 @@ class MooreMachine:
         machine = self.reachable()
         n = machine.num_states
         # initial partition: by output
-        outputs_to_block: Dict[Hashable, int] = {}
+        outputs_to_block: dict[Hashable, int] = {}
         block_of = [0] * n
         for state in range(n):
             key = machine.outputs[state]
@@ -128,7 +129,7 @@ class MooreMachine:
             block_of[state] = outputs_to_block[key]
 
         while True:
-            signature: Dict[Tuple, int] = {}
+            signature: dict[tuple, int] = {}
             new_block_of = [0] * n
             for state in range(n):
                 sig = (
@@ -164,7 +165,7 @@ class MooreMachine:
         )
         return minimized.reachable()
 
-    def letters_between(self, source: int, target: int) -> List[Letter]:
+    def letters_between(self, source: int, target: int) -> list[Letter]:
         """All letters taking *source* to *target* in one step."""
         return [
             letter
@@ -175,9 +176,9 @@ class MooreMachine:
 
 def determinize(
     letters: Sequence[Letter],
-    initial_sets: Sequence[FrozenSet[Hashable]],
-    successor_fns: Sequence[Callable[[FrozenSet[Hashable], Letter], FrozenSet[Hashable]]],
-    output_fn: Callable[[Tuple[FrozenSet[Hashable], ...]], Hashable],
+    initial_sets: Sequence[frozenset[Hashable]],
+    successor_fns: Sequence[Callable[[frozenset[Hashable], Letter], frozenset[Hashable]]],
+    output_fn: Callable[[tuple[frozenset[Hashable], ...]], Hashable],
 ) -> MooreMachine:
     """Joint subset construction of several NFAs into one Moore machine.
 
@@ -188,13 +189,13 @@ def determinize(
     """
     letters = tuple(letters)
     initial = tuple(initial_sets)
-    index: Dict[Tuple[FrozenSet[Hashable], ...], int] = {initial: 0}
-    order: List[Tuple[FrozenSet[Hashable], ...]] = [initial]
-    delta: List[List[int]] = []
+    index: dict[tuple[frozenset[Hashable], ...], int] = {initial: 0}
+    order: list[tuple[frozenset[Hashable], ...]] = [initial]
+    delta: list[list[int]] = []
     frontier = [initial]
     while frontier:
         product = frontier.pop(0)
-        row: List[int] = []
+        row: list[int] = []
         for letter in letters:
             successor = tuple(
                 successor_fns[i](product[i], letter) for i in range(len(product))

@@ -25,8 +25,9 @@ Construction
 
 from __future__ import annotations
 
+from collections.abc import Callable, Mapping, Sequence
+
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from .ast import Formula, Not, atoms_of
 from .boolmin import implicant_to_str, minimize_letters
@@ -38,7 +39,7 @@ from .verdict import Verdict
 
 __all__ = ["Transition", "MonitorAutomaton", "build_monitor"]
 
-Letter = FrozenSet[str]
+Letter = frozenset[str]
 
 
 @dataclass(frozen=True)
@@ -90,12 +91,12 @@ class MonitorAutomaton:
         machine: MooreMachine,
     ) -> None:
         self.formula = formula
-        self.atoms: Tuple[str, ...] = tuple(atoms)
+        self.atoms: tuple[str, ...] = tuple(atoms)
         self._machine = machine
         self.initial_state: int = machine.initial
-        self.transitions: List[Transition] = self._build_transitions()
-        self._outgoing: Dict[int, List[Transition]] = {}
-        self._self_loops: Dict[int, List[Transition]] = {}
+        self.transitions: list[Transition] = self._build_transitions()
+        self._outgoing: dict[int, list[Transition]] = {}
+        self._self_loops: dict[int, list[Transition]] = {}
         for transition in self.transitions:
             if transition.is_self_loop:
                 self._self_loops.setdefault(transition.source, []).append(transition)
@@ -105,8 +106,8 @@ class MonitorAutomaton:
     # ------------------------------------------------------------------
     # construction helpers
     # ------------------------------------------------------------------
-    def _build_transitions(self) -> List[Transition]:
-        transitions: List[Transition] = []
+    def _build_transitions(self) -> list[Transition]:
+        transitions: list[Transition] = []
         next_id = 0
         machine = self._machine
         for source in range(machine.num_states):
@@ -133,7 +134,7 @@ class MonitorAutomaton:
         return self._machine.num_states
 
     @property
-    def states(self) -> List[int]:
+    def states(self) -> list[int]:
         return list(range(self._machine.num_states))
 
     def verdict(self, state: int) -> Verdict:
@@ -159,18 +160,18 @@ class MonitorAutomaton:
     # ------------------------------------------------------------------
     # predicate-level view (used by the decentralized algorithm)
     # ------------------------------------------------------------------
-    def outgoing_transitions(self, state: int) -> List[Transition]:
+    def outgoing_transitions(self, state: int) -> list[Transition]:
         """Non-self-loop transitions leaving *state*."""
         return list(self._outgoing.get(state, ()))
 
-    def self_loop_transitions(self, state: int) -> List[Transition]:
+    def self_loop_transitions(self, state: int) -> list[Transition]:
         """Self-loop transitions of *state*."""
         return list(self._self_loops.get(state, ()))
 
     def transition_by_id(self, transition_id: int) -> Transition:
         return self.transitions[transition_id]
 
-    def enabled_transition(self, state: int, letter: Letter) -> Optional[Transition]:
+    def enabled_transition(self, state: int, letter: Letter) -> Transition | None:
         """The unique transition of *state* enabled by *letter*, if any.
 
         Because the underlying machine is deterministic and complete, exactly
@@ -190,7 +191,7 @@ class MonitorAutomaton:
     # ------------------------------------------------------------------
     # statistics for Table 5.1 / Fig 5.1
     # ------------------------------------------------------------------
-    def transition_counts(self) -> Dict[str, int]:
+    def transition_counts(self) -> dict[str, int]:
         """Counts of total / outgoing / self-loop conjunctive transitions."""
         self_loops = sum(1 for t in self.transitions if t.is_self_loop)
         outgoing = len(self.transitions) - self_loops
@@ -282,10 +283,12 @@ def build_monitor(
     live_pos = nonempty_states(positive)
     live_neg = nonempty_states(negative)
 
-    def successor_fn(automaton: BuchiAutomaton):
+    def successor_fn(
+        automaton: BuchiAutomaton,
+    ) -> Callable[[frozenset[object], Letter], frozenset[object]]:
         transition_table = automaton.transitions
 
-        def advance(subset: FrozenSet[object], letter: Letter) -> FrozenSet[object]:
+        def advance(subset: frozenset[object], letter: Letter) -> frozenset[object]:
             result = set()
             for state in subset:
                 for guard, target in transition_table.get(state, ()):
@@ -295,7 +298,7 @@ def build_monitor(
 
         return advance
 
-    def output_fn(product: Tuple[FrozenSet[object], ...]) -> Verdict:
+    def output_fn(product: tuple[frozenset[object], ...]) -> Verdict:
         pos_subset, neg_subset = product
         if not (pos_subset & live_pos):
             return Verdict.BOTTOM

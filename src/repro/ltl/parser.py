@@ -19,7 +19,7 @@ paper's running example ``G((x1>=5) -> ((x2>=15) U (x1=10)))``.
 from __future__ import annotations
 
 import re
-from typing import List, NamedTuple
+from typing import NamedTuple
 
 from .ast import (
     FALSE,
@@ -82,8 +82,8 @@ _KEYWORDS = {
 }
 
 
-def _tokenize(text: str) -> List[_Token]:
-    tokens: List[_Token] = []
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
     pos = 0
     while pos < len(text):
         m = _TOKEN_RE.match(text, pos)
@@ -110,7 +110,7 @@ def _tokenize(text: str) -> List[_Token]:
 
 
 class _Parser:
-    def __init__(self, tokens: List[_Token]):
+    def __init__(self, tokens: list[_Token]) -> None:
         self.tokens = tokens
         self.index = 0
 

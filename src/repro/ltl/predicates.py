@@ -14,8 +14,9 @@ owned by ``P1`` and ``P2.p`` is owned by ``P2``).  This module provides:
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterable, Mapping, Sequence
+
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Sequence, Tuple
 
 __all__ = ["LocalState", "Proposition", "PropositionRegistry"]
 
@@ -58,7 +59,7 @@ class Proposition:
 
         ``op`` is one of ``<``, ``<=``, ``==``, ``!=``, ``>=``, ``>``.
         """
-        operators: Dict[str, Callable[[object, object], bool]] = {
+        operators: dict[str, Callable[[object, object], bool]] = {
             "<": lambda a, b: a < b,
             "<=": lambda a, b: a <= b,
             "==": lambda a, b: a == b,
@@ -77,22 +78,22 @@ class Proposition:
 class PropositionRegistry:
     """The complete set of propositions monitored over a distributed program."""
 
-    def __init__(self, propositions: Iterable[Proposition]):
-        self._by_name: Dict[str, Proposition] = {}
+    def __init__(self, propositions: Iterable[Proposition]) -> None:
+        self._by_name: dict[str, Proposition] = {}
         for proposition in propositions:
             if proposition.name in self._by_name:
                 raise ValueError(f"duplicate proposition name {proposition.name!r}")
             self._by_name[proposition.name] = proposition
-        self._by_owner: Dict[int, List[Proposition]] = {}
+        self._by_owner: dict[int, list[Proposition]] = {}
         for proposition in self._by_name.values():
             self._by_owner.setdefault(proposition.owner, []).append(proposition)
         #: memo for :meth:`conjuncts_by_process`; guards come from a fixed
         #: monitor automaton, so the key space is small and bounded
-        self._conjunct_cache: Dict[tuple, Tuple[Dict[str, bool], ...]] = {}
+        self._conjunct_cache: dict[tuple, tuple[dict[str, bool], ...]] = {}
 
     # -- introspection -------------------------------------------------
     @property
-    def names(self) -> List[str]:
+    def names(self) -> list[str]:
         """All proposition names, sorted."""
         return sorted(self._by_name)
 
@@ -109,12 +110,12 @@ class PropositionRegistry:
         """Process index owning proposition *name*."""
         return self._by_name[name].owner
 
-    def owned_by(self, process: int) -> List[Proposition]:
+    def owned_by(self, process: int) -> list[Proposition]:
         """Propositions owned by *process*."""
         return list(self._by_owner.get(process, ()))
 
     # -- evaluation ------------------------------------------------------
-    def local_letter(self, process: int, local_state: LocalState) -> FrozenSet[str]:
+    def local_letter(self, process: int, local_state: LocalState) -> frozenset[str]:
         """The true propositions of *process* in *local_state*."""
         return frozenset(
             p.name
@@ -122,7 +123,7 @@ class PropositionRegistry:
             if p.holds_in(local_state)
         )
 
-    def letter_of(self, global_state: Sequence[LocalState]) -> FrozenSet[str]:
+    def letter_of(self, global_state: Sequence[LocalState]) -> frozenset[str]:
         """The letter (set of true propositions) of a full global state."""
         true_atoms = set()
         for proposition in self._by_name.values():
@@ -134,7 +135,7 @@ class PropositionRegistry:
     # -- guard decomposition ---------------------------------------------
     def conjuncts_by_process(
         self, guard: Mapping[str, bool], num_processes: int
-    ) -> Tuple[Dict[str, bool], ...]:
+    ) -> tuple[dict[str, bool], ...]:
         """Split a conjunctive transition guard into per-process conjuncts.
 
         The result has one entry per process: the literals of the guard owned
@@ -149,7 +150,7 @@ class PropositionRegistry:
         key = (frozenset(guard.items()), num_processes)
         cached = self._conjunct_cache.get(key)
         if cached is None:
-            per_process: List[Dict[str, bool]] = [dict() for _ in range(num_processes)]
+            per_process: list[dict[str, bool]] = [dict() for _ in range(num_processes)]
             for atom, required in guard.items():
                 owner = self.owner_of(atom)
                 per_process[owner][atom] = required
@@ -157,7 +158,7 @@ class PropositionRegistry:
             self._conjunct_cache[key] = cached
         return cached
 
-    def participating_processes(self, guard: Mapping[str, bool]) -> FrozenSet[int]:
+    def participating_processes(self, guard: Mapping[str, bool]) -> frozenset[int]:
         """Indices of processes owning at least one literal of *guard*."""
         return frozenset(self.owner_of(atom) for atom in guard)
 

@@ -22,7 +22,8 @@ against the general case where it is not.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Sequence, Tuple
+from collections.abc import Sequence
+
 
 from .ast import (
     FALSE,
@@ -54,7 +55,7 @@ from .verdict import Verdict
 
 __all__ = ["progress", "canonicalize", "build_progression_machine"]
 
-Letter = FrozenSet[str]
+Letter = frozenset[str]
 
 
 # ---------------------------------------------------------------------------
@@ -99,7 +100,7 @@ def _canonicalize(formula: Formula) -> Formula:
     if isinstance(formula, (And, Or)):
         cls = And if isinstance(formula, And) else Or
         mk = mk_and if cls is And else mk_or
-        operands: List[Formula] = []
+        operands: list[Formula] = []
         stack = [formula]
         while stack:
             node = stack.pop()
@@ -184,7 +185,7 @@ def build_progression_machine(
     atoms: Sequence[str] | None = None,
     max_states: int = 4096,
     verdict_machine: MooreMachine | None = None,
-) -> Tuple[MooreMachine, List[Formula]]:
+) -> tuple[MooreMachine, list[Formula]]:
     """Build the progression Moore machine for *formula*.
 
     Parameters
@@ -214,19 +215,19 @@ def build_progression_machine(
     initial_formula = canonicalize(to_nnf(formula))
     # canonical formulas are hash-consed, so they key the state index directly
     # (hash is cached, equality is a pointer comparison)
-    index: Dict[Formula, int] = {initial_formula: 0}
-    formulas: List[Formula] = [initial_formula]
-    reference_states: List[int] = (
+    index: dict[Formula, int] = {initial_formula: 0}
+    formulas: list[Formula] = [initial_formula]
+    reference_states: list[int] = (
         [verdict_machine.initial] if verdict_machine is not None else []
     )
-    delta: List[List[int]] = []
+    delta: list[list[int]] = []
     frontier = [0]
     while frontier:
         state = frontier.pop(0)
         # rows may be discovered out of order; grow delta lazily
         while len(delta) <= state:
             delta.append([])
-        row: List[int] = []
+        row: list[int] = []
         current_formula = formulas[state]
         for letter in letters:
             successor_formula = progress(current_formula, letter)
@@ -260,7 +261,7 @@ def build_progression_machine(
         delta[state] = row
 
     if verdict_machine is not None:
-        outputs: List[Verdict] = [
+        outputs: list[Verdict] = [
             verdict_machine.outputs[reference_states[i]] for i in range(len(formulas))
         ]
     else:

@@ -19,7 +19,7 @@ Two pieces are provided:
 from __future__ import annotations
 
 import itertools
-from typing import FrozenSet, Iterable, Iterator, List, Sequence, Tuple
+from collections.abc import Iterable, Iterator, Sequence
 
 from .ast import (
     Always,
@@ -51,12 +51,12 @@ __all__ = [
 ]
 
 #: A letter of the trace alphabet: the set of atomic propositions that hold.
-Assignment = FrozenSet[str]
+Assignment = frozenset[str]
 
 
-def all_assignments(atoms: Sequence[str]) -> List[Assignment]:
+def all_assignments(atoms: Sequence[str]) -> list[Assignment]:
     """All ``2^|atoms|`` truth assignments over *atoms*."""
-    result: List[Assignment] = []
+    result: list[Assignment] = []
     atoms = list(atoms)
     for bits in itertools.product((False, True), repeat=len(atoms)):
         result.append(frozenset(a for a, b in zip(atoms, bits) if b))
@@ -68,10 +68,10 @@ class _Lasso:
 
     __slots__ = ("positions", "loop_start")
 
-    def __init__(self, prefix: Sequence[Assignment], loop: Sequence[Assignment]):
+    def __init__(self, prefix: Sequence[Assignment], loop: Sequence[Assignment]) -> None:
         if len(loop) == 0:
             raise ValueError("lasso loop must be non-empty")
-        self.positions: Tuple[Assignment, ...] = tuple(prefix) + tuple(loop)
+        self.positions: tuple[Assignment, ...] = tuple(prefix) + tuple(loop)
         self.loop_start = len(prefix)
 
     def succ(self, index: int) -> int:
@@ -100,7 +100,7 @@ def evaluate_lasso(
     return values[position]
 
 
-def _eval_on_lasso(formula: Formula, word: _Lasso) -> List[bool]:
+def _eval_on_lasso(formula: Formula, word: _Lasso) -> list[bool]:
     n = len(word.positions)
     if isinstance(formula, TrueConst):
         return [True] * n
@@ -160,7 +160,7 @@ def all_lassos(
     letters: Sequence[Assignment],
     max_prefix: int,
     max_loop: int,
-) -> Iterator[Tuple[Tuple[Assignment, ...], Tuple[Assignment, ...]]]:
+) -> Iterator[tuple[tuple[Assignment, ...], tuple[Assignment, ...]]]:
     """Enumerate all lassos ``(prefix, loop)`` with bounded lengths."""
     for plen in range(max_prefix + 1):
         for prefix in itertools.product(letters, repeat=plen):
@@ -175,7 +175,7 @@ def extensions_agree(
     letters: Sequence[Assignment],
     max_prefix: int = 2,
     max_loop: int = 2,
-) -> Tuple[bool, bool]:
+) -> tuple[bool, bool]:
     """Return ``(found_satisfying, found_violating)`` extensions of *trace*.
 
     An extension is ``trace · prefix · loopʷ`` for each bounded lasso over

@@ -1,0 +1,167 @@
+"""Declarative network models: the pluggable conditions of a scenario.
+
+A :class:`NetworkModel` is a small frozen dataclass describing *how* the
+monitors' network behaves; its :meth:`~NetworkModel.build` method constructs
+the matching discrete-event network (a
+:class:`repro.core.transport.MonitorNetwork` implementation from
+:mod:`repro.sim.network`) for one simulated run.  Models are plain picklable
+values, so scenarios can be shipped to worker processes by the sharded sweep
+engine, and :meth:`~NetworkModel.describe` renders them into the
+BENCH/JSON metadata.
+
+Five conditions are provided:
+
+===================  ======================================================
+model                behaviour
+===================  ======================================================
+:class:`ReliableNetwork`       the paper's testbed: gaussian latency+jitter
+:class:`FixedLatencyNetwork`   deterministic constant latency (no jitter)
+:class:`LossyNetwork`          drops + stop-and-wait retransmission
+:class:`PartitionNetwork`      partition windows between process groups,
+                               healed when each window closes
+:class:`BurstyNetwork`         duty-cycled medium flushing at burst instants
+===================  ======================================================
+
+All of them deliver every message eventually (the monitoring algorithm
+assumes reliable FIFO channels), so verdicts are independent of the model —
+only the timing, queuing and message-overhead metrics change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Protocol, runtime_checkable
+
+from ..sim.engine import Simulator
+from ..sim.network import (
+    BurstySimulatedNetwork,
+    LossySimulatedNetwork,
+    PartitionedSimulatedNetwork,
+    SimulatedNetwork,
+)
+
+__all__ = [
+    "NetworkModel",
+    "ReliableNetwork",
+    "FixedLatencyNetwork",
+    "LossyNetwork",
+    "PartitionNetwork",
+    "BurstyNetwork",
+]
+
+
+@runtime_checkable
+class NetworkModel(Protocol):
+    """Declarative description of a monitor network, buildable per run."""
+
+    def build(self, simulator: Simulator, seed: int | None) -> SimulatedNetwork:
+        """Construct the network on *simulator*, seeded with *seed*."""
+
+    def describe(self) -> dict[str, object]:
+        """Self-describing metadata (for BENCH documents and the CLI)."""
+
+
+def _describe(kind: str, model: object) -> dict[str, object]:
+    description: dict[str, object] = {"kind": kind}
+    description.update(asdict(model))
+    return description
+
+
+@dataclass(frozen=True)
+class ReliableNetwork:
+    """The paper's reliable WiFi testbed: gaussian latency with jitter."""
+
+    latency: float = 0.05
+    jitter: float = 0.01
+
+    def build(self, simulator: Simulator, seed: int | None) -> SimulatedNetwork:
+        return SimulatedNetwork(
+            simulator, latency=self.latency, jitter=self.jitter, seed=seed
+        )
+
+    def describe(self) -> dict[str, object]:
+        return _describe("reliable", self)
+
+
+@dataclass(frozen=True)
+class FixedLatencyNetwork:
+    """Deterministic constant-latency links (no jitter at all)."""
+
+    latency: float = 0.05
+
+    def build(self, simulator: Simulator, seed: int | None) -> SimulatedNetwork:
+        return SimulatedNetwork(simulator, latency=self.latency, jitter=0.0, seed=seed)
+
+    def describe(self) -> dict[str, object]:
+        return _describe("fixed-latency", self)
+
+
+@dataclass(frozen=True)
+class LossyNetwork:
+    """Lossy links with stop-and-wait retransmission (reliable overall)."""
+
+    latency: float = 0.05
+    jitter: float = 0.01
+    loss_probability: float = 0.2
+    retransmit_timeout: float = 0.25
+    max_retransmits: int = 25
+
+    def build(self, simulator: Simulator, seed: int | None) -> LossySimulatedNetwork:
+        return LossySimulatedNetwork(
+            simulator,
+            latency=self.latency,
+            jitter=self.jitter,
+            seed=seed,
+            loss_probability=self.loss_probability,
+            retransmit_timeout=self.retransmit_timeout,
+            max_retransmits=self.max_retransmits,
+        )
+
+    def describe(self) -> dict[str, object]:
+        return _describe("lossy-retransmit", self)
+
+
+@dataclass(frozen=True)
+class PartitionNetwork:
+    """Partition/heal cycles between round-robin process groups."""
+
+    latency: float = 0.05
+    jitter: float = 0.01
+    windows: tuple[tuple[float, float], ...] = ((2.0, 8.0),)
+    num_groups: int = 2
+
+    def build(
+        self, simulator: Simulator, seed: int | None
+    ) -> PartitionedSimulatedNetwork:
+        return PartitionedSimulatedNetwork(
+            simulator,
+            latency=self.latency,
+            jitter=self.jitter,
+            seed=seed,
+            windows=self.windows,
+            num_groups=self.num_groups,
+        )
+
+    def describe(self) -> dict[str, object]:
+        return _describe("partition-heal", self)
+
+
+@dataclass(frozen=True)
+class BurstyNetwork:
+    """Duty-cycled medium that only transmits at periodic burst instants."""
+
+    latency: float = 0.01
+    jitter: float = 0.0
+    period: float = 0.75
+
+    def build(self, simulator: Simulator, seed: int | None) -> BurstySimulatedNetwork:
+        return BurstySimulatedNetwork(
+            simulator,
+            latency=self.latency,
+            jitter=self.jitter,
+            seed=seed,
+            period=self.period,
+        )
+
+    def describe(self) -> dict[str, object]:
+        return _describe("bursty", self)

@@ -1,0 +1,153 @@
+"""The scenario registry and the built-in scenario catalogue.
+
+Scenarios are registered by name so the CLI (``run --scenario``,
+``list-scenarios``) and the sweep engine can look them up, and so worker
+processes of a sharded sweep can resolve a scenario from its pickled value
+or name alike.  Importing :mod:`repro.scenarios` registers the built-ins:
+
+==================  =====================================================
+name                condition
+==================  =====================================================
+``paper-default``   the paper's workload on the reliable jittery network
+``fixed-latency``   same workload, deterministic constant-latency links
+``lossy-retransmit``  20% transmission loss with stop-and-wait retransmit
+``partition-heal``  a network partition that heals mid-run
+``bursty-comm``     comm-heavy workload bursts on a duty-cycled medium
+``hot-spot``        hot-proposition skew on the reliable network
+``no-comm``         the paper's "No comm" configuration as a scenario
+==================  =====================================================
+
+User code can add its own conditions with :func:`register_scenario`; for
+sharded execution on spawn-based platforms the registration must happen at
+import time of a module the workers also import.
+"""
+
+from __future__ import annotations
+
+from .network import (
+    BurstyNetwork,
+    FixedLatencyNetwork,
+    LossyNetwork,
+    PartitionNetwork,
+    ReliableNetwork,
+)
+from .scenario import Scenario, SweepGrid
+from .workload import BurstyCommWorkload, HotPropositionWorkload, PaperWorkload
+
+__all__ = [
+    "register_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "scenario_names",
+]
+
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario, replace: bool = False) -> Scenario:
+    """Register *scenario* under its name; returns it for chaining."""
+    if not replace and scenario.name in _REGISTRY:
+        raise ValueError(f"scenario {scenario.name!r} is already registered")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a registered scenario by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "none"
+        raise KeyError(f"unknown scenario {name!r} (registered: {known})") from None
+
+
+def list_scenarios() -> tuple[Scenario, ...]:
+    """All registered scenarios, sorted by name."""
+    return tuple(_REGISTRY[name] for name in sorted(_REGISTRY))
+
+
+def scenario_names() -> tuple[str, ...]:
+    """The sorted names of all registered scenarios."""
+    return tuple(sorted(_REGISTRY))
+
+
+# ---------------------------------------------------------------------------
+# built-in catalogue
+# ---------------------------------------------------------------------------
+register_scenario(
+    Scenario(
+        name="paper-default",
+        description="Paper's Section-5 setup: designed traces over a reliable "
+        "WiFi-like network (gaussian latency with jitter).",
+        workload=PaperWorkload(),
+        network=ReliableNetwork(),
+        tags=("paper", "baseline"),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="fixed-latency",
+        description="Paper workload over deterministic constant-latency links "
+        "(no jitter): isolates jitter effects from the baseline.",
+        workload=PaperWorkload(),
+        network=FixedLatencyNetwork(),
+        tags=("network",),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="lossy-retransmit",
+        description="20% transmission loss with stop-and-wait retransmission: "
+        "reliable delivery at the cost of delay and retransmission traffic.",
+        workload=PaperWorkload(),
+        network=LossyNetwork(),
+        tags=("network", "degraded"),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="partition-heal",
+        description="The network partitions into two groups mid-run and heals: "
+        "cross-group monitor messages are held until the partition closes.",
+        workload=PaperWorkload(),
+        network=PartitionNetwork(),
+        tags=("network", "degraded"),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="bursty-comm",
+        description="Comm-heavy workload bursts (3 broadcast rounds per slot) "
+        "over a duty-cycled medium that flushes at burst instants.",
+        workload=BurstyCommWorkload(),
+        network=BurstyNetwork(),
+        tags=("workload", "network"),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="hot-spot",
+        description="Hot-proposition skew: process 0 flips its propositions at "
+        "3x the base event rate over the reliable network.",
+        workload=HotPropositionWorkload(),
+        network=ReliableNetwork(),
+        tags=("workload",),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="no-comm",
+        description="The paper's 'No comm' configuration of Fig. 5.9 as a "
+        "standing scenario: no program communication events at all.",
+        workload=PaperWorkload(),
+        network=ReliableNetwork(),
+        grid=SweepGrid(comm_mus=(None,)),
+        tags=("paper",),
+    )
+)

@@ -1,0 +1,127 @@
+"""Scenarios and sweep grids: declarative experiment descriptions.
+
+A :class:`Scenario` bundles a :class:`~repro.scenarios.workload.WorkloadModel`
+(the trace shape) with a :class:`~repro.scenarios.network.NetworkModel` (the
+monitor-network conditions) and a default :class:`SweepGrid` (which
+(property, process-count, Commμ) points to run).  It contains *no* execution
+logic — the generic engine in :mod:`repro.experiments.engine` expands the
+grid into (point × replication) cells, derives one seed per cell and shards
+the whole product across a process pool.
+
+Everything here is a frozen dataclass of plain values, so scenarios pickle
+cleanly into worker processes and render themselves into BENCH metadata via
+:meth:`Scenario.describe`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from .network import NetworkModel
+from .workload import WorkloadModel
+
+__all__ = ["GridPoint", "SweepGrid", "Scenario", "DEFAULT_COMM_SEED_STRIDE"]
+
+#: Seed offset between consecutive values of a ``comm_mus`` axis, preserved
+#: from the original ``run_fig_5_9`` so sweep outputs stay byte-identical.
+DEFAULT_COMM_SEED_STRIDE = 1000
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One cell coordinate of a sweep: a property at a system size.
+
+    ``comm_mu`` is either the literal communication-frequency override for
+    this point (``None`` meaning "no communication") or the string
+    ``"default"``, which resolves to the sweep scale's ``comm_mu`` at run
+    time.  ``seed_offset`` separates the RNG streams of points that would
+    otherwise coincide (the Commμ axis of Fig. 5.9).
+    """
+
+    property_name: str
+    num_processes: int
+    comm_mu: float | None | str = "default"
+    seed_offset: int = 0
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """The axes of a sweep; ``None`` axes fall back to scale defaults.
+
+    ``properties`` defaults to the six case-study properties A–F,
+    ``process_counts`` to ``scale.process_counts``, and ``comm_mus`` (when
+    given) adds a communication-frequency axis whose points get staggered
+    seed offsets, as in Fig. 5.9.
+    """
+
+    properties: tuple[str, ...] | None = None
+    process_counts: tuple[int, ...] | None = None
+    comm_mus: tuple[float | None, ...] | None = None
+    comm_seed_stride: int = DEFAULT_COMM_SEED_STRIDE
+
+    def points(
+        self,
+        default_properties: Sequence[str],
+        default_process_counts: Sequence[int],
+    ) -> list[GridPoint]:
+        """Expand the grid into an ordered list of sweep points."""
+        properties = self.properties or tuple(default_properties)
+        counts = self.process_counts or tuple(default_process_counts)
+        points: list[GridPoint] = []
+        for name in properties:
+            for n in counts:
+                if self.comm_mus is None:
+                    points.append(GridPoint(name, n))
+                else:
+                    for index, comm_mu in enumerate(self.comm_mus):
+                        points.append(
+                            GridPoint(
+                                name,
+                                n,
+                                comm_mu,
+                                seed_offset=self.comm_seed_stride * index,
+                            )
+                        )
+        return points
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "properties": list(self.properties) if self.properties else "default",
+            "process_counts": (
+                list(self.process_counts) if self.process_counts else "default"
+            ),
+            "comm_mus": list(self.comm_mus) if self.comm_mus is not None else None,
+        }
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, self-contained experiment condition.
+
+    Purely declarative: the workload model shapes the traces, the network
+    model shapes monitor communication, and the grid names the sweep points.
+    Execution belongs to :func:`repro.experiments.engine.execute_sweep`.
+    """
+
+    name: str
+    description: str
+    workload: WorkloadModel
+    network: NetworkModel
+    grid: SweepGrid = field(default_factory=SweepGrid)
+    tags: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a scenario needs a non-empty name")
+
+    def describe(self) -> dict[str, object]:
+        """Self-describing metadata for BENCH documents and the CLI."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "workload": self.workload.describe(),
+            "network": self.network.describe(),
+            "grid": self.grid.describe(),
+            "tags": list(self.tags),
+        }

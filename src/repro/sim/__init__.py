@@ -3,7 +3,10 @@
 Public API
 ----------
 * :class:`Simulator` — the discrete-event kernel.
-* :class:`SimulatedNetwork` — latency/jitter FIFO network between monitors.
+* :class:`SimulatedNetwork` — latency/jitter FIFO network between monitors,
+  with :class:`LossySimulatedNetwork` / :class:`PartitionedSimulatedNetwork`
+  / :class:`BurstySimulatedNetwork` behaviour variants (all reliable-delivery,
+  see :mod:`repro.scenarios` for their declarative models).
 * :class:`WorkloadConfig` / :func:`generate_computation` — the case-study
   trace model of Section 5.2 (normal-distributed event and communication
   wait times, propositions ``p``/``q`` per process).
@@ -13,13 +16,22 @@ Public API
 """
 
 from .engine import Simulator
-from .network import SimulatedNetwork
-from .runner import SimulationReport, simulate_monitored_run
+from .network import (
+    BurstySimulatedNetwork,
+    LossySimulatedNetwork,
+    PartitionedSimulatedNetwork,
+    SimulatedNetwork,
+)
+from .runner import NetworkFactory, SimulationReport, simulate_monitored_run
 from .workload import WorkloadConfig, generate_computation, random_computation
 
 __all__ = [
     "Simulator",
     "SimulatedNetwork",
+    "LossySimulatedNetwork",
+    "PartitionedSimulatedNetwork",
+    "BurstySimulatedNetwork",
+    "NetworkFactory",
     "SimulationReport",
     "simulate_monitored_run",
     "WorkloadConfig",

@@ -11,8 +11,8 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
 
 __all__ = ["Simulator"]
 
@@ -28,7 +28,7 @@ class Simulator:
     """Priority-queue driven discrete-event simulator."""
 
     def __init__(self) -> None:
-        self._queue: List[_Scheduled] = []
+        self._queue: list[_Scheduled] = []
         self._sequence = itertools.count()
         self.now: float = 0.0
         self.events_executed: int = 0
@@ -76,7 +76,7 @@ class Simulator:
         self.events_executed += 1
         return True
 
-    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
+    def run(self, until: float | None = None, max_events: int = 10_000_000) -> float:
         """Run until the queue is empty (or simulated time passes *until*).
 
         Returns the simulated time at which the run stopped.

@@ -1,20 +1,45 @@
-"""A simulated asynchronous network for monitor-to-monitor messages.
+"""Simulated asynchronous networks for monitor-to-monitor messages.
 
-Implements the :class:`repro.core.transport.Transport` protocol on top of the
-discrete-event simulator: every message is delivered after a (possibly
+Implements the :class:`repro.core.transport.MonitorNetwork` protocol on top
+of the discrete-event simulator: every message is delivered after a (possibly
 random) latency, FIFO order is preserved per sender/receiver pair (reliable
 FIFO channels, as assumed by the paper), and message counts are recorded for
 the communication-overhead figures.
+
+:class:`SimulatedNetwork` is the reliable base behaviour; the subclasses
+model degraded conditions while *keeping delivery reliable* (the paper's
+algorithm assumes reliable FIFO channels, so the variants defer — never
+drop — messages):
+
+* :class:`LossySimulatedNetwork` — each transmission attempt is lost with a
+  fixed probability and retransmitted after a timeout (stop-and-wait), so a
+  message's delivery is delayed by ``retransmissions × timeout``.
+* :class:`PartitionedSimulatedNetwork` — processes are split into groups;
+  while a partition window is open, cross-group messages are held and only
+  delivered (healed) when the window closes.
+* :class:`BurstySimulatedNetwork` — a duty-cycled medium that only flushes
+  messages at periodic burst instants; messages sent between bursts wait for
+  the next one.
+
+All randomness comes from a seeded :class:`random.Random`, so every variant
+is deterministic for a fixed seed.  Subclasses customise delivery through the
+single :meth:`SimulatedNetwork._delivery_time` hook; FIFO clamping and
+accounting stay in the base class.
 """
 
 from __future__ import annotations
 
+import math
 import random
-from typing import Dict, Optional, Tuple
 
 from .engine import Simulator
 
-__all__ = ["SimulatedNetwork"]
+__all__ = [
+    "SimulatedNetwork",
+    "LossySimulatedNetwork",
+    "PartitionedSimulatedNetwork",
+    "BurstySimulatedNetwork",
+]
 
 
 class SimulatedNetwork:
@@ -25,7 +50,7 @@ class SimulatedNetwork:
         simulator: Simulator,
         latency: float = 0.05,
         jitter: float = 0.0,
-        seed: Optional[int] = None,
+        seed: int | None = None,
     ) -> None:
         if latency < 0 or jitter < 0:
             raise ValueError("latency and jitter must be non-negative")
@@ -33,13 +58,13 @@ class SimulatedNetwork:
         self.latency = latency
         self.jitter = jitter
         self._rng = random.Random(seed)
-        self._monitors: Dict[int, object] = {}
+        self._monitors: dict[int, object] = {}
         #: earliest permissible delivery time per (sender, receiver) pair,
         #: enforcing FIFO order even with jittered latencies
-        self._channel_clock: Dict[Tuple[int, int], float] = {}
+        self._channel_clock: dict[tuple[int, int], float] = {}
         self.messages_sent = 0
         self.messages_delivered = 0
-        self.messages_by_sender: Dict[int, int] = {}
+        self.messages_by_sender: dict[int, int] = {}
         self.last_delivery_time: float = 0.0
 
     def register(self, process: int, monitor: object) -> None:
@@ -51,6 +76,20 @@ class SimulatedNetwork:
             return self.latency
         return max(0.0, self._rng.gauss(self.latency, self.jitter))
 
+    def _delivery_time(self, sender: int, target: int) -> float:
+        """Absolute arrival time of a message sent right now.
+
+        The single behaviour hook: subclasses model loss, partitions or duty
+        cycling by deferring this instant.  FIFO clamping per channel happens
+        in :meth:`send` afterwards, so hooks never have to think about
+        ordering.
+        """
+        return self.simulator.now + self._sample_latency()
+
+    def extra_stats(self) -> dict[str, float]:
+        """Behaviour-specific counters merged into the simulation report."""
+        return {}
+
     def send(self, sender: int, target: int, message: object) -> None:
         if target not in self._monitors:
             raise ValueError(f"no monitor registered for process {target}")
@@ -58,7 +97,7 @@ class SimulatedNetwork:
         self.messages_by_sender[sender] = self.messages_by_sender.get(sender, 0) + 1
         channel = (sender, target)
         earliest = self._channel_clock.get(channel, 0.0)
-        delivery = max(self.simulator.now + self._sample_latency(), earliest)
+        delivery = max(self._delivery_time(sender, target), earliest)
         self._channel_clock[channel] = delivery
 
         def deliver(message=message, target=target, delivery=delivery) -> None:
@@ -72,3 +111,133 @@ class SimulatedNetwork:
     @property
     def pending(self) -> int:
         return self.messages_sent - self.messages_delivered
+
+
+class LossySimulatedNetwork(SimulatedNetwork):
+    """Lossy medium with stop-and-wait retransmission.
+
+    Each transmission attempt is dropped with ``loss_probability``; the
+    sender retransmits after ``retransmit_timeout``.  ``max_retransmits``
+    bounds the retries so delivery stays guaranteed (the final attempt always
+    goes through), matching the reliable-channel assumption while modelling
+    the cost of loss as added delay and retransmission traffic.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        latency: float = 0.05,
+        jitter: float = 0.0,
+        seed: int | None = None,
+        loss_probability: float = 0.2,
+        retransmit_timeout: float = 0.25,
+        max_retransmits: int = 25,
+    ) -> None:
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError("loss_probability must be in [0, 1)")
+        if retransmit_timeout < 0:
+            raise ValueError("retransmit_timeout must be non-negative")
+        super().__init__(simulator, latency=latency, jitter=jitter, seed=seed)
+        self.loss_probability = loss_probability
+        self.retransmit_timeout = retransmit_timeout
+        self.max_retransmits = max_retransmits
+        self.retransmissions = 0
+
+    def _delivery_time(self, sender: int, target: int) -> float:
+        time = self.simulator.now
+        attempts = 0
+        while (
+            attempts < self.max_retransmits
+            and self._rng.random() < self.loss_probability
+        ):
+            attempts += 1
+            time += self.retransmit_timeout
+        self.retransmissions += attempts
+        return time + self._sample_latency()
+
+    def extra_stats(self) -> dict[str, float]:
+        return {"retransmissions": float(self.retransmissions)}
+
+
+class PartitionedSimulatedNetwork(SimulatedNetwork):
+    """Network that partitions into groups during configured windows.
+
+    Processes are assigned round-robin to ``num_groups`` groups
+    (``process % num_groups``).  While a window ``(start, end)`` is open,
+    messages *between different groups* are held and delivered only after the
+    partition heals at ``end``; intra-group traffic is unaffected.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        latency: float = 0.05,
+        jitter: float = 0.0,
+        seed: int | None = None,
+        windows: tuple[tuple[float, float], ...] = ((2.0, 8.0),),
+        num_groups: int = 2,
+    ) -> None:
+        for start, end in windows:
+            if end <= start or start < 0:
+                raise ValueError(f"invalid partition window ({start}, {end})")
+        if num_groups < 2:
+            raise ValueError("a partition needs at least two groups")
+        super().__init__(simulator, latency=latency, jitter=jitter, seed=seed)
+        self.windows = tuple(sorted(windows))
+        self.num_groups = num_groups
+        self.held_messages = 0
+
+    def group_of(self, process: int) -> int:
+        return process % self.num_groups
+
+    def _delivery_time(self, sender: int, target: int) -> float:
+        sample = self._sample_latency()
+        tentative = self.simulator.now + sample
+        if self.group_of(sender) == self.group_of(target):
+            return tentative
+        # a cross-group message whose arrival would land inside an open
+        # partition window is held and only delivered after the heal
+        for start, end in self.windows:
+            if start <= tentative < end:
+                self.held_messages += 1
+                return end + sample
+        return tentative
+
+    def extra_stats(self) -> dict[str, float]:
+        return {"held_messages": float(self.held_messages)}
+
+
+class BurstySimulatedNetwork(SimulatedNetwork):
+    """Duty-cycled medium flushing messages only at periodic burst instants.
+
+    A message sent at time ``t`` reaches the air interface after the base
+    latency and is then delivered at the next multiple of ``period`` — the
+    medium wakes up every ``period`` seconds and transmits everything queued
+    since the previous burst.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        latency: float = 0.01,
+        jitter: float = 0.0,
+        seed: int | None = None,
+        period: float = 0.75,
+    ) -> None:
+        if period <= 0:
+            raise ValueError("burst period must be positive")
+        super().__init__(simulator, latency=latency, jitter=jitter, seed=seed)
+        self.period = period
+        self.bursts_used = 0
+        self._last_burst_tick = -1
+
+    def _delivery_time(self, sender: int, target: int) -> float:
+        ready = self.simulator.now + self._sample_latency()
+        tick = math.ceil(ready / self.period)
+        if tick != self._last_burst_tick:
+            self._last_burst_tick = tick
+            self.bursts_used += 1
+        return tick * self.period
+
+    def extra_stats(self) -> dict[str, float]:
+        return {"bursts_used": float(self.bursts_used)}

@@ -3,8 +3,10 @@
 :func:`simulate_monitored_run` plays a finished computation on the
 discrete-event simulator: each program event fires at its recorded timestamp
 and is handed to the local monitor, monitoring messages travel through a
-:class:`SimulatedNetwork` with latency, and termination signals are issued
-when each process produces its last event.  The returned
+:class:`SimulatedNetwork` (or any network built by the *network* factory —
+see :mod:`repro.scenarios.network` for the lossy/partition/bursty models),
+and termination signals are issued when each process produces its last
+event.  The returned
 :class:`SimulationReport` carries exactly the metrics reported in Chapter 5:
 
 * total monitoring messages (Figures 5.4, 5.5, 5.9a);
@@ -15,8 +17,8 @@ when each process produces its last event.  The returned
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Set
+from dataclasses import dataclass, field
+from typing import Protocol
 
 from ..core.monitor import DecentralizedMonitor
 from ..distributed.computation import Computation
@@ -26,7 +28,18 @@ from ..ltl.verdict import Verdict
 from .engine import Simulator
 from .network import SimulatedNetwork
 
-__all__ = ["SimulationReport", "simulate_monitored_run"]
+__all__ = ["NetworkFactory", "SimulationReport", "simulate_monitored_run"]
+
+
+class NetworkFactory(Protocol):
+    """Anything that can build a simulated network for one run.
+
+    The declarative network models of :mod:`repro.scenarios.network` satisfy
+    this protocol; :func:`simulate_monitored_run` only needs ``build``.
+    """
+
+    def build(self, simulator: Simulator, seed: int | None) -> SimulatedNetwork:
+        """Construct the network for *simulator*, seeded with *seed*."""
 
 
 @dataclass
@@ -42,9 +55,12 @@ class SimulationReport:
     delayed_events: int
     program_end_time: float
     monitor_end_time: float
-    reported_verdicts: FrozenSet[Verdict]
-    declared_verdicts: FrozenSet[Verdict]
-    monitors: List[DecentralizedMonitor]
+    reported_verdicts: frozenset[Verdict]
+    declared_verdicts: frozenset[Verdict]
+    monitors: list[DecentralizedMonitor]
+    #: behaviour-specific counters of the network model (retransmissions,
+    #: held messages, bursts, ...); empty for the plain reliable network
+    network_stats: dict[str, float] = field(default_factory=dict)
 
     @property
     def monitor_extra_time(self) -> float:
@@ -67,7 +83,7 @@ class SimulationReport:
             return 0.0
         return self.delayed_events / self.num_processes
 
-    def as_dict(self) -> Dict[str, object]:
+    def as_dict(self) -> dict[str, object]:
         return {
             "processes": self.num_processes,
             "events": self.total_events,
@@ -79,6 +95,7 @@ class SimulationReport:
             "program_time": self.program_end_time,
             "monitor_extra_time": self.monitor_extra_time,
             "verdicts": sorted(str(v) for v in self.reported_verdicts),
+            **self.network_stats,
         }
 
 
@@ -88,15 +105,25 @@ def simulate_monitored_run(
     registry: PropositionRegistry,
     message_latency: float = 0.05,
     latency_jitter: float = 0.01,
-    seed: Optional[int] = None,
-    max_views_per_state: Optional[int] = None,
+    seed: int | None = None,
+    max_views_per_state: int | None = None,
+    network: NetworkFactory | None = None,
 ) -> SimulationReport:
-    """Replay *computation* under decentralized monitoring with network latency."""
+    """Replay *computation* under decentralized monitoring with network latency.
+
+    With *network* set (any :class:`NetworkFactory`, e.g. a scenario network
+    model) the monitors communicate over the network it builds; otherwise a
+    plain reliable :class:`SimulatedNetwork` with *message_latency* /
+    *latency_jitter* is used, as in the paper's testbed.
+    """
     n = computation.num_processes
     simulator = Simulator()
-    network = SimulatedNetwork(
-        simulator, latency=message_latency, jitter=latency_jitter, seed=seed
-    )
+    if network is not None:
+        built_network = network.build(simulator, seed)
+    else:
+        built_network = SimulatedNetwork(
+            simulator, latency=message_latency, jitter=latency_jitter, seed=seed
+        )
     initial_letters = [
         registry.local_letter(i, computation.initial_states[i]) for i in range(n)
     ]
@@ -107,13 +134,13 @@ def simulate_monitored_run(
             automaton=automaton,
             registry=registry,
             initial_letters=initial_letters,
-            transport=network,
+            transport=built_network,
             max_views_per_state=max_views_per_state,
         )
         for i in range(n)
     ]
     for i, monitor in enumerate(monitors):
-        network.register(i, monitor)
+        built_network.register(i, monitor)
 
     # schedule program events at their recorded timestamps
     last_time_per_process = [0.0] * n
@@ -140,18 +167,18 @@ def simulate_monitored_run(
 
     simulator.run()
 
-    monitor_end = max(network.last_delivery_time, program_end)
+    monitor_end = max(built_network.last_delivery_time, program_end)
     total_views = sum(m.metrics.views_created for m in monitors)
     delayed = sum(m.metrics.delayed_events for m in monitors)
-    reported: Set[Verdict] = set()
-    declared: Set[Verdict] = set()
+    reported: set[Verdict] = set()
+    declared: set[Verdict] = set()
     for monitor in monitors:
         reported |= monitor.reported_verdicts()
         declared |= monitor.declared_verdicts
     return SimulationReport(
         num_processes=n,
         total_events=computation.num_events,
-        monitor_messages=network.messages_sent,
+        monitor_messages=built_network.messages_sent,
         token_messages=sum(m.metrics.token_messages_sent for m in monitors),
         termination_messages=sum(
             m.metrics.termination_messages_sent for m in monitors
@@ -163,4 +190,5 @@ def simulate_monitored_run(
         reported_verdicts=frozenset(reported),
         declared_verdicts=frozenset(declared),
         monitors=monitors,
+        network_stats=built_network.extra_stats(),
     )

@@ -23,8 +23,8 @@ fully random computations used by the property-based correctness tests.
 from __future__ import annotations
 
 import random
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..distributed.computation import Computation, ComputationBuilder
 
@@ -65,20 +65,38 @@ class WorkloadConfig:
         very first global state, mirroring the designed traces of the paper.
     seed:
         RNG seed for reproducibility.
+    hot_processes / hot_event_factor / hot_truth_probability:
+        Hot-proposition skew (the ``hot-spot`` scenario): each process listed
+        in ``hot_processes`` produces ``hot_event_factor ×`` as many internal
+        events at ``hot_event_factor ×`` the rate (the wall-clock horizon is
+        preserved), optionally flipping its propositions with its own
+        ``hot_truth_probability`` instead of the global one.  The defaults
+        (no hot processes, factor 1) leave the paper's trace model — and its
+        RNG draw sequence — untouched.
+    comm_burst_size / comm_burst_gap:
+        Comm-heavy bursts (the ``bursty-comm`` scenario): every communication
+        slot fires a burst of ``comm_burst_size`` broadcast rounds spaced
+        ``comm_burst_gap`` seconds apart instead of a single round.  The
+        default burst size of 1 reproduces the paper's model exactly.
     """
 
     num_processes: int = 4
     events_per_process: int = 10
     evt_mu: float = 3.0
     evt_sigma: float = 1.0
-    comm_mu: Optional[float] = 3.0
+    comm_mu: float | None = 3.0
     comm_sigma: float = 1.0
     message_latency: float = 0.05
-    variables: Tuple[str, ...] = ("p", "q")
+    variables: tuple[str, ...] = ("p", "q")
     truth_probability: float = 0.5
     ensure_final: bool = True
-    initial_valuation: Optional[Dict[str, bool]] = None
-    seed: Optional[int] = None
+    initial_valuation: dict[str, bool] | None = None
+    seed: int | None = None
+    hot_processes: tuple[int, ...] = ()
+    hot_event_factor: float = 1.0
+    hot_truth_probability: float | None = None
+    comm_burst_size: int = 1
+    comm_burst_gap: float = 0.2
 
     def __post_init__(self) -> None:
         if self.num_processes < 1:
@@ -87,6 +105,14 @@ class WorkloadConfig:
             raise ValueError("each process needs at least one event")
         if self.evt_mu <= 0:
             raise ValueError("evt_mu must be positive")
+        if self.hot_event_factor < 1.0:
+            raise ValueError("hot_event_factor must be >= 1")
+        if any(p < 0 or p >= self.num_processes for p in self.hot_processes):
+            raise ValueError("hot_processes must name valid process indices")
+        if self.comm_burst_size < 1:
+            raise ValueError("comm_burst_size must be >= 1")
+        if self.comm_burst_gap <= 0:
+            raise ValueError("comm_burst_gap must be positive")
 
 
 def _positive_gauss(rng: random.Random, mu: float, sigma: float) -> float:
@@ -105,17 +131,26 @@ def generate_computation(config: WorkloadConfig) -> Computation:
     builder = ComputationBuilder(initial_states)
 
     # Pre-compute, per process, the absolute times of internal and
-    # communication events.
-    internal_times: List[List[float]] = []
-    for _ in range(n):
+    # communication events.  Hot processes run at `hot_event_factor ×` the
+    # event rate for `hot_event_factor ×` as many events, so their wall-clock
+    # horizon matches the other processes while their propositions churn.
+    internal_times: list[list[float]] = []
+    for process in range(n):
+        if process in config.hot_processes and config.hot_event_factor > 1.0:
+            event_count = max(1, round(config.events_per_process * config.hot_event_factor))
+            mu = config.evt_mu / config.hot_event_factor
+            sigma = config.evt_sigma / config.hot_event_factor
+        else:
+            event_count = config.events_per_process
+            mu, sigma = config.evt_mu, config.evt_sigma
         times = []
         clock = 0.0
-        for _ in range(config.events_per_process):
-            clock += _positive_gauss(rng, config.evt_mu, config.evt_sigma)
+        for _ in range(event_count):
+            clock += _positive_gauss(rng, mu, sigma)
             times.append(clock)
         internal_times.append(times)
 
-    comm_times: List[List[float]] = [[] for _ in range(n)]
+    comm_times: list[list[float]] = [[] for _ in range(n)]
     if config.comm_mu is not None and n > 1:
         for process in range(n):
             clock = 0.0
@@ -125,9 +160,17 @@ def generate_computation(config: WorkloadConfig) -> Computation:
                 if clock >= horizon:
                     break
                 comm_times[process].append(clock)
+                # comm-heavy bursts: follow-up broadcast rounds right after
+                # the sampled slot (the next inter-slot wait still starts
+                # from the sampled time, keeping slot statistics intact)
+                for extra in range(1, config.comm_burst_size):
+                    burst_time = clock + extra * config.comm_burst_gap
+                    if burst_time >= horizon:
+                        break
+                    comm_times[process].append(burst_time)
 
     # Build the global schedule: (time, kind, process, payload)
-    schedule: List[Tuple[float, int, str, int, object]] = []
+    schedule: list[tuple[float, int, str, int, object]] = []
     order = 0
     for process in range(n):
         for index, time in enumerate(internal_times[process]):
@@ -141,7 +184,7 @@ def generate_computation(config: WorkloadConfig) -> Computation:
 
     message_id = 0
     #: program messages in flight: (arrival_time, order, sender, receiver, id)
-    in_flight: List[Tuple[float, int, int, int, int]] = []
+    in_flight: list[tuple[float, int, int, int, int]] = []
 
     def flush_arrivals(up_to: float) -> None:
         nonlocal in_flight
@@ -157,8 +200,14 @@ def generate_computation(config: WorkloadConfig) -> Computation:
             if is_last and config.ensure_final:
                 updates = {v: True for v in config.variables}
             else:
+                probability = config.truth_probability
+                if (
+                    process in config.hot_processes
+                    and config.hot_truth_probability is not None
+                ):
+                    probability = config.hot_truth_probability
                 updates = {
-                    v: rng.random() < config.truth_probability
+                    v: rng.random() < probability
                     for v in config.variables
                 }
             builder.internal(process, updates, timestamp=time)
@@ -200,8 +249,8 @@ def random_computation(
     rng = random.Random(seed)
     initial_states = [{v: False for v in variables} for _ in range(num_processes)]
     builder = ComputationBuilder(initial_states)
-    pending: Dict[int, List[int]] = {j: [] for j in range(num_processes)}  # receiver -> [mid]
-    senders: Dict[int, int] = {}
+    pending: dict[int, list[int]] = {j: [] for j in range(num_processes)}  # receiver -> [mid]
+    senders: dict[int, int] = {}
     message_id = 0
     for _ in range(num_events):
         process = rng.randrange(num_processes)

@@ -18,8 +18,9 @@ join-irreducible cuts.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
+
 from dataclasses import dataclass, field
-from typing import List, Mapping, Optional
 
 from ..distributed.computation import Computation, Cut
 from ..distributed.lattice import ComputationLattice
@@ -45,8 +46,8 @@ def least_consistent_cut(
     computation: Computation,
     registry: PropositionRegistry,
     guard: Mapping[str, bool],
-    start: Optional[Cut] = None,
-) -> Optional[Cut]:
+    start: Cut | None = None,
+) -> Cut | None:
     """The least consistent cut ``>= start`` whose global state satisfies *guard*.
 
     Parameters
@@ -115,7 +116,7 @@ def satisfying_cuts(
     computation: Computation,
     registry: PropositionRegistry,
     guard: Mapping[str, bool],
-) -> List[Cut]:
+) -> list[Cut]:
     """All consistent cuts whose global state satisfies *guard*.
 
     Enumerates the full lattice; intended for validation and small inputs.
@@ -142,8 +143,8 @@ class Slice:
     computation: Computation
     registry: PropositionRegistry
     guard: Mapping[str, bool]
-    least: Optional[Cut]
-    join_irreducibles: List[Cut] = field(default_factory=list)
+    least: Cut | None
+    join_irreducibles: list[Cut] = field(default_factory=list)
 
     @classmethod
     def compute(
@@ -159,7 +160,7 @@ class Slice:
         consistent cuts containing each individual event.
         """
         least = least_consistent_cut(computation, registry, guard)
-        irreducibles: List[Cut] = []
+        irreducibles: list[Cut] = []
         if least is not None:
             seen = set()
             for process in range(computation.num_processes):
@@ -185,7 +186,7 @@ class Slice:
         """Whether no consistent cut satisfies the predicate."""
         return self.least is None
 
-    def cuts(self) -> List[Cut]:
+    def cuts(self) -> list[Cut]:
         """All consistent cuts that satisfy the predicate (by enumeration)."""
         return satisfying_cuts(self.computation, self.registry, self.guard)
 

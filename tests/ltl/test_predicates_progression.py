@@ -9,8 +9,8 @@ from repro.ltl import (
     build_monitor,
     parse,
 )
-from repro.ltl.progression import build_progression_machine, canonicalize, progress
 from repro.ltl.ast import And, Atom, Or, Until
+from repro.ltl.progression import build_progression_machine, canonicalize, progress
 
 
 class TestProposition:

@@ -2,6 +2,9 @@
 
 import pytest
 
+from repro.core import LatticeOracle, run_decentralized
+from repro.distributed import ComputationLattice
+from repro.experiments import case_study_monitor, case_study_registry
 from repro.ltl import Verdict
 from repro.sim import (
     SimulatedNetwork,
@@ -11,9 +14,6 @@ from repro.sim import (
     random_computation,
     simulate_monitored_run,
 )
-from repro.distributed import ComputationLattice
-from repro.experiments import case_study_monitor, case_study_registry
-from repro.core import LatticeOracle, run_decentralized
 
 
 class TestSimulator:
