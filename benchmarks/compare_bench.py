@@ -12,6 +12,11 @@ compares every common timing and emits GitHub workflow annotations —
 Exit status is 0 unless ``--fail-threshold`` is given and some timing
 regresses past it (CI keeps the comparison advisory; wall-clock noise on
 shared runners makes a hard gate counterproductive).
+
+The ``repro-bench/1`` document layout — including the ``backend`` /
+``stream_transport`` tags distinguishing simulator timings from asyncio
+streaming-runtime timings — is specified field by field in
+``docs/benchmarks.md``.
 """
 
 from __future__ import annotations

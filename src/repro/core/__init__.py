@@ -9,16 +9,28 @@ Public API
   as ground truth for soundness and completeness.
 * :class:`CentralizedMonitor` — the centralized online baseline.
 * :class:`LoopbackNetwork` — in-process transport between monitors.
+* :class:`MonitorNode` / :class:`Transport` / :class:`MonitorNetwork` — the
+  backend-agnostic protocols every monitoring backend (loopback, simulator,
+  asyncio runtime) programs against.
+* :class:`DelayModel` and friends — backend-agnostic message-delay models
+  shared by the simulated and streaming networks.
 * Message types: :class:`Token`, :class:`TokenEntry`, :class:`TerminationNotice`.
 """
 
 from .centralized import CentralizedMonitor, CentralizedResult
+from .delays import (
+    BurstyDelay,
+    DelayModel,
+    GaussianDelay,
+    LossyRetransmitDelay,
+    PartitionDelay,
+)
 from .global_view import GlobalView, ViewStatus
 from .messages import TerminationNotice, Token, TokenEntry
 from .monitor import DecentralizedMonitor, MonitorMetrics
 from .oracle import LatticeOracle, OracleResult
 from .runner import DecentralizedResult, run_decentralized
-from .transport import LoopbackNetwork, MonitorNetwork, Transport
+from .transport import LoopbackNetwork, MonitorNetwork, MonitorNode, Transport
 
 __all__ = [
     "CentralizedMonitor",
@@ -36,5 +48,11 @@ __all__ = [
     "run_decentralized",
     "LoopbackNetwork",
     "Transport",
+    "MonitorNode",
     "MonitorNetwork",
+    "DelayModel",
+    "GaussianDelay",
+    "LossyRetransmitDelay",
+    "PartitionDelay",
+    "BurstyDelay",
 ]

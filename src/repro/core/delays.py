@@ -1,0 +1,209 @@
+"""Backend-agnostic message-delay models shared by both monitoring backends.
+
+The discrete-event simulator (:mod:`repro.sim.network`) and the asyncio
+streaming runtime (:mod:`repro.runtime.transport`) deliver monitor-to-monitor
+messages through very different machinery — a priority queue of timed
+callbacks versus real asyncio tasks and sockets — but the *latency semantics*
+of a network condition (how long a message sent "now" takes to arrive) are
+the same on both.  This module holds that shared piece: a
+:class:`DelayModel` maps a send instant to an absolute delivery instant,
+drawing any randomness from its own seeded :class:`random.Random`, so a fixed
+seed produces the same delay sequence no matter which backend consumes it.
+
+Four conditions are provided, mirroring the declarative network models of
+:mod:`repro.scenarios.network`:
+
+* :class:`GaussianDelay` — base latency with optional gaussian jitter (the
+  paper's reliable WiFi testbed; zero jitter gives fixed-latency links).
+* :class:`LossyRetransmitDelay` — each attempt is lost with a fixed
+  probability and retransmitted after a timeout (stop-and-wait), so delivery
+  is delayed by ``retransmissions x timeout`` but never fails.
+* :class:`PartitionDelay` — cross-group messages that would arrive inside an
+  open partition window are held until the window heals.
+* :class:`BurstyDelay` — a duty-cycled medium that only flushes at periodic
+  burst instants.
+
+Delay models say nothing about FIFO ordering: both backends clamp delivery
+times per (sender, receiver) channel themselves, so models never have to
+think about reordering.  Behaviour-specific counters (retransmissions, held
+messages, bursts) are exposed through :meth:`DelayModel.extra_stats` and end
+up in simulation/runtime reports either way.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Protocol, runtime_checkable
+
+__all__ = [
+    "DelayModel",
+    "GaussianDelay",
+    "LossyRetransmitDelay",
+    "PartitionDelay",
+    "BurstyDelay",
+]
+
+
+@runtime_checkable
+class DelayModel(Protocol):
+    """Maps a send instant to a delivery instant, for any backend."""
+
+    def delivery_time(self, now: float, sender: int, target: int) -> float:
+        """Absolute arrival time of a message sent at *now*."""
+
+    def extra_stats(self) -> dict[str, float]:
+        """Behaviour-specific counters merged into run reports."""
+
+
+class GaussianDelay:
+    """Base latency with optional gaussian jitter (reliable links).
+
+    With ``jitter == 0`` no random numbers are drawn at all, giving
+    deterministic constant-latency links.
+    """
+
+    def __init__(self, latency: float = 0.05, jitter: float = 0.0, seed: int | None = None) -> None:
+        if latency < 0 or jitter < 0:
+            raise ValueError("latency and jitter must be non-negative")
+        self.latency = latency
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+
+    def _sample_latency(self) -> float:
+        if self.jitter <= 0:
+            return self.latency
+        return max(0.0, self._rng.gauss(self.latency, self.jitter))
+
+    def delivery_time(self, now: float, sender: int, target: int) -> float:
+        return now + self._sample_latency()
+
+    def extra_stats(self) -> dict[str, float]:
+        return {}
+
+
+class LossyRetransmitDelay(GaussianDelay):
+    """Lossy medium with stop-and-wait retransmission (reliable overall).
+
+    Each transmission attempt is dropped with ``loss_probability``; the
+    sender retransmits after ``retransmit_timeout``.  ``max_retransmits``
+    bounds the retries so delivery stays guaranteed (the final attempt always
+    goes through), matching the algorithm's reliable-channel assumption while
+    modelling the cost of loss as added delay and retransmission traffic.
+    """
+
+    def __init__(
+        self,
+        latency: float = 0.05,
+        jitter: float = 0.0,
+        seed: int | None = None,
+        loss_probability: float = 0.2,
+        retransmit_timeout: float = 0.25,
+        max_retransmits: int = 25,
+    ) -> None:
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError("loss_probability must be in [0, 1)")
+        if retransmit_timeout < 0:
+            raise ValueError("retransmit_timeout must be non-negative")
+        super().__init__(latency=latency, jitter=jitter, seed=seed)
+        self.loss_probability = loss_probability
+        self.retransmit_timeout = retransmit_timeout
+        self.max_retransmits = max_retransmits
+        self.retransmissions = 0
+
+    def delivery_time(self, now: float, sender: int, target: int) -> float:
+        time = now
+        attempts = 0
+        while (
+            attempts < self.max_retransmits
+            and self._rng.random() < self.loss_probability
+        ):
+            attempts += 1
+            time += self.retransmit_timeout
+        self.retransmissions += attempts
+        return time + self._sample_latency()
+
+    def extra_stats(self) -> dict[str, float]:
+        return {"retransmissions": float(self.retransmissions)}
+
+
+class PartitionDelay(GaussianDelay):
+    """Partition/heal cycles between round-robin process groups.
+
+    Processes are assigned round-robin to ``num_groups`` groups
+    (``process % num_groups``).  While a window ``(start, end)`` is open,
+    messages *between different groups* whose arrival would land inside the
+    window are held and delivered only after the partition heals at ``end``;
+    intra-group traffic is unaffected.
+    """
+
+    def __init__(
+        self,
+        latency: float = 0.05,
+        jitter: float = 0.0,
+        seed: int | None = None,
+        windows: tuple[tuple[float, float], ...] = ((2.0, 8.0),),
+        num_groups: int = 2,
+    ) -> None:
+        for start, end in windows:
+            if end <= start or start < 0:
+                raise ValueError(f"invalid partition window ({start}, {end})")
+        if num_groups < 2:
+            raise ValueError("a partition needs at least two groups")
+        super().__init__(latency=latency, jitter=jitter, seed=seed)
+        self.windows = tuple(sorted(windows))
+        self.num_groups = num_groups
+        self.held_messages = 0
+
+    def group_of(self, process: int) -> int:
+        """Partition group of *process* (round-robin assignment)."""
+        return process % self.num_groups
+
+    def delivery_time(self, now: float, sender: int, target: int) -> float:
+        sample = self._sample_latency()
+        tentative = now + sample
+        if self.group_of(sender) == self.group_of(target):
+            return tentative
+        for start, end in self.windows:
+            if start <= tentative < end:
+                self.held_messages += 1
+                return end + sample
+        return tentative
+
+    def extra_stats(self) -> dict[str, float]:
+        return {"held_messages": float(self.held_messages)}
+
+
+class BurstyDelay(GaussianDelay):
+    """Duty-cycled medium flushing messages only at periodic burst instants.
+
+    A message sent at time ``t`` reaches the air interface after the base
+    latency and is then delivered at the next multiple of ``period`` — the
+    medium wakes up every ``period`` seconds and transmits everything queued
+    since the previous burst.
+    """
+
+    def __init__(
+        self,
+        latency: float = 0.01,
+        jitter: float = 0.0,
+        seed: int | None = None,
+        period: float = 0.75,
+    ) -> None:
+        if period <= 0:
+            raise ValueError("burst period must be positive")
+        super().__init__(latency=latency, jitter=jitter, seed=seed)
+        self.period = period
+        self.bursts_used = 0
+        self._last_burst_tick = -1
+
+    def delivery_time(self, now: float, sender: int, target: int) -> float:
+        ready = now + self._sample_latency()
+        tick = math.ceil(ready / self.period)
+        if tick != self._last_burst_tick:
+            self._last_burst_tick = tick
+            self.bursts_used += 1
+        return tick * self.period
+
+    def extra_stats(self) -> dict[str, float]:
+        return {"bursts_used": float(self.bursts_used)}

@@ -11,9 +11,19 @@ messages are delivered is the transport's business.  Implementations:
   (lossy-with-retransmit, partition/heal, bursty) — discrete-event networks
   with latency, used by the scenario engine and the experiment harness.
 
+* ``repro.runtime.transport`` — asyncio streaming transports (in-process
+  queues and real TCP sockets) where each monitor runs as a concurrent task.
+
 Every implementation also satisfies the wider :class:`MonitorNetwork`
 protocol (registration, in-flight accounting, per-sender counters), which is
 what the scenario layer (:mod:`repro.scenarios`) programs against.
+
+The flip side of :class:`Transport` is :class:`MonitorNode`: the endpoint
+interface every backend drives.  :class:`repro.core.monitor.DecentralizedMonitor`
+is the single implementation, shared unchanged by the loopback runner, the
+discrete-event simulator and the asyncio runtime — backends differ only in
+*when* they invoke the node's entry points and how its outgoing
+:meth:`Transport.send` calls travel.
 """
 
 from __future__ import annotations
@@ -21,7 +31,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Protocol, runtime_checkable
 
-__all__ = ["Transport", "MonitorNetwork", "LoopbackNetwork"]
+__all__ = ["Transport", "MonitorNode", "MonitorNetwork", "LoopbackNetwork"]
 
 
 class Transport(Protocol):
@@ -29,6 +39,35 @@ class Transport(Protocol):
 
     def send(self, sender: int, target: int, message: object) -> None:
         """Deliver *message* from monitor *sender* to monitor *target*."""
+
+
+@runtime_checkable
+class MonitorNode(Protocol):
+    """The backend-agnostic endpoint interface of one monitor process.
+
+    Every monitoring backend — the loopback runner, the discrete-event
+    simulator and the asyncio streaming runtime — drives its monitors
+    exclusively through these entry points, so a single monitor
+    implementation (:class:`repro.core.monitor.DecentralizedMonitor`)
+    serves all of them.  Events and messages are typed loosely
+    (``object``) to keep this protocol free of upward imports; concrete
+    nodes receive :class:`repro.distributed.events.Event` values and the
+    wire messages of :mod:`repro.core.messages`.
+    """
+
+    process: int
+
+    def start(self) -> None:
+        """Process the initial global state (the paper's INIT step)."""
+
+    def local_event(self, event: object) -> None:
+        """Handle one event read from the attached program process."""
+
+    def local_termination(self) -> None:
+        """Handle the termination signal of the attached program process."""
+
+    def receive_message(self, message: object) -> None:
+        """Handle a monitoring message delivered by the transport."""
 
 
 @runtime_checkable
@@ -43,7 +82,7 @@ class MonitorNetwork(Transport, Protocol):
     messages_sent: int
     messages_by_sender: dict[int, int]
 
-    def register(self, process: int, monitor: object) -> None:
+    def register(self, process: int, monitor: MonitorNode) -> None:
         """Attach *monitor* as the endpoint for *process*."""
 
     @property
@@ -60,12 +99,12 @@ class LoopbackNetwork:
     """
 
     def __init__(self) -> None:
-        self._monitors: dict[int, object] = {}
+        self._monitors: dict[int, MonitorNode] = {}
         self._queue: deque[tuple[int, int, object]] = deque()
         self.messages_sent = 0
         self.messages_by_sender: dict[int, int] = {}
 
-    def register(self, process: int, monitor: object) -> None:
+    def register(self, process: int, monitor: MonitorNode) -> None:
         """Attach *monitor* as the endpoint for *process*."""
         self._monitors[process] = monitor
 

@@ -12,7 +12,7 @@ Public API
 * :func:`format_table` — plain-text rendering of result rows.
 """
 
-from .engine import execute_points, execute_sweep, run_scenario, trace_design
+from .engine import BACKENDS, execute_points, execute_sweep, run_scenario, trace_design
 from .harness import (
     DEFAULT_SCALE,
     ExperimentScale,
@@ -35,6 +35,7 @@ from .properties import (
 )
 
 __all__ = [
+    "BACKENDS",
     "DEFAULT_SCALE",
     "ExperimentScale",
     "format_table",

@@ -25,12 +25,16 @@ Document layout (schema ``repro-bench/1``)::
       }
     }
 
-``timings`` values carry wall-clock seconds (records of simulated sweeps are
-tagged with their ``scenario`` name); ``reference`` carries the seed baseline
-for the two acceptance hot paths so any consumer can compute the speedup
-factor without digging through git history.  ``scale`` embeds the resolved
-:class:`ExperimentScale` and ``scenarios`` the metadata of every scenario
-exercised, so each document is fully self-describing.
+``timings`` values carry wall-clock seconds; records of monitored sweeps are
+tagged with their ``scenario`` name and the ``backend`` that executed them
+(``"sim"`` for the discrete-event simulator, ``"asyncio"`` for the streaming
+runtime, which also records its ``stream_transport``).  ``reference``
+carries the seed baseline for the two acceptance hot paths so any consumer
+can compute the speedup factor without digging through git history.
+``scale`` embeds the resolved :class:`ExperimentScale` and ``scenarios`` the
+metadata of every scenario exercised, so each document is fully
+self-describing.  The field-by-field schema reference lives in
+``docs/benchmarks.md``.
 """
 
 from __future__ import annotations
@@ -120,6 +124,7 @@ def collect_kernel_timings(
             "replications": scale.replications,
             "workers": scale.workers,
             "scenario": "paper-default",
+            "backend": "sim",
         },
     }
 

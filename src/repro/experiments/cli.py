@@ -8,6 +8,7 @@ Usage (after installing the package)::
     python -m repro.experiments.cli fig5.9
     python -m repro.experiments.cli list-scenarios
     python -m repro.experiments.cli run --scenario lossy-retransmit --workers 4
+    python -m repro.experiments.cli run --scenario paper-default --backend asyncio
     python -m repro.experiments.cli bench --json BENCH_local.json
     python -m repro.experiments.cli all
 
@@ -16,12 +17,16 @@ table; the heavier sweeps accept ``--processes``, ``--events``,
 ``--replications`` and ``--workers`` to control the workload scale (with
 ``--workers`` the engine shards the full sweep-point × replication product
 across a process pool).  ``list-scenarios`` shows the registered scenario
-catalogue and ``run --scenario NAME`` executes one of them.  The ``bench``
+catalogue and ``run --scenario NAME`` executes one of them —
+``--backend {sim,asyncio}`` selects the discrete-event simulator (default)
+or the asyncio streaming runtime (monitors as concurrent tasks; add
+``--stream-transport tcp`` for real loopback sockets).  The ``bench``
 sub-command times the kernel hot paths and the figure experiments and (with
 ``--json OUT``) writes the same ``repro-bench/1`` JSON document the CI
 benchmark suite emits — embedding the resolved :class:`ExperimentScale` and
-the scenario metadata, so local and CI numbers are directly comparable and
-each BENCH file is self-describing.
+the scenario metadata, with every timing tagged by the backend it ran on,
+so local and CI numbers are directly comparable and each BENCH file is
+self-describing.  See ``docs/benchmarks.md`` for the full schema.
 """
 
 from __future__ import annotations
@@ -133,13 +138,18 @@ def _emit_run_scenario(args: argparse.Namespace) -> None:
     except KeyError as error:
         raise SystemExit(f"error: {error.args[0]}")
     scale = _scale_from_args(args)
-    rows = run_scenario(scenario, scale)
+    rows = run_scenario(
+        scenario, scale, backend=args.backend, stream_transport=args.stream_transport
+    )
     columns = list(_SWEEP_COLUMNS)
     for row in rows:
         for key in row:
             if key not in columns and key not in ("token_messages", "log_events", "log_messages"):
                 columns.append(key)
-    print(f"scenario {scenario.name} — {scenario.description}")
+    backend = args.backend
+    if backend == "asyncio":
+        backend = f"asyncio/{args.stream_transport}"
+    print(f"scenario {scenario.name} [backend {backend}] — {scenario.description}")
     print(format_table(rows, columns=columns))
 
 
@@ -174,6 +184,7 @@ def _emit_bench(args: argparse.Namespace) -> None:
             "seconds": time.perf_counter() - start,
             "group": "figures",
             "scenario": "paper-default",
+            "backend": "sim",
         }
     if bench_scenario.name != "paper-default":
         start = time.perf_counter()
@@ -182,6 +193,24 @@ def _emit_bench(args: argparse.Namespace) -> None:
             "seconds": time.perf_counter() - start,
             "group": "scenarios",
             "scenario": bench_scenario.name,
+            "backend": "sim",
+        }
+    if args.backend == "asyncio":
+        # time the chosen scenario on the streaming backend as well, so
+        # BENCH documents carry directly comparable sim/asyncio pairs
+        start = time.perf_counter()
+        run_scenario(
+            bench_scenario,
+            scale,
+            backend="asyncio",
+            stream_transport=args.stream_transport,
+        )
+        timings[f"scenario_{bench_scenario.name}_asyncio"] = {
+            "seconds": time.perf_counter() - start,
+            "group": "scenarios",
+            "scenario": bench_scenario.name,
+            "backend": "asyncio",
+            "stream_transport": args.stream_transport,
         }
 
     rows = []
@@ -243,6 +272,22 @@ def build_parser() -> argparse.ArgumentParser:
         default="paper-default",
         help="scenario name for 'run' (see list-scenarios); with 'bench' a "
         "non-default scenario is timed and tagged in addition to the figures",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["sim", "asyncio"],
+        default="sim",
+        help="monitoring backend for 'run': the discrete-event simulator "
+        "(default) or the asyncio streaming runtime where monitors run as "
+        "concurrent tasks; with 'bench' the asyncio backend is timed in "
+        "addition to the simulator",
+    )
+    parser.add_argument(
+        "--stream-transport",
+        choices=["memory", "tcp"],
+        default="memory",
+        help="asyncio backend only: exchange monitor messages through "
+        "in-process queues (default) or real loopback TCP sockets",
     )
     parser.add_argument(
         "--processes",

@@ -9,10 +9,20 @@ the **full (point × replication) product** across a process pool.  Because
 cell seeds are derived (never drawn) and aggregation walks cells in list
 order, serial and sharded executions are byte-identical.
 
+Cells are backend-agnostic: ``backend="sim"`` (the default) replays each
+cell on the discrete-event simulator, ``backend="asyncio"`` on the
+streaming runtime of :mod:`repro.runtime`, where monitors run as concurrent
+asyncio tasks (over in-process queues or real TCP sockets, see
+*stream_transport*) shaped by the same scenario network condition.  Both
+backends share one monitor implementation and deliver reliably, so a cell's
+conclusive verdicts are identical for a fixed seed — only timing/queuing
+metrics reflect the backend's nature.
+
 The per-cell task function is a module-level callable fed plain picklable
 values (the scenario itself is a frozen dataclass of frozen dataclasses), so
 it works under both fork and spawn start methods; monitor automata are
-rebuilt lazily per worker through the ``case_study_monitor`` cache.
+rebuilt lazily per worker through the ``case_study_monitor`` cache, and
+asyncio cells spin a fresh event loop inside the worker.
 """
 
 from __future__ import annotations
@@ -28,12 +38,16 @@ from ..sim.workload import generate_computation
 from .properties import PROPERTY_NAMES, case_study_monitor, case_study_registry
 
 __all__ = [
+    "BACKENDS",
     "trace_design",
     "run_scenario_cell",
     "execute_points",
     "execute_sweep",
     "run_scenario",
 ]
+
+#: the monitoring backends a sweep cell can execute on
+BACKENDS = ("sim", "asyncio")
 
 
 def trace_design(property_name: str) -> tuple[dict[str, bool], float]:
@@ -70,9 +84,22 @@ class _ScaleLike:
 
 
 def run_scenario_cell(
-    scenario: Scenario, point: GridPoint, scale: _ScaleLike, seed: int
+    scenario: Scenario,
+    point: GridPoint,
+    scale: _ScaleLike,
+    seed: int,
+    backend: str = "sim",
+    stream_transport: str = "memory",
 ) -> dict[str, float]:
-    """Run one (sweep-point, replication) cell and return its slim metrics."""
+    """Run one (sweep-point, replication) cell and return its slim metrics.
+
+    *backend* selects the executor: ``"sim"`` replays the cell on the
+    discrete-event simulator, ``"asyncio"`` streams it through concurrent
+    monitor tasks (:func:`repro.runtime.run_streaming`) over
+    *stream_transport* (``"memory"`` or ``"tcp"``), with the scenario's
+    network condition mapped onto the streaming transport via
+    :meth:`repro.scenarios.NetworkModel.delay_model`.
+    """
     comm_mu = scale.comm_mu if point.comm_mu == "default" else point.comm_mu
     initial_valuation, truth_probability = trace_design(point.property_name)
     config = scenario.workload.build_config(
@@ -89,14 +116,28 @@ def run_scenario_cell(
     registry = case_study_registry(point.num_processes)
     automaton = case_study_monitor(point.property_name, point.num_processes)
     computation = generate_computation(config)
-    report = simulate_monitored_run(
-        computation,
-        automaton,
-        registry,
-        seed=seed,
-        max_views_per_state=scale.max_views_per_state,
-        network=scenario.network,
-    )
+    if backend == "sim":
+        report = simulate_monitored_run(
+            computation,
+            automaton,
+            registry,
+            seed=seed,
+            max_views_per_state=scale.max_views_per_state,
+            network=scenario.network,
+        )
+    elif backend == "asyncio":
+        from ..runtime import run_streaming
+
+        report = run_streaming(
+            computation,
+            automaton,
+            registry,
+            delay=scenario.network.delay_model(seed),
+            max_views_per_state=scale.max_views_per_state,
+            transport=stream_transport,
+        )
+    else:
+        raise ValueError(f"unknown backend {backend!r} (known: {BACKENDS})")
     metrics = {
         "events": float(report.total_events),
         "messages": float(report.monitor_messages),
@@ -110,13 +151,15 @@ def run_scenario_cell(
 
 
 def _run_cell(
-    task: tuple[Scenario | str, GridPoint, _ScaleLike, int],
+    task: tuple[Scenario | str, GridPoint, _ScaleLike, int, str, str],
 ) -> dict[str, float]:
     """Process-pool task: resolve the scenario (by value or name) and run."""
-    scenario, point, scale, seed = task
+    scenario, point, scale, seed, backend, stream_transport = task
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
-    return run_scenario_cell(scenario, point, scale, seed)
+    return run_scenario_cell(
+        scenario, point, scale, seed, backend=backend, stream_transport=stream_transport
+    )
 
 
 def _mean(values: Iterable[float]) -> float:
@@ -149,6 +192,8 @@ def execute_points(
     points: Sequence[GridPoint],
     scale: _ScaleLike,
     pool: ProcessPoolExecutor | None = None,
+    backend: str = "sim",
+    stream_transport: str = "memory",
 ) -> list[dict[str, float]]:
     """Run every (point × replication) cell of *scenario* and aggregate.
 
@@ -157,11 +202,20 @@ def execute_points(
     with P points and R replications keeps ``min(P*R, workers)`` workers
     busy.  Cell seeds are ``base_seed + 31*replication + point.seed_offset``
     (the scheme the pre-scenario harness used), so results are byte-identical
-    to a serial run and to earlier releases.
+    to a serial run and to earlier releases.  *backend* (and, for the
+    streaming backend, *stream_transport*) selects the per-cell executor —
+    see :func:`run_scenario_cell`.
     """
     replications = max(1, scale.replications)
     cells = [
-        (scenario, point, scale, scale.base_seed + 31 * rep + point.seed_offset)
+        (
+            scenario,
+            point,
+            scale,
+            scale.base_seed + 31 * rep + point.seed_offset,
+            backend,
+            stream_transport,
+        )
         for point in points
         for rep in range(replications)
     ]
@@ -184,19 +238,32 @@ def execute_sweep(
     scale: _ScaleLike,
     grid: SweepGrid | None = None,
     pool: ProcessPoolExecutor | None = None,
+    backend: str = "sim",
+    stream_transport: str = "memory",
 ) -> list[dict[str, float]]:
     """Expand *grid* (default: the scenario's own) and run every cell."""
     grid = grid if grid is not None else scenario.grid
     points = grid.points(PROPERTY_NAMES, scale.process_counts)
-    return execute_points(scenario, points, scale, pool=pool)
+    return execute_points(
+        scenario,
+        points,
+        scale,
+        pool=pool,
+        backend=backend,
+        stream_transport=stream_transport,
+    )
 
 
 def run_scenario(
     scenario: Scenario | str,
     scale: _ScaleLike,
     grid: SweepGrid | None = None,
+    backend: str = "sim",
+    stream_transport: str = "memory",
 ) -> list[dict[str, float]]:
     """Run a scenario (by value or registered name) over its sweep grid."""
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
-    return execute_sweep(scenario, scale, grid=grid)
+    return execute_sweep(
+        scenario, scale, grid=grid, backend=backend, stream_transport=stream_transport
+    )

@@ -1,0 +1,44 @@
+"""Async/streaming monitoring backend: monitors as asyncio tasks over sockets.
+
+This package is the live counterpart of the discrete-event simulator
+(:mod:`repro.sim`): the same decentralized monitors
+(:class:`repro.core.monitor.DecentralizedMonitor`, reused unchanged through
+the :class:`repro.core.transport.MonitorNode` protocol) run as concurrent
+asyncio tasks and exchange the :mod:`repro.core.messages` wire messages over
+a streaming transport — in-process queues for tests and fast sweeps, or real
+TCP sockets for the deployment style the paper's monitors assume.  Network
+conditions are shaped by the same :class:`repro.core.delays.DelayModel`
+values the simulator uses, so every registered scenario runs on either
+backend (``repro-experiments run --backend {sim,asyncio}``).
+
+Public API
+----------
+* :func:`run_streaming` / :func:`stream_monitored_run` — replay a finished
+  computation through concurrent monitor tasks; returns a
+  :class:`RuntimeReport` (field-compatible with the simulator's report).
+* :class:`InMemoryStreamTransport` / :class:`TcpStreamTransport` — the
+  streaming transports; :data:`TRANSPORTS` names them for CLIs.
+* :class:`StreamMonitorNode` — one monitor as an asyncio task.
+* :class:`RuntimeClock` — virtual time, optionally paced to wall clock.
+"""
+
+from .node import StreamMonitorNode
+from .runner import TRANSPORTS, RuntimeReport, run_streaming, stream_monitored_run
+from .transport import (
+    InMemoryStreamTransport,
+    RuntimeClock,
+    StreamTransport,
+    TcpStreamTransport,
+)
+
+__all__ = [
+    "RuntimeReport",
+    "run_streaming",
+    "stream_monitored_run",
+    "TRANSPORTS",
+    "StreamMonitorNode",
+    "StreamTransport",
+    "InMemoryStreamTransport",
+    "TcpStreamTransport",
+    "RuntimeClock",
+]

@@ -1,0 +1,113 @@
+"""One monitor as an asyncio task: the streaming runtime's unit of concurrency.
+
+A :class:`StreamMonitorNode` wraps the *unchanged*
+:class:`repro.core.monitor.DecentralizedMonitor` (any
+:class:`repro.core.transport.MonitorNode` implementation works) and runs it
+as a single asyncio task consuming a serial inbox of program events,
+monitoring messages and control items.  Serialising everything through one
+inbox per node keeps the monitor implementation free of locks — exactly one
+task ever touches a monitor's state, mirroring the per-process monitor of
+the paper — while different nodes genuinely interleave on the event loop
+(and exchange messages over real sockets under the TCP transport).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import TYPE_CHECKING
+
+from ..core.transport import MonitorNode
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .transport import StreamTransport
+
+__all__ = ["StreamMonitorNode"]
+
+#: inbox item tags, in the order a run produces them
+_MESSAGE, _EVENT, _TERMINATE, _STOP = "message", "event", "terminate", "stop"
+
+
+class StreamMonitorNode:
+    """Runs one monitor as an asyncio task over a serial inbox.
+
+    The runner enqueues program events and the termination signal; the
+    transport enqueues monitoring messages as they arrive.  ``pending_items``
+    counts enqueued-but-not-yet-fully-processed items, which the transport's
+    quiescence detection relies on.
+    """
+
+    def __init__(self, monitor: MonitorNode, transport: StreamTransport) -> None:
+        self.monitor = monitor
+        self.transport = transport
+        self.inbox: asyncio.Queue = asyncio.Queue()
+        #: items enqueued and not yet fully processed (quiescence accounting)
+        self.pending_items = 0
+        self._task: asyncio.Task | None = None
+
+    @property
+    def process(self) -> int:
+        """Index of the program process this node monitors."""
+        return self.monitor.process
+
+    # -- producers ------------------------------------------------------
+    def enqueue_message(self, due: float, message: object) -> None:
+        """Deliver one monitoring message into the inbox (transport side)."""
+        self.pending_items += 1
+        self.inbox.put_nowait((_MESSAGE, due, message))
+
+    def enqueue_event(self, event: object) -> None:
+        """Feed one local program event into the inbox (runner side)."""
+        self.pending_items += 1
+        self.inbox.put_nowait((_EVENT, 0.0, event))
+
+    def enqueue_termination(self) -> None:
+        """Signal that the attached program process produced its last event."""
+        self.pending_items += 1
+        self.inbox.put_nowait((_TERMINATE, 0.0, None))
+
+    def enqueue_stop(self) -> None:
+        """Ask the node task to exit once it drains everything before this."""
+        self.pending_items += 1
+        self.inbox.put_nowait((_STOP, 0.0, None))
+
+    # -- the task -------------------------------------------------------
+    def start_task(self) -> asyncio.Task:
+        """Spawn the node's consumer task on the running loop."""
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(self.run())
+        return self._task
+
+    def failure(self) -> BaseException | None:
+        """The exception that killed the node task, if it died abnormally.
+
+        The transport's quiescence wait polls this so a monitor bug
+        surfaces immediately instead of timing out as a bogus
+        "did not quiesce".
+        """
+        task = self._task
+        if task is not None and task.done() and not task.cancelled():
+            return task.exception()
+        return None
+
+    async def run(self) -> None:
+        """Consume the inbox until a stop item arrives.
+
+        Each item is processed synchronously (no awaits inside monitor
+        calls), so observers at await points never see a monitor mid-step;
+        sends triggered by processing bump the transport's in-flight counter
+        before the consumed message is accounted done.
+        """
+        while True:
+            kind, due, payload = await self.inbox.get()
+            try:
+                if kind == _MESSAGE:
+                    self.monitor.receive_message(payload)
+                    self.transport.message_done(due)
+                elif kind == _EVENT:
+                    self.monitor.local_event(payload)
+                elif kind == _TERMINATE:
+                    self.monitor.local_termination()
+                elif kind == _STOP:
+                    return
+            finally:
+                self.pending_items -= 1

@@ -1,0 +1,328 @@
+"""Asyncio streaming transports: monitors as concurrent tasks, for real.
+
+This module implements the :class:`repro.core.transport.MonitorNetwork`
+protocol on top of asyncio, the deployment style the paper's decentralized
+monitors assume — each monitor is a concurrent process and messages travel
+through an actual asynchronous medium instead of a simulated priority queue.
+Two transports are provided:
+
+* :class:`InMemoryStreamTransport` — per-channel asyncio queues inside one
+  event loop.  Fast and used by the test-suite and the default CLI backend.
+* :class:`TcpStreamTransport` — every monitor node listens on a real TCP
+  socket (``127.0.0.1``, ephemeral port) and the :mod:`repro.core.messages`
+  wire messages travel length-prefix-framed and pickled over real
+  connections.
+
+Both transports preserve **FIFO order per (sender, receiver) channel** (the
+algorithm's reliable-FIFO-channel assumption): every channel has its own
+queue drained by a dedicated pump task, and delivery instants are clamped to
+be monotone per channel exactly like the discrete-event simulator does.
+Latency/loss semantics come from the same backend-agnostic
+:class:`repro.core.delays.DelayModel` values the simulator uses, evaluated
+against a :class:`RuntimeClock` (virtual seconds, optionally paced to wall
+clock via ``time_scale``).
+
+Quiescence — "no message is in flight anywhere and no node has unprocessed
+inbox items" — is detected with a simple conservative counter:
+``in_flight`` is incremented at :meth:`StreamTransport.send` and only
+decremented after the receiving node has *finished processing* the message,
+so ``in_flight == 0`` together with empty node inboxes implies the whole
+system is idle (sends triggered by processing a message increment the
+counter before the decrement for the consumed message happens).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import struct
+from typing import TYPE_CHECKING
+
+from ..core.delays import DelayModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .node import StreamMonitorNode
+
+__all__ = [
+    "RuntimeClock",
+    "StreamTransport",
+    "InMemoryStreamTransport",
+    "TcpStreamTransport",
+]
+
+_FRAME_HEADER = struct.Struct(">I")
+
+
+class RuntimeClock:
+    """Virtual time for the streaming runtime.
+
+    The runtime replays computations whose event timestamps are in *virtual
+    seconds* (the simulator's time base).  ``time_scale`` maps virtual to
+    wall-clock seconds: the default ``0.0`` runs as fast as the event loop
+    allows (sleeps degrade to plain yields), ``0.001`` compresses one
+    virtual second to one real millisecond, ``1.0`` replays in real time.
+    ``now`` is a monotone high-water mark — concurrent sleepers advance it
+    to the largest instant awaited so far, which is exactly what the delay
+    models need as a send-time base.
+    """
+
+    def __init__(self, time_scale: float = 0.0) -> None:
+        if time_scale < 0:
+            raise ValueError("time_scale must be non-negative")
+        self.time_scale = time_scale
+        self.now: float = 0.0
+
+    async def sleep_until(self, instant: float) -> None:
+        """Advance virtual time to *instant*, pacing by ``time_scale``."""
+        if instant > self.now and self.time_scale > 0:
+            await asyncio.sleep((instant - self.now) * self.time_scale)
+        else:
+            # still yield so other tasks (pumps, nodes) interleave
+            await asyncio.sleep(0)
+        self.now = max(self.now, instant)
+
+
+class StreamTransport:
+    """Base streaming transport: channel pumps + in-flight accounting.
+
+    Subclasses customise only :meth:`_forward` (how a due message reaches
+    the target node) and the async lifecycle hooks; FIFO clamping, delay
+    evaluation and quiescence tracking live here.  Implements the
+    :class:`repro.core.transport.MonitorNetwork` protocol, so monitor code
+    and metrics collection are oblivious to which backend is underneath.
+    """
+
+    def __init__(
+        self, clock: RuntimeClock | None = None, delay: DelayModel | None = None
+    ) -> None:
+        self.clock = clock if clock is not None else RuntimeClock()
+        self.delay = delay
+        self._nodes: dict[int, StreamMonitorNode] = {}
+        self._channel_queues: dict[tuple[int, int], asyncio.Queue] = {}
+        self._channel_clock: dict[tuple[int, int], float] = {}
+        self._pumps: list[asyncio.Task] = []
+        #: messages sent but not yet fully processed by their receiver
+        self.in_flight = 0
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_by_sender: dict[int, int] = {}
+        self.last_delivery_time: float = 0.0
+
+    # -- MonitorNetwork protocol ----------------------------------------
+    def register(self, process: int, node: StreamMonitorNode) -> None:
+        """Attach *node* as the endpoint for *process*."""
+        self._nodes[process] = node
+
+    def send(self, sender: int, target: int, message: object) -> None:
+        """Queue *message* for delivery; called synchronously by monitors."""
+        if target not in self._nodes:
+            raise ValueError(f"no monitor node registered for process {target}")
+        self.messages_sent += 1
+        self.messages_by_sender[sender] = self.messages_by_sender.get(sender, 0) + 1
+        now = self.clock.now
+        if self.delay is not None:
+            due = self.delay.delivery_time(now, sender, target)
+        else:
+            due = now
+        channel = (sender, target)
+        # FIFO per channel: delivery instants are monotone per channel, and
+        # the per-channel pump realises them sequentially
+        due = max(due, self._channel_clock.get(channel, 0.0))
+        self._channel_clock[channel] = due
+        self.in_flight += 1
+        self._channel_queue(channel).put_nowait((due, target, message))
+
+    @property
+    def pending(self) -> int:
+        """Number of sent-but-not-fully-processed messages."""
+        return self.in_flight
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> None:
+        """Bring the transport up; all nodes must already be registered.
+
+        Channel queues and their pump tasks are created lazily on first
+        send, so the base transport has nothing to do here.
+        """
+
+    async def aclose(self) -> None:
+        """Tear the transport down, cancelling the channel pumps."""
+        for pump in self._pumps:
+            pump.cancel()
+        for pump in self._pumps:
+            try:
+                await pump
+            except asyncio.CancelledError:
+                pass
+        self._pumps.clear()
+
+    # -- internals ------------------------------------------------------
+    def _channel_queue(self, channel: tuple[int, int]) -> asyncio.Queue:
+        queue = self._channel_queues.get(channel)
+        if queue is None:
+            queue = asyncio.Queue()
+            self._channel_queues[channel] = queue
+            self._pumps.append(
+                asyncio.get_running_loop().create_task(self._pump(channel, queue))
+            )
+        return queue
+
+    async def _pump(self, channel: tuple[int, int], queue: asyncio.Queue) -> None:
+        """Drain one channel sequentially, realising delivery instants."""
+        while True:
+            due, target, message = await queue.get()
+            await self.clock.sleep_until(due)
+            await self._forward(channel, due, target, message)
+
+    async def _forward(
+        self, channel: tuple[int, int], due: float, target: int, message: object
+    ) -> None:
+        """Hand one due message to the target node (subclass hook)."""
+        raise NotImplementedError
+
+    def message_done(self, due: float) -> None:
+        """Record that a receiver finished processing one message."""
+        self.in_flight -= 1
+        self.messages_delivered += 1
+        self.last_delivery_time = max(self.last_delivery_time, due)
+
+    # -- quiescence -----------------------------------------------------
+    def _idle(self) -> bool:
+        return self.in_flight == 0 and all(
+            node.pending_items == 0 for node in self._nodes.values()
+        )
+
+    async def wait_quiescent(self, timeout: float = 120.0) -> None:
+        """Block until no work is pending anywhere (or raise on *timeout*).
+
+        The check is conservative (see the module docstring), but a freshly
+        observed idle state could still be a scheduling artefact on exotic
+        transports, so the condition must hold across a few consecutive
+        yields before the wait returns.  A node task that died abnormally
+        can never drain its share of the in-flight work, so its exception
+        is re-raised here immediately instead of timing out.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        stable = 0
+        spins = 0
+        while True:
+            for node in self._nodes.values():
+                error = node.failure()
+                if error is not None:
+                    raise error
+            if self._idle():
+                stable += 1
+                if stable >= 3:
+                    return
+            else:
+                stable = 0
+            if loop.time() > deadline:
+                raise RuntimeError(
+                    f"streaming run did not quiesce within {timeout}s "
+                    f"(in_flight={self.in_flight})"
+                )
+            spins += 1
+            # yield hot at first (in-memory work progresses per yield), back
+            # off to real sleeps for socket I/O latencies
+            await asyncio.sleep(0 if spins < 1000 else 0.001)
+
+    def extra_stats(self) -> dict[str, float]:
+        """Behaviour-specific counters of the installed delay model."""
+        return self.delay.extra_stats() if self.delay is not None else {}
+
+
+class InMemoryStreamTransport(StreamTransport):
+    """Streaming transport delivering through in-process inbox queues."""
+
+    async def _forward(
+        self, channel: tuple[int, int], due: float, target: int, message: object
+    ) -> None:
+        self._nodes[target].enqueue_message(due, message)
+
+
+class TcpStreamTransport(StreamTransport):
+    """Streaming transport exchanging messages over real TCP sockets.
+
+    Every registered node gets its own ``asyncio.start_server`` on
+    ``127.0.0.1`` with an ephemeral port; channel pumps lazily open one
+    client connection per (sender, target) pair and write length-prefixed
+    pickled ``(due, message)`` frames.  The receiving server unpickles each
+    frame and enqueues it into the target node's inbox, so from the
+    monitors' point of view nothing changes — only the medium does.
+    """
+
+    def __init__(
+        self,
+        clock: RuntimeClock | None = None,
+        delay: DelayModel | None = None,
+        host: str = "127.0.0.1",
+    ) -> None:
+        super().__init__(clock=clock, delay=delay)
+        self.host = host
+        self._servers: dict[int, asyncio.AbstractServer] = {}
+        self.ports: dict[int, int] = {}
+        self._writers: dict[tuple[int, int], asyncio.StreamWriter] = {}
+
+    async def start(self) -> None:
+        """Start one TCP server per registered node and record its port."""
+        await super().start()
+        for process, node in self._nodes.items():
+            server = await asyncio.start_server(
+                lambda reader, writer, node=node: self._serve(node, reader, writer),
+                self.host,
+                0,
+            )
+            self._servers[process] = server
+            self.ports[process] = server.sockets[0].getsockname()[1]
+
+    async def aclose(self) -> None:
+        """Stop the pumps first, then close client connections and servers.
+
+        Pumps must die before the sockets do: a pump woken mid-delivery
+        would otherwise write to a closed writer and replace the original
+        diagnostic with a teardown ConnectionError.
+        """
+        await super().aclose()
+        for writer in self._writers.values():
+            writer.close()
+        for writer in self._writers.values():
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass
+        self._writers.clear()
+        for server in self._servers.values():
+            server.close()
+        for server in self._servers.values():
+            await server.wait_closed()
+        self._servers.clear()
+
+    async def _forward(
+        self, channel: tuple[int, int], due: float, target: int, message: object
+    ) -> None:
+        writer = self._writers.get(channel)
+        if writer is None:
+            _, writer = await asyncio.open_connection(self.host, self.ports[target])
+            self._writers[channel] = writer
+        payload = pickle.dumps((due, message), protocol=pickle.HIGHEST_PROTOCOL)
+        writer.write(_FRAME_HEADER.pack(len(payload)) + payload)
+        await writer.drain()
+
+    async def _serve(
+        self,
+        node: StreamMonitorNode,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Read frames from one inbound connection into the node's inbox."""
+        try:
+            while True:
+                header = await reader.readexactly(_FRAME_HEADER.size)
+                payload = await reader.readexactly(_FRAME_HEADER.unpack(header)[0])
+                due, message = pickle.loads(payload)
+                node.enqueue_message(due, message)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass
+        finally:
+            writer.close()

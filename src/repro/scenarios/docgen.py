@@ -1,0 +1,110 @@
+"""Render the scenario catalogue into ``docs/scenarios.md`` — and keep it true.
+
+The scenario reference documentation is *generated-checked*: the catalogue
+section of ``docs/scenarios.md`` between :data:`BEGIN_MARKER` and
+:data:`END_MARKER` is produced by :func:`render_catalogue` straight from the
+live registry (:mod:`repro.scenarios.registry`), and a test asserts the file
+matches the renderer's output, so the document cannot drift from the code.
+After adding or changing a scenario, regenerate the section with::
+
+    PYTHONPATH=src python -m repro.scenarios.docgen docs/scenarios.md
+
+Everything rendered comes from :meth:`repro.scenarios.Scenario.describe`:
+the workload and network model kinds with their parameters, the sweep grid,
+the tags, and ``corresponds_to`` — which paper figure/table the condition
+reproduces or which extension it is.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .registry import list_scenarios
+from .scenario import Scenario
+
+__all__ = [
+    "BEGIN_MARKER",
+    "END_MARKER",
+    "render_catalogue",
+    "replace_generated_section",
+    "main",
+]
+
+BEGIN_MARKER = "<!-- BEGIN GENERATED SCENARIO CATALOGUE (repro.scenarios.docgen) -->"
+END_MARKER = "<!-- END GENERATED SCENARIO CATALOGUE -->"
+
+
+def _format_params(description: dict[str, object]) -> str:
+    """Render a model description's parameters as ``key=value`` pairs."""
+    pairs = [
+        f"{key}={value!r}" for key, value in description.items() if key != "kind"
+    ]
+    return ", ".join(pairs) if pairs else "(defaults)"
+
+
+def _render_scenario(scenario: Scenario) -> list[str]:
+    """Markdown block for one scenario."""
+    description = scenario.describe()
+    workload = description["workload"]
+    network = description["network"]
+    grid = description["grid"]
+    lines = [
+        f"### `{scenario.name}`",
+        "",
+        scenario.description,
+        "",
+        f"- **Corresponds to:** {scenario.corresponds_to}",
+        f"- **Workload:** `{workload['kind']}` — {_format_params(workload)}",
+        f"- **Network:** `{network['kind']}` — {_format_params(network)}",
+        f"- **Grid:** properties={grid['properties']!r}, "
+        f"process_counts={grid['process_counts']!r}, comm_mus={grid['comm_mus']!r}",
+        f"- **Tags:** {', '.join(scenario.tags) if scenario.tags else '(none)'}",
+        "",
+    ]
+    return lines
+
+
+def render_catalogue() -> str:
+    """The generated catalogue section, markers included."""
+    scenarios = list_scenarios()
+    lines = [
+        BEGIN_MARKER,
+        "",
+        f"{len(scenarios)} scenarios are registered (sorted by name).",
+        "",
+    ]
+    for scenario in scenarios:
+        lines.extend(_render_scenario(scenario))
+    lines.append(END_MARKER)
+    return "\n".join(lines)
+
+
+def replace_generated_section(text: str) -> str:
+    """Return *text* with the marked section replaced by a fresh rendering."""
+    begin = text.index(BEGIN_MARKER)
+    end = text.index(END_MARKER) + len(END_MARKER)
+    return text[:begin] + render_catalogue() + text[end:]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Rewrite the generated section of the given markdown file in place."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 1:
+        print("usage: python -m repro.scenarios.docgen docs/scenarios.md", file=sys.stderr)
+        return 2
+    path = argv[0]
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    try:
+        updated = replace_generated_section(text)
+    except ValueError:
+        print(f"error: {path} has no generated-section markers", file=sys.stderr)
+        return 1
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(updated)
+    print(f"regenerated scenario catalogue in {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    sys.exit(main())

@@ -1,13 +1,20 @@
 """Declarative network models: the pluggable conditions of a scenario.
 
 A :class:`NetworkModel` is a small frozen dataclass describing *how* the
-monitors' network behaves; its :meth:`~NetworkModel.build` method constructs
-the matching discrete-event network (a
-:class:`repro.core.transport.MonitorNetwork` implementation from
-:mod:`repro.sim.network`) for one simulated run.  Models are plain picklable
-values, so scenarios can be shipped to worker processes by the sharded sweep
-engine, and :meth:`~NetworkModel.describe` renders them into the
-BENCH/JSON metadata.
+monitors' network behaves, independently of the backend that realises it:
+
+* :meth:`~NetworkModel.build` constructs the matching discrete-event network
+  (a :class:`repro.core.transport.MonitorNetwork` implementation from
+  :mod:`repro.sim.network`) for one simulated run;
+* :meth:`~NetworkModel.delay_model` maps the same latency/loss parameters
+  onto a backend-agnostic :class:`repro.core.delays.DelayModel`, which the
+  asyncio streaming runtime (:mod:`repro.runtime`) plugs into its transports
+  — so every named scenario runs identically-shaped on both backends
+  (``run --backend {sim,asyncio}``).
+
+Models are plain picklable values, so scenarios can be shipped to worker
+processes by the sharded sweep engine, and :meth:`~NetworkModel.describe`
+renders them into the BENCH/JSON metadata.
 
 Five conditions are provided:
 
@@ -32,6 +39,13 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass
 from typing import Protocol, runtime_checkable
 
+from ..core.delays import (
+    BurstyDelay,
+    DelayModel,
+    GaussianDelay,
+    LossyRetransmitDelay,
+    PartitionDelay,
+)
 from ..sim.engine import Simulator
 from ..sim.network import (
     BurstySimulatedNetwork,
@@ -55,13 +69,17 @@ class NetworkModel(Protocol):
     """Declarative description of a monitor network, buildable per run."""
 
     def build(self, simulator: Simulator, seed: int | None) -> SimulatedNetwork:
-        """Construct the network on *simulator*, seeded with *seed*."""
+        """Construct the discrete-event network on *simulator*, seeded with *seed*."""
+
+    def delay_model(self, seed: int | None) -> DelayModel:
+        """The same latency/loss semantics for the streaming runtime."""
 
     def describe(self) -> dict[str, object]:
         """Self-describing metadata (for BENCH documents and the CLI)."""
 
 
 def _describe(kind: str, model: object) -> dict[str, object]:
+    """Render *model* as a ``{"kind": ..., **fields}`` metadata dictionary."""
     description: dict[str, object] = {"kind": kind}
     description.update(asdict(model))
     return description
@@ -75,11 +93,17 @@ class ReliableNetwork:
     jitter: float = 0.01
 
     def build(self, simulator: Simulator, seed: int | None) -> SimulatedNetwork:
+        """Build the reliable jittery discrete-event network."""
         return SimulatedNetwork(
             simulator, latency=self.latency, jitter=self.jitter, seed=seed
         )
 
+    def delay_model(self, seed: int | None) -> GaussianDelay:
+        """Gaussian latency+jitter for the streaming backend."""
+        return GaussianDelay(latency=self.latency, jitter=self.jitter, seed=seed)
+
     def describe(self) -> dict[str, object]:
+        """Self-describing metadata (for BENCH documents and the CLI)."""
         return _describe("reliable", self)
 
 
@@ -90,9 +114,15 @@ class FixedLatencyNetwork:
     latency: float = 0.05
 
     def build(self, simulator: Simulator, seed: int | None) -> SimulatedNetwork:
+        """Build the constant-latency discrete-event network."""
         return SimulatedNetwork(simulator, latency=self.latency, jitter=0.0, seed=seed)
 
+    def delay_model(self, seed: int | None) -> GaussianDelay:
+        """Constant latency (zero jitter draws no randomness at all)."""
+        return GaussianDelay(latency=self.latency, jitter=0.0, seed=seed)
+
     def describe(self) -> dict[str, object]:
+        """Self-describing metadata (for BENCH documents and the CLI)."""
         return _describe("fixed-latency", self)
 
 
@@ -107,6 +137,7 @@ class LossyNetwork:
     max_retransmits: int = 25
 
     def build(self, simulator: Simulator, seed: int | None) -> LossySimulatedNetwork:
+        """Build the lossy-with-retransmission discrete-event network."""
         return LossySimulatedNetwork(
             simulator,
             latency=self.latency,
@@ -117,7 +148,19 @@ class LossyNetwork:
             max_retransmits=self.max_retransmits,
         )
 
+    def delay_model(self, seed: int | None) -> LossyRetransmitDelay:
+        """Stop-and-wait retransmission delays for the streaming backend."""
+        return LossyRetransmitDelay(
+            latency=self.latency,
+            jitter=self.jitter,
+            seed=seed,
+            loss_probability=self.loss_probability,
+            retransmit_timeout=self.retransmit_timeout,
+            max_retransmits=self.max_retransmits,
+        )
+
     def describe(self) -> dict[str, object]:
+        """Self-describing metadata (for BENCH documents and the CLI)."""
         return _describe("lossy-retransmit", self)
 
 
@@ -133,6 +176,7 @@ class PartitionNetwork:
     def build(
         self, simulator: Simulator, seed: int | None
     ) -> PartitionedSimulatedNetwork:
+        """Build the partition/heal discrete-event network."""
         return PartitionedSimulatedNetwork(
             simulator,
             latency=self.latency,
@@ -142,7 +186,18 @@ class PartitionNetwork:
             num_groups=self.num_groups,
         )
 
+    def delay_model(self, seed: int | None) -> PartitionDelay:
+        """Partition-window holding delays for the streaming backend."""
+        return PartitionDelay(
+            latency=self.latency,
+            jitter=self.jitter,
+            seed=seed,
+            windows=self.windows,
+            num_groups=self.num_groups,
+        )
+
     def describe(self) -> dict[str, object]:
+        """Self-describing metadata (for BENCH documents and the CLI)."""
         return _describe("partition-heal", self)
 
 
@@ -155,6 +210,7 @@ class BurstyNetwork:
     period: float = 0.75
 
     def build(self, simulator: Simulator, seed: int | None) -> BurstySimulatedNetwork:
+        """Build the duty-cycled discrete-event network."""
         return BurstySimulatedNetwork(
             simulator,
             latency=self.latency,
@@ -163,5 +219,12 @@ class BurstyNetwork:
             period=self.period,
         )
 
+    def delay_model(self, seed: int | None) -> BurstyDelay:
+        """Burst-instant quantised delays for the streaming backend."""
+        return BurstyDelay(
+            latency=self.latency, jitter=self.jitter, seed=seed, period=self.period
+        )
+
     def describe(self) -> dict[str, object]:
+        """Self-describing metadata (for BENCH documents and the CLI)."""
         return _describe("bursty", self)

@@ -81,6 +81,7 @@ register_scenario(
         "WiFi-like network (gaussian latency with jitter).",
         workload=PaperWorkload(),
         network=ReliableNetwork(),
+        corresponds_to="Figures 5.4-5.8 and Table 5.1 (Section 5's testbed condition)",
         tags=("paper", "baseline"),
     )
 )
@@ -92,6 +93,7 @@ register_scenario(
         "(no jitter): isolates jitter effects from the baseline.",
         workload=PaperWorkload(),
         network=FixedLatencyNetwork(),
+        corresponds_to="extension: jitter ablation of the Section-5 testbed",
         tags=("network",),
     )
 )
@@ -103,6 +105,7 @@ register_scenario(
         "reliable delivery at the cost of delay and retransmission traffic.",
         workload=PaperWorkload(),
         network=LossyNetwork(),
+        corresponds_to="extension: degraded-network stress of the Section-5 workload",
         tags=("network", "degraded"),
     )
 )
@@ -114,6 +117,7 @@ register_scenario(
         "cross-group monitor messages are held until the partition closes.",
         workload=PaperWorkload(),
         network=PartitionNetwork(),
+        corresponds_to="extension: partition tolerance of the token routing",
         tags=("network", "degraded"),
     )
 )
@@ -125,6 +129,7 @@ register_scenario(
         "over a duty-cycled medium that flushes at burst instants.",
         workload=BurstyCommWorkload(),
         network=BurstyNetwork(),
+        corresponds_to="extension: comm-heavy stress (amplifies Figures 5.4/5.5)",
         tags=("workload", "network"),
     )
 )
@@ -136,6 +141,7 @@ register_scenario(
         "3x the base event rate over the reliable network.",
         workload=HotPropositionWorkload(),
         network=ReliableNetwork(),
+        corresponds_to="extension: asymmetric load on per-process monitor queues (Fig. 5.7)",
         tags=("workload",),
     )
 )
@@ -148,6 +154,7 @@ register_scenario(
         workload=PaperWorkload(),
         network=ReliableNetwork(),
         grid=SweepGrid(comm_mus=(None,)),
+        corresponds_to="Fig. 5.9's 'No comm' configuration",
         tags=("paper",),
     )
 )

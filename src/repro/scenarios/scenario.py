@@ -86,6 +86,7 @@ class SweepGrid:
         return points
 
     def describe(self) -> dict[str, object]:
+        """Self-describing metadata (axes, with ``"default"`` placeholders)."""
         return {
             "properties": list(self.properties) if self.properties else "default",
             "process_counts": (
@@ -110,6 +111,9 @@ class Scenario:
     network: NetworkModel
     grid: SweepGrid = field(default_factory=SweepGrid)
     tags: tuple[str, ...] = ()
+    #: which paper artefact this condition reproduces, or which extension it
+    #: is — rendered into ``docs/scenarios.md`` by :mod:`repro.scenarios.docgen`
+    corresponds_to: str = "extension beyond the paper's evaluation"
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -124,4 +128,5 @@ class Scenario:
             "network": self.network.describe(),
             "grid": self.grid.describe(),
             "tags": list(self.tags),
+            "corresponds_to": self.corresponds_to,
         }

@@ -60,6 +60,7 @@ class WorkloadModel(Protocol):
 
 
 def _describe(kind: str, model: object) -> dict[str, object]:
+    """Render *model* as a ``{"kind": ..., **fields}`` metadata dictionary."""
     description: dict[str, object] = {"kind": kind}
     description.update(asdict(model))
     return description
@@ -82,6 +83,7 @@ class PaperWorkload:
         initial_valuation: dict[str, bool],
         seed: int,
     ) -> WorkloadConfig:
+        """Materialise the unmodified Section-5.2 workload configuration."""
         return WorkloadConfig(
             num_processes=num_processes,
             events_per_process=events_per_process,
@@ -95,6 +97,7 @@ class PaperWorkload:
         )
 
     def describe(self) -> dict[str, object]:
+        """Self-describing metadata (for BENCH documents and the CLI)."""
         return _describe("paper", self)
 
 
@@ -126,6 +129,7 @@ class HotPropositionWorkload:
         initial_valuation: dict[str, bool],
         seed: int,
     ) -> WorkloadConfig:
+        """Materialise the skewed configuration (hot processes clipped to *num_processes*)."""
         hot = tuple(p for p in self.hot_processes if p < num_processes)
         return WorkloadConfig(
             num_processes=num_processes,
@@ -143,6 +147,7 @@ class HotPropositionWorkload:
         )
 
     def describe(self) -> dict[str, object]:
+        """Self-describing metadata (for BENCH documents and the CLI)."""
         return _describe("hot-proposition", self)
 
 
@@ -166,6 +171,7 @@ class BurstyCommWorkload:
         initial_valuation: dict[str, bool],
         seed: int,
     ) -> WorkloadConfig:
+        """Materialise the burst-amplified communication configuration."""
         return WorkloadConfig(
             num_processes=num_processes,
             events_per_process=events_per_process,
@@ -181,4 +187,5 @@ class BurstyCommWorkload:
         )
 
     def describe(self) -> dict[str, object]:
+        """Self-describing metadata (for BENCH documents and the CLI)."""
         return _describe("bursty-comm", self)

@@ -6,10 +6,13 @@ random) latency, FIFO order is preserved per sender/receiver pair (reliable
 FIFO channels, as assumed by the paper), and message counts are recorded for
 the communication-overhead figures.
 
-:class:`SimulatedNetwork` is the reliable base behaviour; the subclasses
-model degraded conditions while *keeping delivery reliable* (the paper's
-algorithm assumes reliable FIFO channels, so the variants defer — never
-drop — messages):
+The latency semantics live in the backend-agnostic delay models of
+:mod:`repro.core.delays` — the same models the asyncio streaming runtime
+(:mod:`repro.runtime`) consumes, so a network condition means the same thing
+on both backends.  :class:`SimulatedNetwork` is the reliable base behaviour;
+the subclasses bind the degraded-condition models while *keeping delivery
+reliable* (the paper's algorithm assumes reliable FIFO channels, so the
+variants defer — never drop — messages):
 
 * :class:`LossySimulatedNetwork` — each transmission attempt is lost with a
   fixed probability and retransmitted after a timeout (stop-and-wait), so a
@@ -21,17 +24,21 @@ drop — messages):
   messages at periodic burst instants; messages sent between bursts wait for
   the next one.
 
-All randomness comes from a seeded :class:`random.Random`, so every variant
-is deterministic for a fixed seed.  Subclasses customise delivery through the
-single :meth:`SimulatedNetwork._delivery_time` hook; FIFO clamping and
-accounting stay in the base class.
+All randomness comes from the delay model's seeded :class:`random.Random`,
+so every variant is deterministic for a fixed seed.  FIFO clamping and
+accounting stay in the base class; delay models never see ordering.
 """
 
 from __future__ import annotations
 
-import math
-import random
-
+from ..core.delays import (
+    BurstyDelay,
+    DelayModel,
+    GaussianDelay,
+    LossyRetransmitDelay,
+    PartitionDelay,
+)
+from ..core.transport import MonitorNode
 from .engine import Simulator
 
 __all__ = [
@@ -51,14 +58,15 @@ class SimulatedNetwork:
         latency: float = 0.05,
         jitter: float = 0.0,
         seed: int | None = None,
+        delay: DelayModel | None = None,
     ) -> None:
-        if latency < 0 or jitter < 0:
-            raise ValueError("latency and jitter must be non-negative")
         self.simulator = simulator
         self.latency = latency
         self.jitter = jitter
-        self._rng = random.Random(seed)
-        self._monitors: dict[int, object] = {}
+        #: the backend-agnostic latency semantics; subclasses install the
+        #: degraded-condition models of :mod:`repro.core.delays` here
+        self.delay = delay if delay is not None else GaussianDelay(latency, jitter, seed)
+        self._monitors: dict[int, MonitorNode] = {}
         #: earliest permissible delivery time per (sender, receiver) pair,
         #: enforcing FIFO order even with jittered latencies
         self._channel_clock: dict[tuple[int, int], float] = {}
@@ -67,28 +75,22 @@ class SimulatedNetwork:
         self.messages_by_sender: dict[int, int] = {}
         self.last_delivery_time: float = 0.0
 
-    def register(self, process: int, monitor: object) -> None:
+    def register(self, process: int, monitor: MonitorNode) -> None:
         self._monitors[process] = monitor
 
     # ------------------------------------------------------------------
-    def _sample_latency(self) -> float:
-        if self.jitter <= 0:
-            return self.latency
-        return max(0.0, self._rng.gauss(self.latency, self.jitter))
-
     def _delivery_time(self, sender: int, target: int) -> float:
         """Absolute arrival time of a message sent right now.
 
-        The single behaviour hook: subclasses model loss, partitions or duty
-        cycling by deferring this instant.  FIFO clamping per channel happens
-        in :meth:`send` afterwards, so hooks never have to think about
-        ordering.
+        Delegates to the shared :class:`repro.core.delays.DelayModel`; FIFO
+        clamping per channel happens in :meth:`send` afterwards, so delay
+        models never have to think about ordering.
         """
-        return self.simulator.now + self._sample_latency()
+        return self.delay.delivery_time(self.simulator.now, sender, target)
 
     def extra_stats(self) -> dict[str, float]:
         """Behaviour-specific counters merged into the simulation report."""
-        return {}
+        return self.delay.extra_stats()
 
     def send(self, sender: int, target: int, message: object) -> None:
         if target not in self._monitors:
@@ -116,11 +118,12 @@ class SimulatedNetwork:
 class LossySimulatedNetwork(SimulatedNetwork):
     """Lossy medium with stop-and-wait retransmission.
 
-    Each transmission attempt is dropped with ``loss_probability``; the
-    sender retransmits after ``retransmit_timeout``.  ``max_retransmits``
-    bounds the retries so delivery stays guaranteed (the final attempt always
-    goes through), matching the reliable-channel assumption while modelling
-    the cost of loss as added delay and retransmission traffic.
+    Binds :class:`repro.core.delays.LossyRetransmitDelay`: each transmission
+    attempt is dropped with ``loss_probability``; the sender retransmits
+    after ``retransmit_timeout``.  ``max_retransmits`` bounds the retries so
+    delivery stays guaranteed (the final attempt always goes through),
+    matching the reliable-channel assumption while modelling the cost of
+    loss as added delay and retransmission traffic.
     """
 
     def __init__(
@@ -133,39 +136,33 @@ class LossySimulatedNetwork(SimulatedNetwork):
         retransmit_timeout: float = 0.25,
         max_retransmits: int = 25,
     ) -> None:
-        if not 0.0 <= loss_probability < 1.0:
-            raise ValueError("loss_probability must be in [0, 1)")
-        if retransmit_timeout < 0:
-            raise ValueError("retransmit_timeout must be non-negative")
-        super().__init__(simulator, latency=latency, jitter=jitter, seed=seed)
+        delay = LossyRetransmitDelay(
+            latency=latency,
+            jitter=jitter,
+            seed=seed,
+            loss_probability=loss_probability,
+            retransmit_timeout=retransmit_timeout,
+            max_retransmits=max_retransmits,
+        )
+        super().__init__(simulator, latency=latency, jitter=jitter, delay=delay)
         self.loss_probability = loss_probability
         self.retransmit_timeout = retransmit_timeout
         self.max_retransmits = max_retransmits
-        self.retransmissions = 0
 
-    def _delivery_time(self, sender: int, target: int) -> float:
-        time = self.simulator.now
-        attempts = 0
-        while (
-            attempts < self.max_retransmits
-            and self._rng.random() < self.loss_probability
-        ):
-            attempts += 1
-            time += self.retransmit_timeout
-        self.retransmissions += attempts
-        return time + self._sample_latency()
-
-    def extra_stats(self) -> dict[str, float]:
-        return {"retransmissions": float(self.retransmissions)}
+    @property
+    def retransmissions(self) -> int:
+        """Total retransmission attempts recorded by the delay model."""
+        return self.delay.retransmissions
 
 
 class PartitionedSimulatedNetwork(SimulatedNetwork):
     """Network that partitions into groups during configured windows.
 
-    Processes are assigned round-robin to ``num_groups`` groups
-    (``process % num_groups``).  While a window ``(start, end)`` is open,
-    messages *between different groups* are held and delivered only after the
-    partition heals at ``end``; intra-group traffic is unaffected.
+    Binds :class:`repro.core.delays.PartitionDelay`: processes are assigned
+    round-robin to ``num_groups`` groups (``process % num_groups``).  While a
+    window ``(start, end)`` is open, messages *between different groups* are
+    held and delivered only after the partition heals at ``end``; intra-group
+    traffic is unaffected.
     """
 
     def __init__(
@@ -177,43 +174,35 @@ class PartitionedSimulatedNetwork(SimulatedNetwork):
         windows: tuple[tuple[float, float], ...] = ((2.0, 8.0),),
         num_groups: int = 2,
     ) -> None:
-        for start, end in windows:
-            if end <= start or start < 0:
-                raise ValueError(f"invalid partition window ({start}, {end})")
-        if num_groups < 2:
-            raise ValueError("a partition needs at least two groups")
-        super().__init__(simulator, latency=latency, jitter=jitter, seed=seed)
-        self.windows = tuple(sorted(windows))
+        delay = PartitionDelay(
+            latency=latency,
+            jitter=jitter,
+            seed=seed,
+            windows=windows,
+            num_groups=num_groups,
+        )
+        super().__init__(simulator, latency=latency, jitter=jitter, delay=delay)
+        self.windows = delay.windows
         self.num_groups = num_groups
-        self.held_messages = 0
 
     def group_of(self, process: int) -> int:
-        return process % self.num_groups
+        """Partition group of *process* (round-robin assignment)."""
+        return self.delay.group_of(process)
 
-    def _delivery_time(self, sender: int, target: int) -> float:
-        sample = self._sample_latency()
-        tentative = self.simulator.now + sample
-        if self.group_of(sender) == self.group_of(target):
-            return tentative
-        # a cross-group message whose arrival would land inside an open
-        # partition window is held and only delivered after the heal
-        for start, end in self.windows:
-            if start <= tentative < end:
-                self.held_messages += 1
-                return end + sample
-        return tentative
-
-    def extra_stats(self) -> dict[str, float]:
-        return {"held_messages": float(self.held_messages)}
+    @property
+    def held_messages(self) -> int:
+        """Cross-group messages held until a partition window healed."""
+        return self.delay.held_messages
 
 
 class BurstySimulatedNetwork(SimulatedNetwork):
     """Duty-cycled medium flushing messages only at periodic burst instants.
 
-    A message sent at time ``t`` reaches the air interface after the base
-    latency and is then delivered at the next multiple of ``period`` — the
-    medium wakes up every ``period`` seconds and transmits everything queued
-    since the previous burst.
+    Binds :class:`repro.core.delays.BurstyDelay`: a message sent at time
+    ``t`` reaches the air interface after the base latency and is then
+    delivered at the next multiple of ``period`` — the medium wakes up every
+    ``period`` seconds and transmits everything queued since the previous
+    burst.
     """
 
     def __init__(
@@ -224,20 +213,11 @@ class BurstySimulatedNetwork(SimulatedNetwork):
         seed: int | None = None,
         period: float = 0.75,
     ) -> None:
-        if period <= 0:
-            raise ValueError("burst period must be positive")
-        super().__init__(simulator, latency=latency, jitter=jitter, seed=seed)
+        delay = BurstyDelay(latency=latency, jitter=jitter, seed=seed, period=period)
+        super().__init__(simulator, latency=latency, jitter=jitter, delay=delay)
         self.period = period
-        self.bursts_used = 0
-        self._last_burst_tick = -1
 
-    def _delivery_time(self, sender: int, target: int) -> float:
-        ready = self.simulator.now + self._sample_latency()
-        tick = math.ceil(ready / self.period)
-        if tick != self._last_burst_tick:
-            self._last_burst_tick = tick
-            self.bursts_used += 1
-        return tick * self.period
-
-    def extra_stats(self) -> dict[str, float]:
-        return {"bursts_used": float(self.bursts_used)}
+    @property
+    def bursts_used(self) -> int:
+        """Number of burst instants the medium actually used."""
+        return self.delay.bursts_used

@@ -1,0 +1,133 @@
+"""Documentation gates: generated catalogue sync, links, docstring ratchet."""
+
+import ast
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios import docgen, scenario_names
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DOCS = REPO_ROOT / "docs"
+SCENARIOS_DOC = DOCS / "scenarios.md"
+
+#: packages/modules held to the "every public API has a docstring" ratchet
+#: (mirrored by the ruff D100–D104 configuration in pyproject.toml)
+RATCHETED_PATHS = [
+    REPO_ROOT / "src" / "repro" / "scenarios",
+    REPO_ROOT / "src" / "repro" / "runtime",
+    REPO_ROOT / "src" / "repro" / "experiments" / "engine.py",
+]
+
+
+class TestScenariosDoc:
+    def test_doc_exists_with_markers(self):
+        text = SCENARIOS_DOC.read_text(encoding="utf-8")
+        assert docgen.BEGIN_MARKER in text
+        assert docgen.END_MARKER in text
+
+    def test_scenarios_doc_matches_registry(self):
+        """The generated section must equal a fresh rendering — no drift."""
+        text = SCENARIOS_DOC.read_text(encoding="utf-8")
+        begin = text.index(docgen.BEGIN_MARKER)
+        end = text.index(docgen.END_MARKER) + len(docgen.END_MARKER)
+        assert text[begin:end] == docgen.render_catalogue(), (
+            "docs/scenarios.md is out of date; regenerate it with "
+            "`PYTHONPATH=src python -m repro.scenarios.docgen docs/scenarios.md`"
+        )
+
+    def test_every_registered_scenario_documented(self):
+        text = SCENARIOS_DOC.read_text(encoding="utf-8")
+        for name in scenario_names():
+            assert f"### `{name}`" in text
+
+    def test_docgen_cli_roundtrip(self, tmp_path):
+        copy = tmp_path / "scenarios.md"
+        copy.write_text(
+            "# header\n\n"
+            f"{docgen.BEGIN_MARKER}\nstale content\n{docgen.END_MARKER}\n"
+            "tail\n",
+            encoding="utf-8",
+        )
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.scenarios.docgen", str(copy)],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 0, result.stderr
+        updated = copy.read_text(encoding="utf-8")
+        assert "stale content" not in updated
+        assert updated.startswith("# header")
+        assert updated.endswith("tail\n")
+        assert docgen.render_catalogue() in updated
+
+    def test_docgen_rejects_file_without_markers(self, tmp_path):
+        plain = tmp_path / "plain.md"
+        plain.write_text("no markers here\n", encoding="utf-8")
+        assert docgen.main([str(plain)]) == 1
+
+
+class TestDocsLinks:
+    def test_all_relative_links_resolve(self):
+        result = subprocess.run(
+            [
+                sys.executable,
+                str(REPO_ROOT / "tools" / "check_docs_links.py"),
+                str(REPO_ROOT / "README.md"),
+                str(DOCS),
+            ],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_required_documents_exist(self):
+        for name in ("architecture.md", "scenarios.md", "benchmarks.md"):
+            assert (DOCS / name).exists(), f"docs/{name} is missing"
+
+    def test_readme_links_architecture_doc(self):
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        assert "docs/architecture.md" in readme
+
+
+def _ratcheted_files():
+    files = []
+    for path in RATCHETED_PATHS:
+        if path.is_dir():
+            files.extend(sorted(path.glob("*.py")))
+        else:
+            files.append(path)
+    return files
+
+
+@pytest.mark.parametrize(
+    "path", _ratcheted_files(), ids=lambda p: str(p.relative_to(REPO_ROOT))
+)
+def test_docstring_ratchet(path):
+    """Every public module/class/function in ratcheted paths is documented.
+
+    This is the locally-runnable mirror of the ruff ``D100``–``D104``
+    configuration in ``pyproject.toml``.
+    """
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    missing = []
+    if ast.get_docstring(tree) is None:
+        missing.append("module")
+
+    def walk(node, qualname):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                name = child.name
+                public = not name.startswith("_")
+                if public and ast.get_docstring(child) is None:
+                    missing.append(f"{qualname}{name}")
+                if isinstance(child, ast.ClassDef):
+                    walk(child, f"{qualname}{name}.")
+
+    walk(tree, "")
+    assert not missing, f"{path}: missing docstrings for {missing}"

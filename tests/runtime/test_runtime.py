@@ -1,0 +1,285 @@
+"""Tests for the asyncio streaming backend: transports, nodes, runner."""
+
+import asyncio
+
+import pytest
+
+from repro.core import DecentralizedMonitor, MonitorNetwork, MonitorNode, run_decentralized
+from repro.core.delays import (
+    BurstyDelay,
+    GaussianDelay,
+    LossyRetransmitDelay,
+    PartitionDelay,
+)
+from repro.experiments.properties import case_study_registry
+from repro.ltl import build_monitor
+from repro.runtime import (
+    InMemoryStreamTransport,
+    RuntimeClock,
+    TcpStreamTransport,
+    run_streaming,
+)
+from repro.sim import random_computation, simulate_monitored_run
+
+FORMULAS = ["F(P0.p & P1.p)", "G(P0.p U P1.q)", "G(!(P0.p & P1.q))"]
+
+
+def _case(num_processes=3, events=10, seed=42, formula=FORMULAS[0]):
+    registry = case_study_registry(num_processes)
+    automaton = build_monitor(formula, atoms=registry.names)
+    computation = random_computation(num_processes, events, seed=seed)
+    return computation, automaton, registry
+
+
+class _EchoNode:
+    """Minimal node double: records deliveries and acknowledges instantly."""
+
+    def __init__(self, process, transport):
+        self.process = process
+        self.transport = transport
+        self.received = []
+        self.pending_items = 0
+
+    def enqueue_message(self, due, message):
+        self.received.append((due, message))
+        self.transport.message_done(due)
+
+    def failure(self):
+        return None
+
+
+class TestStreamTransport:
+    def test_satisfies_monitor_network_protocol(self):
+        transport = InMemoryStreamTransport()
+        assert isinstance(transport, MonitorNetwork)
+
+    def test_unknown_target_rejected(self):
+        async def main():
+            transport = InMemoryStreamTransport()
+            transport.register(0, _EchoNode(0, transport))
+            with pytest.raises(ValueError, match="no monitor node"):
+                transport.send(0, 9, "msg")
+
+        asyncio.run(main())
+
+    def test_fifo_preserved_per_channel_under_jitter(self):
+        async def main():
+            # heavy jitter would reorder without the per-channel clamp
+            transport = InMemoryStreamTransport(
+                delay=GaussianDelay(latency=0.05, jitter=0.05, seed=7)
+            )
+            sink = _EchoNode(1, transport)
+            transport.register(0, _EchoNode(0, transport))
+            transport.register(1, sink)
+            await transport.start()
+            for i in range(50):
+                transport.send(0, 1, i)
+            await transport.wait_quiescent(timeout=10.0)
+            await transport.aclose()
+            return sink.received
+
+        received = asyncio.run(main())
+        assert [message for _, message in received] == list(range(50))
+        # delivery instants are monotone on the channel
+        dues = [due for due, _ in received]
+        assert dues == sorted(dues)
+
+    def test_counters_and_quiescence(self):
+        async def main():
+            transport = InMemoryStreamTransport()
+            sink = _EchoNode(1, transport)
+            transport.register(0, _EchoNode(0, transport))
+            transport.register(1, sink)
+            await transport.start()
+            transport.send(0, 1, "a")
+            transport.send(0, 1, "b")
+            assert transport.pending == 2
+            await transport.wait_quiescent(timeout=10.0)
+            assert transport.pending == 0
+            assert transport.messages_sent == 2
+            assert transport.messages_delivered == 2
+            assert transport.messages_by_sender == {0: 2}
+            await transport.aclose()
+
+        asyncio.run(main())
+
+    def test_delay_stats_exposed(self):
+        async def main():
+            delay = LossyRetransmitDelay(
+                jitter=0.0, seed=3, loss_probability=0.5, retransmit_timeout=0.3
+            )
+            transport = InMemoryStreamTransport(delay=delay)
+            sink = _EchoNode(1, transport)
+            transport.register(1, sink)
+            await transport.start()
+            for i in range(40):
+                transport.send(0, 1, i)
+            await transport.wait_quiescent(timeout=10.0)
+            await transport.aclose()
+            return transport.extra_stats()
+
+        stats = asyncio.run(main())
+        assert stats["retransmissions"] > 0
+
+    def test_dead_node_task_surfaces_instead_of_timing_out(self):
+        """A monitor that raises must fail the run fast with its own error."""
+        from repro.runtime import StreamMonitorNode
+
+        class _ExplodingMonitor:
+            process = 1
+
+            def receive_message(self, message):
+                raise TypeError("unexpected monitor message")
+
+        async def main():
+            transport = InMemoryStreamTransport()
+            node = StreamMonitorNode(_ExplodingMonitor(), transport)
+            transport.register(0, _EchoNode(0, transport))
+            transport.register(1, node)
+            await transport.start()
+            node.start_task()
+            transport.send(0, 1, "boom")
+            try:
+                with pytest.raises(TypeError, match="unexpected monitor message"):
+                    # far below the run's real timeout: the error must
+                    # surface via task-death detection, not the deadline
+                    await transport.wait_quiescent(timeout=30.0)
+            finally:
+                await transport.aclose()
+
+        asyncio.run(asyncio.wait_for(main(), timeout=10.0))
+
+    def test_tcp_transport_delivers_over_real_sockets(self):
+        async def main():
+            transport = TcpStreamTransport()
+            sinks = {p: _EchoNode(p, transport) for p in (0, 1)}
+            for p, sink in sinks.items():
+                transport.register(p, sink)
+            await transport.start()
+            assert set(transport.ports) == {0, 1}
+            assert all(port > 0 for port in transport.ports.values())
+            for i in range(20):
+                transport.send(0, 1, i)
+                transport.send(1, 0, -i)
+            await transport.wait_quiescent(timeout=30.0)
+            await transport.aclose()
+            return sinks
+
+        sinks = asyncio.run(main())
+        assert [m for _, m in sinks[1].received] == list(range(20))
+        assert [m for _, m in sinks[0].received] == [-i for i in range(20)]
+
+
+class TestRuntimeClock:
+    def test_negative_time_scale_rejected(self):
+        with pytest.raises(ValueError):
+            RuntimeClock(time_scale=-1.0)
+
+    def test_now_is_monotone_high_water_mark(self):
+        async def main():
+            clock = RuntimeClock()
+            await clock.sleep_until(5.0)
+            await clock.sleep_until(2.0)
+            return clock.now
+
+        assert asyncio.run(main()) == 5.0
+
+
+class TestStreamingRuns:
+    def test_monitor_satisfies_node_protocol(self):
+        computation, automaton, registry = _case()
+        monitor = DecentralizedMonitor(
+            process=0,
+            num_processes=3,
+            automaton=automaton,
+            registry=registry,
+            initial_letters=[
+                registry.local_letter(i, computation.initial_states[i])
+                for i in range(3)
+            ],
+            transport=InMemoryStreamTransport(),
+        )
+        assert isinstance(monitor, MonitorNode)
+
+    def test_unknown_transport_rejected(self):
+        computation, automaton, registry = _case()
+        with pytest.raises(ValueError, match="unknown streaming transport"):
+            run_streaming(computation, automaton, registry, transport="pigeon")
+
+    @pytest.mark.parametrize("formula", FORMULAS)
+    @pytest.mark.parametrize("seed", [1, 17, 2015])
+    def test_memory_verdicts_match_loopback_and_simulator(self, formula, seed):
+        computation, automaton, registry = _case(seed=seed, formula=formula)
+        loopback = run_decentralized(computation, automaton, registry)
+        simulated = simulate_monitored_run(
+            computation, automaton, registry, seed=seed
+        )
+        streamed = run_streaming(
+            computation,
+            automaton,
+            registry,
+            delay=GaussianDelay(0.05, 0.01, seed=seed),
+        )
+        assert streamed.declared_verdicts == loopback.declared_verdicts
+        assert streamed.declared_verdicts == simulated.declared_verdicts
+
+    @pytest.mark.parametrize(
+        "delay",
+        [
+            None,
+            GaussianDelay(0.05, 0.01, seed=5),
+            LossyRetransmitDelay(seed=5, loss_probability=0.3),
+            PartitionDelay(seed=5, windows=((1.0, 4.0),)),
+            BurstyDelay(seed=5, period=0.5),
+        ],
+        ids=["none", "gaussian", "lossy", "partition", "bursty"],
+    )
+    def test_all_delay_models_preserve_verdicts(self, delay):
+        computation, automaton, registry = _case(seed=11)
+        loopback = run_decentralized(computation, automaton, registry)
+        streamed = run_streaming(computation, automaton, registry, delay=delay)
+        assert streamed.declared_verdicts == loopback.declared_verdicts
+
+    def test_tcp_run_matches_memory_run_verdicts(self):
+        computation, automaton, registry = _case(seed=23)
+        memory = run_streaming(computation, automaton, registry)
+        tcp = run_streaming(computation, automaton, registry, transport="tcp")
+        assert tcp.transport == "tcp"
+        assert tcp.declared_verdicts == memory.declared_verdicts
+        assert tcp.monitor_messages > 0
+
+    def test_report_shape_and_stats(self):
+        computation, automaton, registry = _case(seed=9)
+        report = run_streaming(
+            computation,
+            automaton,
+            registry,
+            delay=LossyRetransmitDelay(seed=9, loss_probability=0.4),
+        )
+        row = report.as_dict()
+        for key in (
+            "processes",
+            "events",
+            "messages",
+            "token_messages",
+            "global_views",
+            "delayed_events",
+            "delay_time_pct_per_view",
+            "verdicts",
+            "transport",
+        ):
+            assert key in row
+        assert "retransmissions" in report.network_stats
+        assert report.wall_seconds > 0
+        assert report.monitor_end_time >= report.program_end_time
+
+    def test_time_scale_paces_wall_clock(self):
+        computation, automaton, registry = _case(num_processes=2, events=3, seed=4)
+        fast = run_streaming(computation, automaton, registry)
+        program_span = fast.program_end_time
+        paced = run_streaming(
+            computation, automaton, registry, time_scale=0.01
+        )
+        # pacing at 10ms per virtual second must take at least the span
+        assert paced.wall_seconds >= min(0.2, program_span * 0.01 * 0.5)
+        assert paced.declared_verdicts == fast.declared_verdicts

@@ -1,0 +1,109 @@
+"""Check that relative markdown links in the docs resolve.
+
+Usage::
+
+    python tools/check_docs_links.py README.md docs
+
+Every argument is a markdown file or a directory scanned recursively for
+``*.md``.  For each inline link ``[text](target)``:
+
+* external targets (``http://``, ``https://``, ``mailto:``) are skipped;
+* relative targets must exist on disk, resolved against the linking file;
+* anchor fragments (``#section`` or ``file.md#section``) must match a
+  GitHub-style slug of some heading in the target file.
+
+Exit status is non-zero when any link is broken; CI's *docs* job runs this
+over ``README.md`` and ``docs/``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_PATTERN = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug of a markdown heading."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set[str]:
+    """Anchor slugs of every ATX heading in *path*."""
+    slugs: set[str] = set()
+    in_code_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if not in_code_fence and line.startswith("#"):
+            slugs.add(slugify(line.lstrip("#")))
+    return slugs
+
+
+def markdown_links(path: Path) -> list[str]:
+    """All inline link targets in *path*, code fences excluded."""
+    targets: list[str] = []
+    in_code_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if not in_code_fence:
+            targets.extend(LINK_PATTERN.findall(line))
+    return targets
+
+
+def check_file(path: Path) -> list[str]:
+    """Return a list of broken-link error strings for one markdown file."""
+    errors: list[str] = []
+    for target in markdown_links(path):
+        if target.startswith(EXTERNAL_PREFIXES):
+            continue
+        file_part, _, anchor = target.partition("#")
+        linked = path if not file_part else (path.parent / file_part).resolve()
+        if not linked.exists():
+            errors.append(f"{path}: broken link target {target!r}")
+            continue
+        if anchor and linked.suffix == ".md":
+            if slugify(anchor) not in heading_slugs(linked):
+                errors.append(f"{path}: missing anchor {target!r}")
+    return errors
+
+
+def collect_markdown(arguments: list[str]) -> list[Path]:
+    """Expand file/directory arguments into a sorted list of markdown files."""
+    files: list[Path] = []
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        else:
+            files.append(path)
+    return files
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Check every markdown file named by *argv*; print and count failures."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if not arguments:
+        print(__doc__, file=sys.stderr)
+        return 2
+    errors: list[str] = []
+    files = collect_markdown(arguments)
+    for path in files:
+        errors.extend(check_file(path))
+    for error in errors:
+        print(f"::error::{error}" if "GITHUB_ACTIONS" in __import__("os").environ else error)
+    print(f"checked {len(files)} markdown files: {len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
