@@ -31,6 +31,22 @@ from collections.abc import Iterable, Sequence
 SCHEMA = "repro-bench/1"
 
 
+def write_job_summary(markdown: str) -> None:
+    """Append *markdown* to the GitHub job summary, when one is available.
+
+    Outside GitHub Actions (``GITHUB_STEP_SUMMARY`` unset) this is a no-op,
+    so the script behaves identically when run locally.
+    """
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    try:
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(markdown.rstrip() + "\n")
+    except OSError as error:  # pragma: no cover - runner-environment failure
+        print(f"cannot write job summary: {error}", file=sys.stderr)
+
+
 def load_documents(directory: str) -> dict[str, dict]:
     """Map ``basename -> parsed document`` for every BENCH_*.json under *directory*."""
     documents: dict[str, dict] = {}
@@ -132,10 +148,26 @@ def main(argv: Sequence[str] | None = None) -> int:
     previous_documents = load_documents(args.previous)
     current_documents = load_documents(args.current)
     if not previous_documents:
-        print(f"no baseline documents under {args.previous}; nothing to compare")
+        # Make the absent baseline impossible to miss: an explicit notice in
+        # the job log *and* the job summary, rather than silently passing.
+        message = (
+            f"no benchmark baseline: no {SCHEMA} documents under "
+            f"{args.previous!r} (first run on this branch, expired artifact "
+            f"retention, or a fork without artifact access) — regression "
+            f"comparison skipped"
+        )
+        if not args.no_github:
+            print(f"::notice title=benchmark baseline missing::{message}")
+        print(message)
+        write_job_summary(
+            "### Benchmark comparison\n\n"
+            f":warning: **No baseline available.** {message}.\n"
+        )
         return 0
     if not current_documents:
-        print(f"no current documents under {args.current}; nothing to compare")
+        message = f"no current documents under {args.current}; nothing to compare"
+        print(message)
+        write_job_summary(f"### Benchmark comparison\n\n{message}\n")
         return 0
 
     worst_ratio = 1.0
@@ -152,6 +184,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     if missing:
         print(f"(no baseline yet for: {', '.join(missing)})")
     print(f"compared {compared} timings; worst ratio {worst_ratio:.2f}x")
+    write_job_summary(
+        "### Benchmark comparison\n\n"
+        f"Compared **{compared}** timings against the previous main "
+        f"baseline; worst ratio **{worst_ratio:.2f}x** "
+        f"(warn threshold {args.warn_threshold * 100:.0f}%)."
+        + (f"\n\nNo baseline yet for: {', '.join(missing)}." if missing else "")
+        + "\n"
+    )
     if args.fail_threshold is not None and worst_ratio >= 1.0 + args.fail_threshold:
         print(f"failing: worst ratio exceeds {1.0 + args.fail_threshold:.2f}x")
         return 1

@@ -22,6 +22,11 @@ Four conditions are provided, mirroring the declarative network models of
   open partition window are held until the window heals.
 * :class:`BurstyDelay` — a duty-cycled medium that only flushes at periodic
   burst instants.
+* :class:`AsymmetricLatencyMatrix` — per-ordered-pair latency/jitter, so the
+  A→B direction of a link need not behave like B→A.
+* :class:`MultiPartitionDelay` — a timed sequence of partition *phases*,
+  each with its own explicit grouping of processes (generalizing the single
+  round-robin partition of :class:`PartitionDelay`).
 
 Delay models say nothing about FIFO ordering: both backends clamp delivery
 times per (sender, receiver) channel themselves, so models never have to
@@ -34,6 +39,7 @@ from __future__ import annotations
 
 import math
 import random
+from collections.abc import Mapping
 from typing import Protocol, runtime_checkable
 
 __all__ = [
@@ -42,7 +48,14 @@ __all__ = [
     "LossyRetransmitDelay",
     "PartitionDelay",
     "BurstyDelay",
+    "AsymmetricLatencyMatrix",
+    "MultiPartitionDelay",
 ]
+
+#: a multi-partition schedule: ordered ``(start, end, groups)`` phases where
+#: ``groups`` is a tuple of disjoint process-id tuples; processes not listed
+#: in any group of a phase share one implicit "rest" group
+PartitionPhase = tuple[float, float, tuple[tuple[int, ...], ...]]
 
 
 @runtime_checkable
@@ -76,9 +89,11 @@ class GaussianDelay:
         return max(0.0, self._rng.gauss(self.latency, self.jitter))
 
     def delivery_time(self, now: float, sender: int, target: int) -> float:
+        """Deliver after one gaussian latency sample."""
         return now + self._sample_latency()
 
     def extra_stats(self) -> dict[str, float]:
+        """No behaviour-specific counters for plain gaussian latency."""
         return {}
 
 
@@ -112,6 +127,7 @@ class LossyRetransmitDelay(GaussianDelay):
         self.retransmissions = 0
 
     def delivery_time(self, now: float, sender: int, target: int) -> float:
+        """Deliver after the lost attempts' timeouts plus one latency."""
         time = now
         attempts = 0
         while (
@@ -124,6 +140,7 @@ class LossyRetransmitDelay(GaussianDelay):
         return time + self._sample_latency()
 
     def extra_stats(self) -> dict[str, float]:
+        """Total retransmission attempts across the run."""
         return {"retransmissions": float(self.retransmissions)}
 
 
@@ -160,6 +177,7 @@ class PartitionDelay(GaussianDelay):
         return process % self.num_groups
 
     def delivery_time(self, now: float, sender: int, target: int) -> float:
+        """Hold cross-group messages landing in an open window until heal."""
         sample = self._sample_latency()
         tentative = now + sample
         if self.group_of(sender) == self.group_of(target):
@@ -171,6 +189,134 @@ class PartitionDelay(GaussianDelay):
         return tentative
 
     def extra_stats(self) -> dict[str, float]:
+        """Messages held back by partition windows."""
+        return {"held_messages": float(self.held_messages)}
+
+
+class AsymmetricLatencyMatrix(GaussianDelay):
+    """Per-ordered-pair latencies: A→B need not behave like B→A.
+
+    The effective base latency of the ordered pair ``(sender, target)`` is
+    either an explicit entry of ``pair_latencies`` or derived from the
+    direction-sensitive ring formula::
+
+        base_latency * (1 + skew * ((target - sender) % ring) / ring)
+
+    ``(target - sender) % ring`` differs from ``(sender - target) % ring``
+    for every non-opposite pair, so any positive ``skew`` makes the matrix
+    genuinely asymmetric without having to know the process count up front.
+    Jitter (when non-zero) is gaussian around the pair's base latency.
+    """
+
+    def __init__(
+        self,
+        base_latency: float = 0.05,
+        jitter: float = 0.0,
+        seed: int | None = None,
+        skew: float = 1.5,
+        ring: int = 8,
+        pair_latencies: Mapping[tuple[int, int], float] | None = None,
+    ) -> None:
+        if base_latency < 0 or skew < 0:
+            raise ValueError("base_latency and skew must be non-negative")
+        if ring < 2:
+            raise ValueError("ring must be at least 2")
+        super().__init__(latency=base_latency, jitter=jitter, seed=seed)
+        self.base_latency = base_latency
+        self.skew = skew
+        self.ring = ring
+        self.pair_latencies = dict(pair_latencies or {})
+        for pair, value in self.pair_latencies.items():
+            if value < 0:
+                raise ValueError(f"negative latency for pair {pair}")
+
+    def latency_for(self, sender: int, target: int) -> float:
+        """The deterministic base latency of the ordered pair."""
+        explicit = self.pair_latencies.get((sender, target))
+        if explicit is not None:
+            return explicit
+        step = (target - sender) % self.ring
+        return self.base_latency * (1.0 + self.skew * step / self.ring)
+
+    def delivery_time(self, now: float, sender: int, target: int) -> float:
+        """Deliver after the ordered pair's latency (plus jitter, if any)."""
+        base = self.latency_for(sender, target)
+        if self.jitter <= 0:
+            return now + base
+        return now + max(0.0, self._rng.gauss(base, self.jitter))
+
+    def extra_stats(self) -> dict[str, float]:
+        """No behaviour-specific counters: the matrix only shapes latency."""
+        return {}
+
+
+class MultiPartitionDelay(GaussianDelay):
+    """A timed sequence of partition phases with explicit process groups.
+
+    Generalizes :class:`PartitionDelay`: instead of one round-robin grouping
+    shared by every window, each phase ``(start, end, groups)`` carries its
+    own partition sets.  A message between processes separated by an open
+    phase is held until that phase heals; the healed arrival may fall into a
+    *later* phase, in which case it is held again (the schedule is walked in
+    order).  Processes not named by any group of a phase share one implicit
+    "rest" group, so schedules stay valid for any process count.
+    """
+
+    def __init__(
+        self,
+        latency: float = 0.05,
+        jitter: float = 0.0,
+        seed: int | None = None,
+        schedule: tuple[PartitionPhase, ...] = (
+            (1.5, 4.5, ((0, 1),)),
+            (6.0, 9.0, ((0, 2), (1,))),
+        ),
+    ) -> None:
+        phases = tuple(sorted(schedule, key=lambda phase: phase[0]))
+        previous_end = 0.0
+        for start, end, groups in phases:
+            if start < 0 or end <= start:
+                raise ValueError(f"invalid partition phase window ({start}, {end})")
+            if start < previous_end:
+                raise ValueError("partition phases must not overlap")
+            previous_end = end
+            named: set[int] = set()
+            for group in groups:
+                if not group:
+                    raise ValueError("partition groups must be non-empty")
+                if named & set(group):
+                    raise ValueError("partition groups must be disjoint")
+                named |= set(group)
+        super().__init__(latency=latency, jitter=jitter, seed=seed)
+        self.schedule = phases
+        self.held_messages = 0
+
+    @staticmethod
+    def _group_of(process: int, groups: tuple[tuple[int, ...], ...]) -> int:
+        """The phase-local group index of *process* (-1 = the rest group)."""
+        for index, group in enumerate(groups):
+            if process in group:
+                return index
+        return -1
+
+    def separated(self, sender: int, target: int, phase: PartitionPhase) -> bool:
+        """Whether *phase* puts the two processes in different groups."""
+        _, _, groups = phase
+        return self._group_of(sender, groups) != self._group_of(target, groups)
+
+    def delivery_time(self, now: float, sender: int, target: int) -> float:
+        """Walk the phase schedule, holding at every separating phase hit."""
+        sample = self._sample_latency()
+        tentative = now + sample
+        for phase in self.schedule:
+            start, end, _ = phase
+            if start <= tentative < end and self.separated(sender, target, phase):
+                self.held_messages += 1
+                tentative = end + sample
+        return tentative
+
+    def extra_stats(self) -> dict[str, float]:
+        """Messages held back by partition phases."""
         return {"held_messages": float(self.held_messages)}
 
 
@@ -198,6 +344,7 @@ class BurstyDelay(GaussianDelay):
         self._last_burst_tick = -1
 
     def delivery_time(self, now: float, sender: int, target: int) -> float:
+        """Quantize delivery up to the next burst instant of the medium."""
         ready = now + self._sample_latency()
         tick = math.ceil(ready / self.period)
         if tick != self._last_burst_tick:
@@ -206,4 +353,5 @@ class BurstyDelay(GaussianDelay):
         return tick * self.period
 
     def extra_stats(self) -> dict[str, float]:
+        """Distinct burst instants that carried at least one message."""
         return {"bursts_used": float(self.bursts_used)}

@@ -94,6 +94,7 @@ class GlobalView:
         )
 
     def is_waiting(self) -> bool:
+        """Whether the view is parked on an outstanding token."""
         return self.status == ViewStatus.WAITING
 
     def __repr__(self) -> str:

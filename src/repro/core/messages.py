@@ -115,6 +115,7 @@ class TokenEntry:
             self.eval = True
 
     def record_scan(self, process: int, sn: int, letter: Letter, vc: tuple[int, ...]) -> None:
+        """Record one scanned remote event and fold its clock into depend."""
         self.scanned_letters.setdefault(process, {})[sn] = letter
         self.scanned_vcs.setdefault(process, {})[sn] = tuple(vc)
         self.depend = [max(a, b) for a, b in zip(self.depend, vc)]
@@ -137,9 +138,11 @@ class Token:
     hops: int = 0
 
     def undecided_entries(self) -> list[TokenEntry]:
+        """Entries still awaiting evaluation at some monitor."""
         return [entry for entry in self.entries if entry.eval is None]
 
     def all_decided(self) -> bool:
+        """Whether every entry has been evaluated (token may return)."""
         return not self.undecided_entries()
 
     def targets(self) -> list[int]:

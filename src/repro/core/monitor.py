@@ -274,9 +274,11 @@ class DecentralizedMonitor:
         return not self.waiting_tokens and not self._outstanding
 
     def active_view_states(self) -> set[int]:
+        """Automaton states of the currently active global views."""
         return {view.state for view in self.views}
 
     def active_views(self) -> list[GlobalView]:
+        """Snapshot of the currently active global views."""
         return list(self.views)
 
     def reported_verdicts(self) -> set[Verdict]:

@@ -41,6 +41,7 @@ class OracleResult:
 
     @property
     def conclusive_verdicts(self) -> frozenset[Verdict]:
+        """The final (\u22a4/\u22a5) verdicts among the observed ones."""
         return frozenset(v for v in self.verdicts if v.is_final)
 
 
@@ -76,6 +77,7 @@ class LatticeOracle:
         return state
 
     def verdict_of_path(self, path: Sequence[Cut]) -> Verdict:
+        """The LTL3 verdict of one maximal lattice path."""
         return self.automaton.verdict(self.evaluate_path(path))
 
     # ------------------------------------------------------------------

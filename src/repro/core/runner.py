@@ -50,6 +50,7 @@ class DecentralizedResult:
 
     @property
     def declared_states(self) -> frozenset[int]:
+        """Automaton states any monitor declared a conclusive verdict from."""
         states: set[int] = set()
         for monitor in self.monitors:
             states |= monitor.declared_states
@@ -63,18 +64,22 @@ class DecentralizedResult:
 
     @property
     def total_token_messages(self) -> int:
+        """Token messages sent across every monitor."""
         return sum(m.metrics.token_messages_sent for m in self.monitors)
 
     @property
     def total_views_created(self) -> int:
+        """Global views created across every monitor."""
         return sum(m.metrics.views_created for m in self.monitors)
 
     @property
     def total_delayed_events(self) -> int:
+        """Events whose processing waited on remote state, summed."""
         return sum(m.metrics.delayed_events for m in self.monitors)
 
     @property
     def metrics_by_monitor(self) -> list[MonitorMetrics]:
+        """Per-monitor counter snapshots, indexed by process."""
         return [m.metrics for m in self.monitors]
 
     def is_quiescent(self) -> bool:
@@ -84,6 +89,7 @@ class DecentralizedResult:
         )
 
     def summary(self) -> dict[str, object]:
+        """Flat run summary (verdicts and headline counters)."""
         return {
             "verdicts": sorted(str(v) for v in self.reported_verdicts),
             "declared": sorted(str(v) for v in self.declared_verdicts),

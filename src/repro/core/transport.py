@@ -110,6 +110,7 @@ class LoopbackNetwork:
 
     # ------------------------------------------------------------------
     def send(self, sender: int, target: int, message: object) -> None:
+        """Queue *message* for FIFO delivery to *target*."""
         if target not in self._monitors:
             raise ValueError(f"no monitor registered for process {target}")
         self.messages_sent += 1
@@ -119,6 +120,7 @@ class LoopbackNetwork:
     # ------------------------------------------------------------------
     @property
     def pending(self) -> int:
+        """Messages queued but not yet delivered."""
         return len(self._queue)
 
     def deliver_one(self) -> bool:

@@ -9,6 +9,8 @@ Usage (after installing the package)::
     python -m repro.experiments.cli list-scenarios
     python -m repro.experiments.cli run --scenario lossy-retransmit --workers 4
     python -m repro.experiments.cli run --scenario paper-default --backend asyncio
+    python -m repro.experiments.cli run --scenario crash-restart-rejoin
+    python -m repro.experiments.cli run --scenario paper-default --fault-plan 1@3+2:rejoin
     python -m repro.experiments.cli bench --json BENCH_local.json
     python -m repro.experiments.cli all
 
@@ -17,10 +19,13 @@ table; the heavier sweeps accept ``--processes``, ``--events``,
 ``--replications`` and ``--workers`` to control the workload scale (with
 ``--workers`` the engine shards the full sweep-point × replication product
 across a process pool).  ``list-scenarios`` shows the registered scenario
-catalogue and ``run --scenario NAME`` executes one of them —
+catalogue (with each scenario's fault condition and recovery policy) and
+``run --scenario NAME`` executes one of them —
 ``--backend {sim,asyncio}`` selects the discrete-event simulator (default)
 or the asyncio streaming runtime (monitors as concurrent tasks; add
-``--stream-transport tcp`` for real loopback sockets).  The ``bench``
+``--stream-transport tcp`` for real loopback sockets), and
+``--fault-plan SPEC`` injects monitor crash/restart faults on top of the
+scenario's own fault model (see :mod:`repro.faults`).  The ``bench``
 sub-command times the kernel hot paths and the figure experiments and (with
 ``--json OUT``) writes the same ``repro-bench/1`` JSON document the CI
 benchmark suite emits — embedding the resolved :class:`ExperimentScale` and
@@ -36,6 +41,7 @@ import sys
 import time
 from collections.abc import Sequence
 
+from ..faults import format_fault_plan, parse_fault_plan
 from ..scenarios import get_scenario, list_scenarios
 from .harness import (
     ExperimentScale,
@@ -119,27 +125,53 @@ def _emit_list_scenarios(args: argparse.Namespace) -> None:
     rows = []
     for scenario in list_scenarios():
         description = scenario.describe()
+        faults = description["faults"]
         rows.append(
             {
                 "name": scenario.name,
                 "workload": description["workload"]["kind"],
                 "network": description["network"]["kind"],
+                "faults": faults["kind"] if faults is not None else "-",
+                "recovery": faults.get("recovery", "-") if faults is not None else "-",
                 "tags": ",".join(scenario.tags),
                 "description": scenario.description,
             }
         )
     print(f"{len(rows)} registered scenarios")
-    print(format_table(rows, columns=["name", "workload", "network", "tags", "description"]))
+    print(
+        format_table(
+            rows,
+            columns=[
+                "name",
+                "workload",
+                "network",
+                "faults",
+                "recovery",
+                "tags",
+                "description",
+            ],
+        )
+    )
 
 
 def _emit_run_scenario(args: argparse.Namespace) -> None:
     try:
         scenario = get_scenario(args.scenario)
     except KeyError as error:
-        raise SystemExit(f"error: {error.args[0]}")
+        raise SystemExit(f"error: {error.args[0]}") from None
+    fault_plan = None
+    if args.fault_plan:
+        try:
+            fault_plan = parse_fault_plan(args.fault_plan)
+        except ValueError as error:
+            raise SystemExit(f"error: {error}") from None
     scale = _scale_from_args(args)
     rows = run_scenario(
-        scenario, scale, backend=args.backend, stream_transport=args.stream_transport
+        scenario,
+        scale,
+        backend=args.backend,
+        stream_transport=args.stream_transport,
+        fault_plan=fault_plan,
     )
     columns = list(_SWEEP_COLUMNS)
     for row in rows:
@@ -150,6 +182,8 @@ def _emit_run_scenario(args: argparse.Namespace) -> None:
     if backend == "asyncio":
         backend = f"asyncio/{args.stream_transport}"
     print(f"scenario {scenario.name} [backend {backend}] — {scenario.description}")
+    if fault_plan is not None:
+        print(f"fault plan override: {format_fault_plan(fault_plan) or '(empty)'}")
     print(format_table(rows, columns=columns))
 
 
@@ -165,7 +199,7 @@ def _emit_bench(args: argparse.Namespace) -> None:
     try:
         bench_scenario = get_scenario(args.scenario)
     except KeyError as error:
-        raise SystemExit(f"error: {error.args[0]}")
+        raise SystemExit(f"error: {error.args[0]}") from None
     # The kernel hot paths are always timed at the default ExperimentScale /
     # full property sweep so the numbers stay comparable with the fixed seed
     # baseline and across machines; the CLI scale flags only govern the
@@ -231,7 +265,7 @@ def _emit_bench(args: argparse.Namespace) -> None:
         try:
             write_bench_json(args.json, timings, scale, scenarios=scenarios)
         except OSError as error:
-            raise SystemExit(f"error: cannot write {args.json}: {error}")
+            raise SystemExit(f"error: cannot write {args.json}: {error}") from None
         print(f"\nwrote {args.json}")
     else:
         # still validate that the document assembles
@@ -288,6 +322,15 @@ def build_parser() -> argparse.ArgumentParser:
         default="memory",
         help="asyncio backend only: exchange monitor messages through "
         "in-process queues (default) or real loopback TCP sockets",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        metavar="SPEC",
+        default=None,
+        help="run only: inject monitor crashes, overriding the scenario's "
+        "own fault model; comma-separated "
+        "'<process>@<after_events>[+<down_events>][:<recovery>]' specs, "
+        "e.g. '1@4+2:rejoin' (recovery: replay|rejoin)",
     )
     parser.add_argument(
         "--processes",

@@ -32,6 +32,7 @@ import statistics
 from collections.abc import Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 
+from ..faults import FaultPlan
 from ..scenarios import GridPoint, Scenario, SweepGrid, get_scenario
 from ..sim.runner import simulate_monitored_run
 from ..sim.workload import generate_computation
@@ -90,6 +91,7 @@ def run_scenario_cell(
     seed: int,
     backend: str = "sim",
     stream_transport: str = "memory",
+    fault_plan: FaultPlan | None = None,
 ) -> dict[str, float]:
     """Run one (sweep-point, replication) cell and return its slim metrics.
 
@@ -99,8 +101,18 @@ def run_scenario_cell(
     *stream_transport* (``"memory"`` or ``"tcp"``), with the scenario's
     network condition mapped onto the streaming transport via
     :meth:`repro.scenarios.NetworkModel.delay_model`.
+
+    Monitor faults come from *fault_plan* when given (the CLI's
+    ``run --fault-plan`` override), otherwise from the scenario's own
+    :class:`~repro.faults.FaultModel`, which derives one deterministic
+    crash schedule per cell from the cell's seed.
     """
     comm_mu = scale.comm_mu if point.comm_mu == "default" else point.comm_mu
+    faults = fault_plan
+    if faults is None and scenario.faults is not None:
+        faults = scenario.faults.build(
+            point.num_processes, scale.events_per_process, seed
+        )
     initial_valuation, truth_probability = trace_design(point.property_name)
     config = scenario.workload.build_config(
         num_processes=point.num_processes,
@@ -124,6 +136,7 @@ def run_scenario_cell(
             seed=seed,
             max_views_per_state=scale.max_views_per_state,
             network=scenario.network,
+            faults=faults,
         )
     elif backend == "asyncio":
         from ..runtime import run_streaming
@@ -135,6 +148,7 @@ def run_scenario_cell(
             delay=scenario.network.delay_model(seed),
             max_views_per_state=scale.max_views_per_state,
             transport=stream_transport,
+            faults=faults,
         )
     else:
         raise ValueError(f"unknown backend {backend!r} (known: {BACKENDS})")
@@ -147,18 +161,25 @@ def run_scenario_cell(
         "delay_time_pct_per_view": report.delay_time_percentage_per_view,
     }
     metrics.update(report.network_stats)
+    metrics.update(report.fault_stats)
     return metrics
 
 
 def _run_cell(
-    task: tuple[Scenario | str, GridPoint, _ScaleLike, int, str, str],
+    task: tuple[Scenario | str, GridPoint, _ScaleLike, int, str, str, FaultPlan | None],
 ) -> dict[str, float]:
     """Process-pool task: resolve the scenario (by value or name) and run."""
-    scenario, point, scale, seed, backend, stream_transport = task
+    scenario, point, scale, seed, backend, stream_transport, fault_plan = task
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
     return run_scenario_cell(
-        scenario, point, scale, seed, backend=backend, stream_transport=stream_transport
+        scenario,
+        point,
+        scale,
+        seed,
+        backend=backend,
+        stream_transport=stream_transport,
+        fault_plan=fault_plan,
     )
 
 
@@ -194,6 +215,7 @@ def execute_points(
     pool: ProcessPoolExecutor | None = None,
     backend: str = "sim",
     stream_transport: str = "memory",
+    fault_plan: FaultPlan | None = None,
 ) -> list[dict[str, float]]:
     """Run every (point × replication) cell of *scenario* and aggregate.
 
@@ -215,6 +237,7 @@ def execute_points(
             scale.base_seed + 31 * rep + point.seed_offset,
             backend,
             stream_transport,
+            fault_plan,
         )
         for point in points
         for rep in range(replications)
@@ -240,6 +263,7 @@ def execute_sweep(
     pool: ProcessPoolExecutor | None = None,
     backend: str = "sim",
     stream_transport: str = "memory",
+    fault_plan: FaultPlan | None = None,
 ) -> list[dict[str, float]]:
     """Expand *grid* (default: the scenario's own) and run every cell."""
     grid = grid if grid is not None else scenario.grid
@@ -251,6 +275,7 @@ def execute_sweep(
         pool=pool,
         backend=backend,
         stream_transport=stream_transport,
+        fault_plan=fault_plan,
     )
 
 
@@ -260,10 +285,16 @@ def run_scenario(
     grid: SweepGrid | None = None,
     backend: str = "sim",
     stream_transport: str = "memory",
+    fault_plan: FaultPlan | None = None,
 ) -> list[dict[str, float]]:
     """Run a scenario (by value or registered name) over its sweep grid."""
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
     return execute_sweep(
-        scenario, scale, grid=grid, backend=backend, stream_transport=stream_transport
+        scenario,
+        scale,
+        grid=grid,
+        backend=backend,
+        stream_transport=stream_transport,
+        fault_plan=fault_plan,
     )

@@ -1,0 +1,61 @@
+"""Fault injection: crash/restart of monitor processes, on every backend.
+
+The paper evaluates the decentralized monitoring protocol only under
+well-behaved nodes; this package asks what happens when monitors actually
+fail.  It provides:
+
+* :class:`FaultPlan` / :class:`CrashSpec` — declarative crash/restart
+  schedules in local-event space (deterministic across backends; see
+  :mod:`repro.faults.plan` for the design rationale).
+* :class:`MonitorFaultProxy` / :class:`FaultInjector` — the single
+  backend-agnostic injection mechanism, wrapping the shared
+  :class:`repro.core.monitor.DecentralizedMonitor` behind the
+  :class:`repro.core.transport.MonitorNode` protocol.
+* :class:`FaultModel` implementations (:class:`ExplicitFaults`,
+  :class:`SingleCrashFaults`, :class:`RollingCrashFaults`) — per-seed
+  schedule generators scenarios carry in their ``faults`` field.
+* :func:`parse_fault_plan` / :func:`format_fault_plan` — the compact
+  ``run --fault-plan`` grammar.
+
+Network-level fault conditions (asymmetric per-link latency matrices,
+multi-partition schedules) live with the other delay models in
+:mod:`repro.core.delays` and their scenario bindings in
+:mod:`repro.scenarios.network`.
+"""
+
+from .injector import FaultInjector, MonitorFaultProxy, unwrap_monitor, wrap_monitors
+from .models import (
+    ExplicitFaults,
+    FaultModel,
+    RollingCrashFaults,
+    SingleCrashFaults,
+)
+from .plan import (
+    RECOVERY_POLICIES,
+    RECOVERY_REJOIN,
+    RECOVERY_REPLAY,
+    CrashSpec,
+    FaultPlan,
+    FaultStats,
+    format_fault_plan,
+    parse_fault_plan,
+)
+
+__all__ = [
+    "RECOVERY_POLICIES",
+    "RECOVERY_REPLAY",
+    "RECOVERY_REJOIN",
+    "CrashSpec",
+    "FaultPlan",
+    "FaultStats",
+    "parse_fault_plan",
+    "format_fault_plan",
+    "MonitorFaultProxy",
+    "FaultInjector",
+    "unwrap_monitor",
+    "wrap_monitors",
+    "FaultModel",
+    "ExplicitFaults",
+    "SingleCrashFaults",
+    "RollingCrashFaults",
+]

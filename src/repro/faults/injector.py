@@ -1,0 +1,247 @@
+"""Backend-agnostic crash/restart injection around the shared monitor.
+
+The whole stack drives monitors exclusively through the
+:class:`repro.core.transport.MonitorNode` entry points, so fault injection
+needs exactly one mechanism for every backend: :class:`MonitorFaultProxy`
+wraps a :class:`repro.core.monitor.DecentralizedMonitor` (or any other
+``MonitorNode``) and interposes on the same four entry points.  The
+discrete-event simulator registers proxies with its
+:class:`~repro.sim.network.SimulatedNetwork`; the asyncio runtime hands them
+to :class:`~repro.runtime.node.StreamMonitorNode` — neither backend contains
+any fault logic of its own.
+
+Crash triggers count *processed local events* (see
+:mod:`repro.faults.plan` for why that makes plans deterministic across
+backends).  While down, the proxy buffers local events, holds inbound
+messages and, at restart, applies the spec's recovery policy before draining
+both queues (held messages first — they are older — then buffered events,
+preserving per-channel FIFO and local order).  A termination signal arriving
+during downtime force-restarts the monitor so a crash can never swallow the
+end of a run.
+
+``rejoin`` recovery rebuilds the monitor through the factory supplied by the
+runner: the fresh incarnation inherits only the durable facts (declared
+verdicts, peer-termination knowledge), replays the retained local event log
+and re-explores from there; tokens created by the old incarnation are
+silently dropped when they return (the fresh monitor does not know them),
+which is exactly the cost the fault scenarios measure.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import fields
+
+from ..core.monitor import DecentralizedMonitor, MonitorMetrics
+from .plan import RECOVERY_REJOIN, CrashSpec, FaultPlan, FaultStats
+
+__all__ = ["MonitorFaultProxy", "FaultInjector", "unwrap_monitor", "wrap_monitors"]
+
+
+class MonitorFaultProxy:
+    """A :class:`MonitorNode` that crashes and restarts its inner monitor.
+
+    The proxy is a plain synchronous wrapper: it never spawns tasks or
+    schedules callbacks, so it behaves identically under the discrete-event
+    simulator and the asyncio runtime.  All mutable fault state
+    (down/up, buffers, the durable local log) lives here; the inner monitor
+    is replaced wholesale on ``rejoin`` recoveries.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], DecentralizedMonitor],
+        specs: tuple[CrashSpec, ...],
+        stats: FaultStats,
+    ) -> None:
+        self._factory = factory
+        self._specs = list(specs)
+        self.stats = stats
+        self.monitor = factory()
+        self._down = False
+        self._active_spec: CrashSpec | None = None
+        self._events_processed = 0
+        self._log: list[object] = []
+        self._buffered_events: list[object] = []
+        self._held_messages: list[object] = []
+        self._retired_metrics: list[MonitorMetrics] = []
+
+    # -- MonitorNode protocol -------------------------------------------
+    @property
+    def process(self) -> int:
+        """Index of the program process the wrapped monitor serves."""
+        return self.monitor.process
+
+    @property
+    def is_down(self) -> bool:
+        """Whether the monitor is currently crashed."""
+        return self._down
+
+    def start(self) -> None:
+        """Process the initial global state (delegated)."""
+        self.monitor.start()
+
+    def local_event(self, event: object) -> None:
+        """Feed one local program event, buffering it during downtime."""
+        if self._down:
+            self._buffered_events.append(event)
+            self.stats.buffered_events += 1
+            assert self._active_spec is not None
+            if len(self._buffered_events) > self._active_spec.down_events:
+                self._restart()
+        else:
+            self._process_event(event)
+
+    def local_termination(self) -> None:
+        """Handle the termination signal, force-restarting a down monitor."""
+        if self._down:
+            self._restart(forced=True)
+        self.monitor.local_termination()
+
+    def receive_message(self, message: object) -> None:
+        """Deliver a monitoring message, holding it during downtime."""
+        if self._down:
+            self._held_messages.append(message)
+            self.stats.held_messages += 1
+        else:
+            self.monitor.receive_message(message)
+
+    # -- verdicts and metrics -------------------------------------------
+    @property
+    def declared_verdicts(self) -> set:
+        """Conclusive verdicts declared so far (durable across crashes)."""
+        return self.monitor.declared_verdicts
+
+    def reported_verdicts(self) -> set:
+        """Verdicts reported at the end of the run (delegated)."""
+        return self.monitor.reported_verdicts()
+
+    @property
+    def metrics(self) -> MonitorMetrics:
+        """Counters merged across every incarnation of the monitor.
+
+        Additive counters are summed; ``max_active_views`` takes the
+        maximum, matching its meaning.
+        """
+        merged = MonitorMetrics()
+        for metrics in [*self._retired_metrics, self.monitor.metrics]:
+            for spec in fields(MonitorMetrics):
+                if spec.name == "max_active_views":
+                    value = max(getattr(merged, spec.name), getattr(metrics, spec.name))
+                else:
+                    value = getattr(merged, spec.name) + getattr(metrics, spec.name)
+                setattr(merged, spec.name, value)
+        return merged
+
+    # -- crash / restart machinery --------------------------------------
+    def _process_event(self, event: object) -> None:
+        """Run one live local event through the monitor, then check triggers."""
+        self._log.append(event)
+        self.monitor.local_event(event)
+        self._events_processed += 1
+        if self._specs and self._specs[0].after_events == self._events_processed:
+            self._crash(self._specs.pop(0))
+
+    def _crash(self, spec: CrashSpec) -> None:
+        # a zero-length outage (down_events == 0) restarts on the very next
+        # local item; the recovery policy (state loss under rejoin) applies
+        self._down = True
+        self._active_spec = spec
+        self.stats.crashes += 1
+
+    def _restart(self, forced: bool = False) -> None:
+        """Bring the monitor back up: recover state, then drain the queues."""
+        spec = self._active_spec
+        assert spec is not None
+        self._down = False
+        self._active_spec = None
+        self.stats.restarts += 1
+        if forced:
+            self.stats.forced_restarts += 1
+        if spec.recovery == RECOVERY_REJOIN:
+            self._rejoin_from_scratch()
+        held, self._held_messages = self._held_messages, []
+        for message in held:
+            self.monitor.receive_message(message)
+        buffered, self._buffered_events = self._buffered_events, []
+        for event in buffered:
+            self._process_event(event)
+
+    def _rejoin_from_scratch(self) -> None:
+        """Replace the monitor with a fresh incarnation and replay the log.
+
+        Durable facts carried over: declared verdicts (already announced,
+        cannot be retracted) and peer-termination knowledge (stable).  The
+        volatile exploration state — views, outstanding and parked tokens —
+        is rebuilt by replaying the local event log; re-exploration traffic
+        is the measurable cost of this policy.
+        """
+        old = self.monitor
+        self._retired_metrics.append(old.metrics)
+        fresh = self._factory()
+        fresh.declared_verdicts |= old.declared_verdicts
+        fresh.declared_states |= old.declared_states
+        for peer, final_sn in old.terminated.items():
+            if final_sn is not None and peer != old.process:
+                fresh.terminated[peer] = final_sn
+        self.monitor = fresh
+        fresh.start()
+        for event in self._log:
+            fresh.local_event(event)
+        self.stats.replayed_events += len(self._log)
+
+
+class FaultInjector:
+    """Per-run coordinator building fault proxies from a plan.
+
+    One injector exists per monitored run; it owns the shared
+    :class:`FaultStats` the run report exposes and decides which monitors
+    need wrapping at all (monitors without crash cycles stay unwrapped, so
+    a no-op plan leaves the run byte-identical).
+    """
+
+    def __init__(self, plan: FaultPlan, num_processes: int) -> None:
+        self.plan = plan
+        self.num_processes = num_processes
+        self.stats = FaultStats()
+
+    def wrap(
+        self, process: int, factory: Callable[[], DecentralizedMonitor]
+    ):
+        """The endpoint for *process*: a fault proxy or the bare monitor."""
+        specs = self.plan.specs_for(process)
+        if not specs:
+            return factory()
+        return MonitorFaultProxy(factory, specs, self.stats)
+
+    def fault_stats(self) -> dict[str, float]:
+        """Flat ``fault_*`` counters for the run report."""
+        return self.stats.as_dict()
+
+
+def unwrap_monitor(endpoint: object) -> DecentralizedMonitor:
+    """The current inner monitor of an endpoint (proxy or bare monitor)."""
+    if isinstance(endpoint, MonitorFaultProxy):
+        return endpoint.monitor
+    return endpoint
+
+
+def wrap_monitors(
+    plan: FaultPlan | None,
+    num_processes: int,
+    factory: Callable[[int], DecentralizedMonitor],
+) -> tuple[list, FaultInjector | None]:
+    """Build the per-process monitor endpoints of one run under *plan*.
+
+    The single entry point both backends' runners use: returns the endpoint
+    list plus the run's :class:`FaultInjector`, or ``None`` when *plan* is
+    absent or a no-op — in which case every endpoint is a bare monitor and
+    the run takes the exact fault-free code path (byte-identical outputs).
+    """
+    if plan is None or plan.is_noop(num_processes):
+        return [factory(i) for i in range(num_processes)], None
+    injector = FaultInjector(plan, num_processes)
+    monitors = [
+        injector.wrap(i, lambda i=i: factory(i)) for i in range(num_processes)
+    ]
+    return monitors, injector

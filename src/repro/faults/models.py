@@ -1,0 +1,139 @@
+"""Declarative fault models: per-seed crash schedules for scenarios.
+
+A :class:`FaultModel` is the fault-injection counterpart of
+:class:`repro.scenarios.NetworkModel`: a small frozen dataclass a
+:class:`~repro.scenarios.Scenario` carries in its ``faults`` field, turned
+into a concrete :class:`~repro.faults.plan.FaultPlan` per sweep cell by
+:meth:`~FaultModel.build`.  Models derive everything random (which monitor
+crashes, when) from the cell's seed, so schedules are deterministic per
+seed, shard cleanly into worker processes and are identical on both
+monitoring backends.
+
+Three models are provided:
+
+* :class:`ExplicitFaults` — wraps a literal plan unchanged (also what the
+  CLI's ``run --fault-plan`` override uses).
+* :class:`SingleCrashFaults` — one seed-chosen monitor crashes once at a
+  seed-chosen point of its trace.
+* :class:`RollingCrashFaults` — every monitor crashes once, at staggered
+  seed-chosen points (a rolling outage across the whole system).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass
+from typing import Protocol, runtime_checkable
+
+from .plan import RECOVERY_REPLAY, CrashSpec, FaultPlan
+
+__all__ = [
+    "FaultModel",
+    "ExplicitFaults",
+    "SingleCrashFaults",
+    "RollingCrashFaults",
+]
+
+#: mixed into cell seeds so fault schedules draw from their own RNG stream,
+#: independent of the workload/network randomness of the same cell
+_FAULT_SEED_SALT = 0x5EEDFA17
+
+
+def _fault_rng(seed: int | None) -> random.Random:
+    """The dedicated fault-schedule RNG for one cell seed."""
+    return random.Random((seed or 0) ^ _FAULT_SEED_SALT)
+
+
+@runtime_checkable
+class FaultModel(Protocol):
+    """Declarative description of monitor faults, buildable per sweep cell."""
+
+    def build(
+        self, num_processes: int, events_per_process: int, seed: int | None
+    ) -> FaultPlan:
+        """The concrete crash schedule for one run at this system size."""
+
+    def describe(self) -> dict[str, object]:
+        """Self-describing metadata (for BENCH documents and the CLI)."""
+
+
+def _describe(kind: str, model: object) -> dict[str, object]:
+    """Render *model* as a ``{"kind": ..., **fields}`` metadata dictionary."""
+    description: dict[str, object] = {"kind": kind}
+    description.update(asdict(model))
+    return description
+
+
+@dataclass(frozen=True)
+class ExplicitFaults:
+    """A literal, seed-independent fault plan."""
+
+    plan: FaultPlan = FaultPlan()
+
+    def build(
+        self, num_processes: int, events_per_process: int, seed: int | None
+    ) -> FaultPlan:
+        """Return the wrapped plan unchanged."""
+        return self.plan
+
+    def describe(self) -> dict[str, object]:
+        """Self-describing metadata (for BENCH documents and the CLI)."""
+        return {"kind": "explicit", **self.plan.describe()}
+
+
+@dataclass(frozen=True)
+class SingleCrashFaults:
+    """One seed-chosen monitor crashes once mid-trace."""
+
+    down_events: int = 1
+    recovery: str = RECOVERY_REPLAY
+
+    def build(
+        self, num_processes: int, events_per_process: int, seed: int | None
+    ) -> FaultPlan:
+        """Pick the crashing monitor and its trigger point from the seed."""
+        rng = _fault_rng(seed)
+        process = rng.randrange(num_processes)
+        after_events = rng.randint(1, max(1, events_per_process - 1))
+        return FaultPlan(
+            (
+                CrashSpec(
+                    process=process,
+                    after_events=after_events,
+                    down_events=self.down_events,
+                    recovery=self.recovery,
+                ),
+            )
+        )
+
+    def describe(self) -> dict[str, object]:
+        """Self-describing metadata (for BENCH documents and the CLI)."""
+        return _describe("single-crash", self)
+
+
+@dataclass(frozen=True)
+class RollingCrashFaults:
+    """Every monitor crashes once, at staggered seed-chosen points."""
+
+    down_events: int = 1
+    recovery: str = RECOVERY_REPLAY
+
+    def build(
+        self, num_processes: int, events_per_process: int, seed: int | None
+    ) -> FaultPlan:
+        """One seed-derived crash cycle per monitor."""
+        rng = _fault_rng(seed)
+        specs = tuple(
+            CrashSpec(
+                process=process,
+                after_events=rng.randint(1, max(1, events_per_process - 1)),
+                down_events=self.down_events,
+                recovery=self.recovery,
+            )
+            for process in range(num_processes)
+        )
+        return FaultPlan(specs)
+
+    def describe(self) -> dict[str, object]:
+        """Self-describing metadata (for BENCH documents and the CLI)."""
+        return _describe("rolling-crash", self)

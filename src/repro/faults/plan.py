@@ -1,0 +1,231 @@
+"""Declarative crash/restart fault plans for monitor processes.
+
+A :class:`FaultPlan` describes *which monitors fail and how* for one
+monitored run, independently of the backend that executes it.  Crash and
+restart triggers are expressed in **local-event space** — "monitor ``p``
+crashes right after processing its ``after_events``-th local event and stays
+down for the next ``down_events`` local events" — rather than in wall-clock
+or virtual time.  This is the design decision that makes fault injection
+*differentially testable*: both monitoring backends (the discrete-event
+simulator and the asyncio streaming runtime) feed each monitor its local
+events in exactly the same order, so a plan triggers at the same logical
+point on both, whereas timed triggers would fall differently into each
+backend's message interleavings.
+
+While a monitor is down, its local events are buffered (progression pauses)
+and inbound monitoring messages are *held by the channel layer* and flushed
+at restart — channels stay reliable, as the paper's algorithm assumes
+(peers would retransmit into a crashed endpoint until it returns).  What a
+crash actually destroys is the monitor's volatile state, governed by the
+recovery policy:
+
+* :data:`RECOVERY_REPLAY` ("replay-from-last-verdict") — the monitor
+  recovers its full exploration state from a journal; the crash costs only
+  downtime (delayed token service, queued events).
+* :data:`RECOVERY_REJOIN` ("rejoin-from-scratch") — the monitor loses its
+  global views and outstanding tokens and rebuilds by replaying its durable
+  local event log from the initial state; already-declared verdicts and
+  peer-termination knowledge are durable (a declared verdict was announced
+  externally and cannot be retracted; termination of a peer is stable
+  knowledge).  In-flight tokens of the old incarnation die on return.
+
+The textual grammar accepted by ``run --fault-plan`` is
+``<process>@<after_events>[+<down_events>][:<recovery>]``, comma-separated::
+
+    1@4:replay            # monitor 1 crashes after its 4th event, replay
+    0@2+3:rejoin,2@5      # monitor 0 rejoins after 3 buffered events; 2 blips
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "RECOVERY_REPLAY",
+    "RECOVERY_REJOIN",
+    "RECOVERY_POLICIES",
+    "CrashSpec",
+    "FaultPlan",
+    "FaultStats",
+    "parse_fault_plan",
+    "format_fault_plan",
+]
+
+#: restart with the full pre-crash state (journal recovery): downtime only
+RECOVERY_REPLAY = "replay"
+#: restart from scratch, replaying the durable local event log
+RECOVERY_REJOIN = "rejoin"
+#: the recovery policies a :class:`CrashSpec` may name
+RECOVERY_POLICIES = (RECOVERY_REPLAY, RECOVERY_REJOIN)
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """One crash/restart cycle of one monitor, in local-event space.
+
+    The monitor crashes immediately after processing its
+    ``after_events``-th local event.  The next ``down_events`` local events
+    are buffered; the arrival of the following local item (event or the
+    process's termination signal, whichever comes first) restarts the
+    monitor, which applies its recovery policy, drains held messages and
+    buffered events, and then processes the arriving item.
+    """
+
+    process: int
+    after_events: int
+    down_events: int = 1
+    recovery: str = RECOVERY_REPLAY
+
+    def __post_init__(self) -> None:
+        if self.process < 0:
+            raise ValueError(f"process must be non-negative, got {self.process}")
+        if self.after_events < 1:
+            raise ValueError(
+                f"after_events must be >= 1 (a monitor cannot crash before "
+                f"its first event), got {self.after_events}"
+            )
+        if self.down_events < 0:
+            raise ValueError(f"down_events must be >= 0, got {self.down_events}")
+        if self.recovery not in RECOVERY_POLICIES:
+            raise ValueError(
+                f"unknown recovery policy {self.recovery!r} "
+                f"(known: {', '.join(RECOVERY_POLICIES)})"
+            )
+
+    def describe(self) -> dict[str, object]:
+        """Self-describing metadata (for BENCH documents and the CLI)."""
+        return {
+            "process": self.process,
+            "after_events": self.after_events,
+            "down_events": self.down_events,
+            "recovery": self.recovery,
+        }
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A full fault schedule: zero or more crash cycles across monitors.
+
+    A plan is a plain frozen value — picklable into sweep workers and
+    renderable into BENCH metadata.  Multiple crashes of the same monitor
+    are allowed but must not overlap: each spec must trigger strictly after
+    the previous cycle's restart point.
+    """
+
+    crashes: tuple[CrashSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        per_process: dict[int, list[CrashSpec]] = {}
+        for spec in self.crashes:
+            per_process.setdefault(spec.process, []).append(spec)
+        ordered: list[CrashSpec] = []
+        for process in sorted(per_process):
+            specs = sorted(per_process[process], key=lambda s: s.after_events)
+            for earlier, later in zip(specs, specs[1:]):
+                if later.after_events <= earlier.after_events + earlier.down_events:
+                    raise ValueError(
+                        f"overlapping crash cycles for monitor {process}: "
+                        f"{earlier} is still down at event {later.after_events}"
+                    )
+            ordered.extend(specs)
+        object.__setattr__(self, "crashes", tuple(ordered))
+
+    def specs_for(self, process: int) -> tuple[CrashSpec, ...]:
+        """The crash cycles of *process*, ordered by trigger point."""
+        return tuple(spec for spec in self.crashes if spec.process == process)
+
+    def is_noop(self, num_processes: int) -> bool:
+        """Whether the plan injects nothing into a *num_processes* system.
+
+        Specs naming processes outside the system are clipped, so a plan
+        that only targets out-of-range monitors is a no-op: the runners
+        skip fault wrapping entirely and outputs are byte-identical to a
+        run without any plan.
+        """
+        return not any(spec.process < num_processes for spec in self.crashes)
+
+    def describe(self) -> dict[str, object]:
+        """Self-describing metadata (for BENCH documents and the CLI)."""
+        return {"crashes": [spec.describe() for spec in self.crashes]}
+
+
+@dataclass
+class FaultStats:
+    """Counters of what a fault plan actually did during one run."""
+
+    crashes: int = 0
+    restarts: int = 0
+    #: restarts forced by the process's termination signal arriving while down
+    forced_restarts: int = 0
+    #: inbound monitoring messages held by the channel layer during downtime
+    held_messages: int = 0
+    #: local program events buffered while their monitor was down
+    buffered_events: int = 0
+    #: local events replayed from the durable log by rejoin recoveries
+    replayed_events: int = 0
+    #: extra per-run counters contributed by recovery policies
+    extra: dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat ``fault_*`` metric row merged into run reports."""
+        row = {
+            "fault_crashes": float(self.crashes),
+            "fault_restarts": float(self.restarts),
+            "fault_forced_restarts": float(self.forced_restarts),
+            "fault_held_messages": float(self.held_messages),
+            "fault_buffered_events": float(self.buffered_events),
+            "fault_replayed_events": float(self.replayed_events),
+        }
+        row.update(self.extra)
+        return row
+
+
+def parse_fault_plan(text: str) -> FaultPlan:
+    """Parse the compact ``run --fault-plan`` grammar into a plan.
+
+    Grammar (comma-separated specs, whitespace ignored)::
+
+        <process>@<after_events>[+<down_events>][:<recovery>]
+
+    ``down_events`` defaults to 1 and ``recovery`` to ``replay``.
+    """
+    specs: list[CrashSpec] = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        spec, _, recovery = chunk.partition(":")
+        recovery = recovery.strip() or RECOVERY_REPLAY
+        process_text, at, trigger = spec.partition("@")
+        if not at:
+            raise ValueError(
+                f"invalid fault spec {chunk!r}: expected "
+                f"'<process>@<after_events>[+<down_events>][:<recovery>]'"
+            )
+        trigger, _, down_text = trigger.partition("+")
+        try:
+            process = int(process_text)
+            after_events = int(trigger)
+            down_events = int(down_text) if down_text else 1
+        except ValueError:
+            raise ValueError(
+                f"invalid fault spec {chunk!r}: process, after_events and "
+                f"down_events must be integers"
+            ) from None
+        specs.append(
+            CrashSpec(
+                process=process,
+                after_events=after_events,
+                down_events=down_events,
+                recovery=recovery,
+            )
+        )
+    return FaultPlan(tuple(specs))
+
+
+def format_fault_plan(plan: FaultPlan) -> str:
+    """Render *plan* back into the ``run --fault-plan`` grammar."""
+    return ",".join(
+        f"{spec.process}@{spec.after_events}+{spec.down_events}:{spec.recovery}"
+        for spec in plan.crashes
+    )

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from ..core.delays import DelayModel
 from ..core.monitor import DecentralizedMonitor
 from ..distributed.computation import Computation
+from ..faults import FaultPlan, unwrap_monitor, wrap_monitors
 from ..ltl.monitor import MonitorAutomaton
 from ..ltl.predicates import PropositionRegistry
 from ..ltl.verdict import Verdict
@@ -72,6 +73,9 @@ class RuntimeReport:
     #: behaviour-specific counters of the delay model (retransmissions,
     #: held messages, bursts, ...); empty for undelayed transports
     network_stats: dict[str, float] = field(default_factory=dict)
+    #: ``fault_*`` counters of the fault plan (crashes, restarts, held
+    #: messages, replayed events, ...); empty for fault-free runs
+    fault_stats: dict[str, float] = field(default_factory=dict)
     #: which streaming transport carried the messages ("memory" or "tcp")
     transport: str = "memory"
     #: real wall-clock seconds the streaming run took end to end
@@ -112,6 +116,7 @@ class RuntimeReport:
             "verdicts": sorted(str(v) for v in self.reported_verdicts),
             "transport": self.transport,
             **self.network_stats,
+            **self.fault_stats,
         }
 
 
@@ -136,6 +141,7 @@ async def stream_monitored_run(
     transport: str = "memory",
     time_scale: float = 0.0,
     quiesce_timeout: float = 120.0,
+    faults: FaultPlan | None = None,
 ) -> RuntimeReport:
     """Stream *computation* through concurrent monitor tasks.
 
@@ -162,6 +168,10 @@ async def stream_monitored_run(
         default ``0.0`` runs as fast as possible.
     quiesce_timeout:
         Real-time bound on the post-termination drain.
+    faults:
+        Optional :class:`repro.faults.FaultPlan`; monitors named by the
+        plan are wrapped in the same crash/restart proxies the simulator
+        uses, so a fault schedule means the same thing on both backends.
     """
     started = time.perf_counter()
     n = computation.num_processes
@@ -170,9 +180,10 @@ async def stream_monitored_run(
     initial_letters = [
         registry.local_letter(i, computation.initial_states[i]) for i in range(n)
     ]
-    monitors = [
-        DecentralizedMonitor(
-            process=i,
+
+    def make_monitor(process: int) -> DecentralizedMonitor:
+        return DecentralizedMonitor(
+            process=process,
             num_processes=n,
             automaton=automaton,
             registry=registry,
@@ -180,8 +191,8 @@ async def stream_monitored_run(
             transport=net,
             max_views_per_state=max_views_per_state,
         )
-        for i in range(n)
-    ]
+
+    monitors, injector = wrap_monitors(faults, n, make_monitor)
     nodes = [StreamMonitorNode(monitor, net) for monitor in monitors]
     for node in nodes:
         net.register(node.process, node)
@@ -246,8 +257,9 @@ async def stream_monitored_run(
         monitor_end_time=max(net.last_delivery_time, program_end),
         reported_verdicts=frozenset(reported),
         declared_verdicts=frozenset(declared),
-        monitors=monitors,
+        monitors=[unwrap_monitor(monitor) for monitor in monitors],
         network_stats=net.extra_stats(),
+        fault_stats=injector.fault_stats() if injector is not None else {},
         transport=transport,
         wall_seconds=time.perf_counter() - started,
     )
@@ -263,6 +275,7 @@ def run_streaming(
     transport: str = "memory",
     time_scale: float = 0.0,
     quiesce_timeout: float = 120.0,
+    faults: FaultPlan | None = None,
 ) -> RuntimeReport:
     """Synchronous wrapper: run :func:`stream_monitored_run` to completion.
 
@@ -279,5 +292,6 @@ def run_streaming(
             transport=transport,
             time_scale=time_scale,
             quiesce_timeout=quiesce_timeout,
+            faults=faults,
         )
     )

@@ -101,6 +101,10 @@ class StreamTransport:
         self._channel_queues: dict[tuple[int, int], asyncio.Queue] = {}
         self._channel_clock: dict[tuple[int, int], float] = {}
         self._pumps: list[asyncio.Task] = []
+        #: a fatal transport-level failure (e.g. a peer disconnecting
+        #: mid-frame on TCP); surfaced by :meth:`wait_quiescent` instead of
+        #: letting the run time out or lose messages silently
+        self.fatal_error: Exception | None = None
         #: messages sent but not yet fully processed by their receiver
         self.in_flight = 0
         self.messages_sent = 0
@@ -207,6 +211,8 @@ class StreamTransport:
         stable = 0
         spins = 0
         while True:
+            if self.fatal_error is not None:
+                raise self.fatal_error
             for node in self._nodes.values():
                 error = node.failure()
                 if error is not None:
@@ -315,14 +321,52 @@ class TcpStreamTransport(StreamTransport):
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
     ) -> None:
-        """Read frames from one inbound connection into the node's inbox."""
+        """Read frames from one inbound connection into the node's inbox.
+
+        A clean EOF *between* frames is a normal peer close.  A disconnect
+        *mid-frame* (a truncated length prefix or payload) means a
+        monitoring message was lost on the wire; because the protocol has no
+        retransmission, that run can never quiesce, so the truncation is
+        recorded as :attr:`StreamTransport.fatal_error` with a precise
+        diagnostic instead of surfacing later as a bare ``EOFError`` or a
+        bogus quiescence timeout.  Undecodable frames are reported the same
+        way.
+        """
         try:
             while True:
-                header = await reader.readexactly(_FRAME_HEADER.size)
-                payload = await reader.readexactly(_FRAME_HEADER.unpack(header)[0])
+                try:
+                    header = await reader.readexactly(_FRAME_HEADER.size)
+                except asyncio.IncompleteReadError as error:
+                    if error.partial:
+                        raise ConnectionError(
+                            f"peer of monitor {node.process} disconnected "
+                            f"mid-frame: {len(error.partial)} of "
+                            f"{_FRAME_HEADER.size} length-prefix bytes received"
+                        ) from error
+                    return  # clean close between frames
+                except ConnectionResetError:
+                    # a reset at the frame boundary is an abrupt teardown of
+                    # an idle connection; only resets after the length prefix
+                    # was consumed are unambiguously mid-frame
+                    return
+                length = _FRAME_HEADER.unpack(header)[0]
+                try:
+                    payload = await reader.readexactly(length)
+                except asyncio.IncompleteReadError as error:
+                    raise ConnectionError(
+                        f"peer of monitor {node.process} disconnected "
+                        f"mid-frame: {len(error.partial)} of {length} "
+                        f"payload bytes received"
+                    ) from error
+                except ConnectionResetError as error:
+                    raise ConnectionError(
+                        f"peer of monitor {node.process} reset the connection "
+                        f"mid-frame before its {length}-byte payload arrived"
+                    ) from error
                 due, message = pickle.loads(payload)
                 node.enqueue_message(due, message)
-        except (asyncio.IncompleteReadError, ConnectionError):
-            pass
+        except Exception as error:  # noqa: BLE001 - recorded, then re-raised by wait_quiescent
+            if self.fatal_error is None:
+                self.fatal_error = error
         finally:
             writer.close()

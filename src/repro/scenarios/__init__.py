@@ -13,17 +13,30 @@ Public API
   experiment descriptions.
 * :class:`NetworkModel` protocol with :class:`ReliableNetwork`,
   :class:`FixedLatencyNetwork`, :class:`LossyNetwork`,
-  :class:`PartitionNetwork` and :class:`BurstyNetwork`.
+  :class:`PartitionNetwork`, :class:`BurstyNetwork`,
+  :class:`AsymmetricNetwork` and :class:`MultiPartitionNetwork`.
 * :class:`WorkloadModel` protocol with :class:`PaperWorkload`,
   :class:`HotPropositionWorkload` and :class:`BurstyCommWorkload`.
+* :class:`repro.faults.FaultModel` (re-exported with
+  :class:`ExplicitFaults`, :class:`SingleCrashFaults` and
+  :class:`RollingCrashFaults`) — the optional ``faults`` condition of a
+  scenario.
 * :func:`register_scenario` / :func:`get_scenario` / :func:`list_scenarios`
   / :func:`scenario_names` — the registry (built-ins register on import).
 """
 
+from ..faults import (
+    ExplicitFaults,
+    FaultModel,
+    RollingCrashFaults,
+    SingleCrashFaults,
+)
 from .network import (
+    AsymmetricNetwork,
     BurstyNetwork,
     FixedLatencyNetwork,
     LossyNetwork,
+    MultiPartitionNetwork,
     NetworkModel,
     PartitionNetwork,
     ReliableNetwork,
@@ -52,6 +65,12 @@ __all__ = [
     "LossyNetwork",
     "PartitionNetwork",
     "BurstyNetwork",
+    "AsymmetricNetwork",
+    "MultiPartitionNetwork",
+    "FaultModel",
+    "ExplicitFaults",
+    "SingleCrashFaults",
+    "RollingCrashFaults",
     "WorkloadModel",
     "PaperWorkload",
     "HotPropositionWorkload",

@@ -1,18 +1,22 @@
-"""Render the scenario catalogue into ``docs/scenarios.md`` — and keep it true.
+"""Render generated-checked catalogues into the docs — and keep them true.
 
-The scenario reference documentation is *generated-checked*: the catalogue
-section of ``docs/scenarios.md`` between :data:`BEGIN_MARKER` and
-:data:`END_MARKER` is produced by :func:`render_catalogue` straight from the
-live registry (:mod:`repro.scenarios.registry`), and a test asserts the file
-matches the renderer's output, so the document cannot drift from the code.
-After adding or changing a scenario, regenerate the section with::
+Two reference documents are *generated-checked*: the catalogue section of
+``docs/scenarios.md`` (between :data:`BEGIN_MARKER` and :data:`END_MARKER`)
+and the fault-scenario section of ``docs/faults.md`` (between
+:data:`FAULTS_BEGIN_MARKER` and :data:`FAULTS_END_MARKER`).  Both are
+produced straight from the live registry
+(:mod:`repro.scenarios.registry`), and tests assert each file matches the
+renderer's output, so the documents cannot drift from the code.  After
+adding or changing a scenario, regenerate with::
 
     PYTHONPATH=src python -m repro.scenarios.docgen docs/scenarios.md
+    PYTHONPATH=src python -m repro.scenarios.docgen docs/faults.md
 
+``main`` replaces whichever marker pairs the given file contains.
 Everything rendered comes from :meth:`repro.scenarios.Scenario.describe`:
-the workload and network model kinds with their parameters, the sweep grid,
-the tags, and ``corresponds_to`` — which paper figure/table the condition
-reproduces or which extension it is.
+the workload, network and fault model kinds with their parameters, the
+sweep grid, the tags, and ``corresponds_to`` — which paper figure/table the
+condition reproduces or which extension it is.
 """
 
 from __future__ import annotations
@@ -25,13 +29,19 @@ from .scenario import Scenario
 __all__ = [
     "BEGIN_MARKER",
     "END_MARKER",
+    "FAULTS_BEGIN_MARKER",
+    "FAULTS_END_MARKER",
     "render_catalogue",
+    "render_fault_catalogue",
     "replace_generated_section",
     "main",
 ]
 
 BEGIN_MARKER = "<!-- BEGIN GENERATED SCENARIO CATALOGUE (repro.scenarios.docgen) -->"
 END_MARKER = "<!-- END GENERATED SCENARIO CATALOGUE -->"
+
+FAULTS_BEGIN_MARKER = "<!-- BEGIN GENERATED FAULT CATALOGUE (repro.scenarios.docgen) -->"
+FAULTS_END_MARKER = "<!-- END GENERATED FAULT CATALOGUE -->"
 
 
 def _format_params(description: dict[str, object]) -> str:
@@ -47,6 +57,7 @@ def _render_scenario(scenario: Scenario) -> list[str]:
     description = scenario.describe()
     workload = description["workload"]
     network = description["network"]
+    faults = description["faults"]
     grid = description["grid"]
     lines = [
         f"### `{scenario.name}`",
@@ -56,11 +67,17 @@ def _render_scenario(scenario: Scenario) -> list[str]:
         f"- **Corresponds to:** {scenario.corresponds_to}",
         f"- **Workload:** `{workload['kind']}` — {_format_params(workload)}",
         f"- **Network:** `{network['kind']}` — {_format_params(network)}",
-        f"- **Grid:** properties={grid['properties']!r}, "
-        f"process_counts={grid['process_counts']!r}, comm_mus={grid['comm_mus']!r}",
-        f"- **Tags:** {', '.join(scenario.tags) if scenario.tags else '(none)'}",
-        "",
     ]
+    if faults is not None:
+        lines.append(f"- **Faults:** `{faults['kind']}` — {_format_params(faults)}")
+    lines.extend(
+        [
+            f"- **Grid:** properties={grid['properties']!r}, "
+            f"process_counts={grid['process_counts']!r}, comm_mus={grid['comm_mus']!r}",
+            f"- **Tags:** {', '.join(scenario.tags) if scenario.tags else '(none)'}",
+            "",
+        ]
+    )
     return lines
 
 
@@ -79,30 +96,73 @@ def render_catalogue() -> str:
     return "\n".join(lines)
 
 
-def replace_generated_section(text: str) -> str:
-    """Return *text* with the marked section replaced by a fresh rendering."""
-    begin = text.index(BEGIN_MARKER)
-    end = text.index(END_MARKER) + len(END_MARKER)
-    return text[:begin] + render_catalogue() + text[end:]
+def render_fault_catalogue() -> str:
+    """The generated fault-scenario section of ``docs/faults.md``."""
+    scenarios = [s for s in list_scenarios() if s.describe()["faults"] is not None]
+    lines = [
+        FAULTS_BEGIN_MARKER,
+        "",
+        f"{len(scenarios)} registered scenarios carry a fault model "
+        "(sorted by name).",
+        "",
+    ]
+    for scenario in scenarios:
+        lines.extend(_render_scenario(scenario))
+    lines.append(FAULTS_END_MARKER)
+    return "\n".join(lines)
+
+
+#: every generated-checked section ``main`` knows how to refresh
+_SECTIONS: tuple[tuple[str, str, object], ...] = (
+    (BEGIN_MARKER, END_MARKER, render_catalogue),
+    (FAULTS_BEGIN_MARKER, FAULTS_END_MARKER, render_fault_catalogue),
+)
+
+
+def replace_generated_section(
+    text: str,
+    begin_marker: str = BEGIN_MARKER,
+    end_marker: str = END_MARKER,
+    render=render_catalogue,
+) -> str:
+    """Return *text* with the marked section replaced by ``render()``'s output.
+
+    Defaults to the scenario-catalogue markers; ``main`` reuses it for every
+    marker pair of :data:`_SECTIONS`.
+    """
+    begin = text.index(begin_marker)
+    end = text.index(end_marker) + len(end_marker)
+    return text[:begin] + render() + text[end:]
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Rewrite the generated section of the given markdown file in place."""
+    """Rewrite the generated sections of the given markdown file in place.
+
+    Each marker pair present in the file (scenario catalogue, fault
+    catalogue) is replaced by a fresh rendering; a file with no markers at
+    all is an error.
+    """
     argv = list(sys.argv[1:] if argv is None else argv)
     if len(argv) != 1:
-        print("usage: python -m repro.scenarios.docgen docs/scenarios.md", file=sys.stderr)
+        print(
+            "usage: python -m repro.scenarios.docgen docs/scenarios.md|docs/faults.md",
+            file=sys.stderr,
+        )
         return 2
     path = argv[0]
     with open(path, encoding="utf-8") as handle:
         text = handle.read()
-    try:
-        updated = replace_generated_section(text)
-    except ValueError:
+    replaced = 0
+    for begin_marker, end_marker, render in _SECTIONS:
+        if begin_marker in text and end_marker in text:
+            text = replace_generated_section(text, begin_marker, end_marker, render)
+            replaced += 1
+    if not replaced:
         print(f"error: {path} has no generated-section markers", file=sys.stderr)
         return 1
     with open(path, "w", encoding="utf-8") as handle:
-        handle.write(updated)
-    print(f"regenerated scenario catalogue in {path}")
+        handle.write(text)
+    print(f"regenerated {replaced} catalogue section(s) in {path}")
     return 0
 
 

@@ -16,7 +16,7 @@ Models are plain picklable values, so scenarios can be shipped to worker
 processes by the sharded sweep engine, and :meth:`~NetworkModel.describe`
 renders them into the BENCH/JSON metadata.
 
-Five conditions are provided:
+Seven conditions are provided:
 
 ===================  ======================================================
 model                behaviour
@@ -27,6 +27,9 @@ model                behaviour
 :class:`PartitionNetwork`      partition windows between process groups,
                                healed when each window closes
 :class:`BurstyNetwork`         duty-cycled medium flushing at burst instants
+:class:`AsymmetricNetwork`     per-ordered-pair latency matrix (A→B ≠ B→A)
+:class:`MultiPartitionNetwork` timed sequence of partition sets, each phase
+                               with its own explicit process grouping
 ===================  ======================================================
 
 All of them deliver every message eventually (the monitoring algorithm
@@ -40,11 +43,14 @@ from dataclasses import asdict, dataclass
 from typing import Protocol, runtime_checkable
 
 from ..core.delays import (
+    AsymmetricLatencyMatrix,
     BurstyDelay,
     DelayModel,
     GaussianDelay,
     LossyRetransmitDelay,
+    MultiPartitionDelay,
     PartitionDelay,
+    PartitionPhase,
 )
 from ..sim.engine import Simulator
 from ..sim.network import (
@@ -61,6 +67,8 @@ __all__ = [
     "LossyNetwork",
     "PartitionNetwork",
     "BurstyNetwork",
+    "AsymmetricNetwork",
+    "MultiPartitionNetwork",
 ]
 
 
@@ -228,3 +236,87 @@ class BurstyNetwork:
     def describe(self) -> dict[str, object]:
         """Self-describing metadata (for BENCH documents and the CLI)."""
         return _describe("bursty", self)
+
+
+@dataclass(frozen=True)
+class AsymmetricNetwork:
+    """Asymmetric per-link latency matrix: A→B need not equal B→A.
+
+    ``pairs`` lists explicit ``((sender, target), latency)`` overrides; all
+    other ordered pairs fall back to the direction-sensitive ring formula of
+    :class:`repro.core.delays.AsymmetricLatencyMatrix` parameterised by
+    ``skew`` and ``ring``.
+    """
+
+    base_latency: float = 0.05
+    jitter: float = 0.01
+    skew: float = 1.5
+    ring: int = 8
+    pairs: tuple[tuple[tuple[int, int], float], ...] = ()
+
+    def _matrix(self, seed: int | None) -> AsymmetricLatencyMatrix:
+        return AsymmetricLatencyMatrix(
+            base_latency=self.base_latency,
+            jitter=self.jitter,
+            seed=seed,
+            skew=self.skew,
+            ring=self.ring,
+            pair_latencies=dict(self.pairs),
+        )
+
+    def build(self, simulator: Simulator, seed: int | None) -> SimulatedNetwork:
+        """Build a discrete-event network over the asymmetric matrix."""
+        return SimulatedNetwork(
+            simulator,
+            latency=self.base_latency,
+            jitter=self.jitter,
+            delay=self._matrix(seed),
+        )
+
+    def delay_model(self, seed: int | None) -> AsymmetricLatencyMatrix:
+        """The same per-ordered-pair latencies for the streaming backend."""
+        return self._matrix(seed)
+
+    def describe(self) -> dict[str, object]:
+        """Self-describing metadata (for BENCH documents and the CLI)."""
+        return _describe("asymmetric", self)
+
+
+@dataclass(frozen=True)
+class MultiPartitionNetwork:
+    """A timed sequence of partition phases with per-phase groupings.
+
+    Generalizes :class:`PartitionNetwork`: each ``(start, end, groups)``
+    phase of ``schedule`` partitions the processes into its own explicit
+    groups (unlisted processes share an implicit rest group), so a run can
+    pass through several differently-shaped partitions that each heal.
+    """
+
+    latency: float = 0.05
+    jitter: float = 0.01
+    schedule: tuple[PartitionPhase, ...] = (
+        (1.5, 4.5, ((0, 1),)),
+        (6.0, 9.0, ((0, 2), (1,))),
+    )
+
+    def build(self, simulator: Simulator, seed: int | None) -> SimulatedNetwork:
+        """Build a discrete-event network over the partition schedule."""
+        return SimulatedNetwork(
+            simulator,
+            latency=self.latency,
+            jitter=self.jitter,
+            delay=self.delay_model(seed),
+        )
+
+    def delay_model(self, seed: int | None) -> MultiPartitionDelay:
+        """Phase-holding delays for the streaming backend."""
+        return MultiPartitionDelay(
+            latency=self.latency,
+            jitter=self.jitter,
+            seed=seed,
+            schedule=self.schedule,
+        )
+
+    def describe(self) -> dict[str, object]:
+        """Self-describing metadata (for BENCH documents and the CLI)."""
+        return _describe("multi-partition", self)

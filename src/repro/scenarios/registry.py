@@ -15,6 +15,12 @@ name                condition
 ``bursty-comm``     comm-heavy workload bursts on a duty-cycled medium
 ``hot-spot``        hot-proposition skew on the reliable network
 ``no-comm``         the paper's "No comm" configuration as a scenario
+``crash-restart-replay``  one monitor crashes and recovers its state journal
+``crash-restart-rejoin``  one monitor crashes and rejoins from scratch
+``crash-storm``     every monitor crashes once (rolling outage)
+``asymmetric-mesh``  per-ordered-pair latency matrix (A→B ≠ B→A)
+``multi-partition``  timed sequence of differently-shaped partitions
+``partitioned-crash``  multi-partition schedule + a mid-trace monitor crash
 ==================  =====================================================
 
 User code can add its own conditions with :func:`register_scenario`; for
@@ -24,10 +30,13 @@ import time of a module the workers also import.
 
 from __future__ import annotations
 
+from ..faults import RollingCrashFaults, SingleCrashFaults
 from .network import (
+    AsymmetricNetwork,
     BurstyNetwork,
     FixedLatencyNetwork,
     LossyNetwork,
+    MultiPartitionNetwork,
     PartitionNetwork,
     ReliableNetwork,
 )
@@ -156,5 +165,82 @@ register_scenario(
         grid=SweepGrid(comm_mus=(None,)),
         corresponds_to="Fig. 5.9's 'No comm' configuration",
         tags=("paper",),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="crash-restart-replay",
+        description="One seed-chosen monitor crashes mid-trace and restarts "
+        "with its journaled state intact: the crash costs downtime only.",
+        workload=PaperWorkload(),
+        network=ReliableNetwork(),
+        faults=SingleCrashFaults(down_events=1, recovery="replay"),
+        corresponds_to="extension: monitor failure with replay-from-last-verdict recovery",
+        tags=("faults",),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="crash-restart-rejoin",
+        description="One seed-chosen monitor crashes mid-trace and rejoins "
+        "from scratch, replaying its durable local event log and "
+        "re-exploring; its pre-crash tokens die on return.",
+        workload=PaperWorkload(),
+        network=ReliableNetwork(),
+        faults=SingleCrashFaults(down_events=1, recovery="rejoin"),
+        corresponds_to="extension: monitor failure with rejoin-from-scratch recovery",
+        tags=("faults",),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="crash-storm",
+        description="A rolling outage: every monitor crashes once at a "
+        "staggered seed-chosen point and replays its journal on restart.",
+        workload=PaperWorkload(),
+        network=ReliableNetwork(),
+        faults=RollingCrashFaults(down_events=2, recovery="replay"),
+        corresponds_to="extension: whole-fleet crash/restart stress of the token routing",
+        tags=("faults", "degraded"),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="asymmetric-mesh",
+        description="Asymmetric per-link latency matrix: each ordered pair "
+        "has its own latency, so A→B and B→A differ.",
+        workload=PaperWorkload(),
+        network=AsymmetricNetwork(),
+        corresponds_to="extension: direction-dependent link quality (beyond the symmetric testbed)",
+        tags=("network",),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="multi-partition",
+        description="A timed sequence of differently-shaped partitions: the "
+        "network splits, heals, and splits again along other group lines.",
+        workload=PaperWorkload(),
+        network=MultiPartitionNetwork(),
+        corresponds_to="extension: generalizes the single partition-heal window",
+        tags=("network", "degraded"),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="partitioned-crash",
+        description="Compound fault: the multi-partition schedule combined "
+        "with a seed-chosen monitor crash (journal replay on restart).",
+        workload=PaperWorkload(),
+        network=MultiPartitionNetwork(),
+        faults=SingleCrashFaults(down_events=2, recovery="replay"),
+        corresponds_to="extension: compound network + monitor faults",
+        tags=("faults", "network", "degraded"),
     )
 )

@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
+from ..faults import FaultModel
 from .network import NetworkModel
 from .workload import WorkloadModel
 
@@ -110,6 +111,9 @@ class Scenario:
     workload: WorkloadModel
     network: NetworkModel
     grid: SweepGrid = field(default_factory=SweepGrid)
+    #: optional monitor-fault condition (a :class:`repro.faults.FaultModel`);
+    #: the engine builds one concrete per-seed plan per sweep cell from it
+    faults: FaultModel | None = None
     tags: tuple[str, ...] = ()
     #: which paper artefact this condition reproduces, or which extension it
     #: is — rendered into ``docs/scenarios.md`` by :mod:`repro.scenarios.docgen`
@@ -126,6 +130,7 @@ class Scenario:
             "description": self.description,
             "workload": self.workload.describe(),
             "network": self.network.describe(),
+            "faults": self.faults.describe() if self.faults is not None else None,
             "grid": self.grid.describe(),
             "tags": list(self.tags),
             "corresponds_to": self.corresponds_to,

@@ -22,6 +22,7 @@ from typing import Protocol
 
 from ..core.monitor import DecentralizedMonitor
 from ..distributed.computation import Computation
+from ..faults import FaultPlan, unwrap_monitor, wrap_monitors
 from ..ltl.monitor import MonitorAutomaton
 from ..ltl.predicates import PropositionRegistry
 from ..ltl.verdict import Verdict
@@ -61,6 +62,9 @@ class SimulationReport:
     #: behaviour-specific counters of the network model (retransmissions,
     #: held messages, bursts, ...); empty for the plain reliable network
     network_stats: dict[str, float] = field(default_factory=dict)
+    #: ``fault_*`` counters of the fault plan (crashes, restarts, held
+    #: messages, replayed events, ...); empty for fault-free runs
+    fault_stats: dict[str, float] = field(default_factory=dict)
 
     @property
     def monitor_extra_time(self) -> float:
@@ -96,6 +100,7 @@ class SimulationReport:
             "monitor_extra_time": self.monitor_extra_time,
             "verdicts": sorted(str(v) for v in self.reported_verdicts),
             **self.network_stats,
+            **self.fault_stats,
         }
 
 
@@ -108,13 +113,17 @@ def simulate_monitored_run(
     seed: int | None = None,
     max_views_per_state: int | None = None,
     network: NetworkFactory | None = None,
+    faults: FaultPlan | None = None,
 ) -> SimulationReport:
     """Replay *computation* under decentralized monitoring with network latency.
 
     With *network* set (any :class:`NetworkFactory`, e.g. a scenario network
     model) the monitors communicate over the network it builds; otherwise a
     plain reliable :class:`SimulatedNetwork` with *message_latency* /
-    *latency_jitter* is used, as in the paper's testbed.
+    *latency_jitter* is used, as in the paper's testbed.  With *faults* set
+    (a :class:`repro.faults.FaultPlan`) monitors named by the plan are
+    wrapped in crash/restart proxies; a no-op plan takes the exact fault-free
+    code path, so its outputs are byte-identical to ``faults=None``.
     """
     n = computation.num_processes
     simulator = Simulator()
@@ -127,9 +136,10 @@ def simulate_monitored_run(
     initial_letters = [
         registry.local_letter(i, computation.initial_states[i]) for i in range(n)
     ]
-    monitors = [
-        DecentralizedMonitor(
-            process=i,
+
+    def make_monitor(process: int) -> DecentralizedMonitor:
+        return DecentralizedMonitor(
+            process=process,
             num_processes=n,
             automaton=automaton,
             registry=registry,
@@ -137,8 +147,8 @@ def simulate_monitored_run(
             transport=built_network,
             max_views_per_state=max_views_per_state,
         )
-        for i in range(n)
-    ]
+
+    monitors, injector = wrap_monitors(faults, n, make_monitor)
     for i, monitor in enumerate(monitors):
         built_network.register(i, monitor)
 
@@ -189,6 +199,7 @@ def simulate_monitored_run(
         monitor_end_time=monitor_end,
         reported_verdicts=frozenset(reported),
         declared_verdicts=frozenset(declared),
-        monitors=monitors,
+        monitors=[unwrap_monitor(monitor) for monitor in monitors],
         network_stats=built_network.extra_stats(),
+        fault_stats=injector.fault_stats() if injector is not None else {},
     )

@@ -1,0 +1,144 @@
+"""Tests for the fault-oriented delay models: asymmetric links, partitions."""
+
+import pytest
+
+from repro.core import run_decentralized
+from repro.core.delays import AsymmetricLatencyMatrix, MultiPartitionDelay
+from repro.experiments.properties import case_study_registry
+from repro.ltl import build_monitor
+from repro.runtime import run_streaming
+from repro.scenarios import AsymmetricNetwork, MultiPartitionNetwork, get_scenario
+from repro.sim import Simulator, random_computation, simulate_monitored_run
+
+
+class TestAsymmetricLatencyMatrix:
+    def test_direction_matters(self):
+        matrix = AsymmetricLatencyMatrix(base_latency=0.1, jitter=0.0, skew=1.5)
+        forward = matrix.latency_for(0, 1)
+        backward = matrix.latency_for(1, 0)
+        assert forward != backward
+        assert matrix.delivery_time(0.0, 0, 1) == pytest.approx(forward)
+        assert matrix.delivery_time(0.0, 1, 0) == pytest.approx(backward)
+
+    def test_self_loop_has_base_latency(self):
+        matrix = AsymmetricLatencyMatrix(base_latency=0.1, jitter=0.0, skew=2.0)
+        assert matrix.latency_for(3, 3) == pytest.approx(0.1)
+
+    def test_explicit_pair_overrides_ring_formula(self):
+        matrix = AsymmetricLatencyMatrix(
+            base_latency=0.1, jitter=0.0, pair_latencies={(0, 1): 0.7}
+        )
+        assert matrix.latency_for(0, 1) == pytest.approx(0.7)
+        # the reverse direction still follows the formula
+        assert matrix.latency_for(1, 0) != pytest.approx(0.7)
+
+    def test_zero_skew_degenerates_to_symmetric(self):
+        matrix = AsymmetricLatencyMatrix(base_latency=0.1, jitter=0.0, skew=0.0)
+        assert matrix.latency_for(0, 1) == matrix.latency_for(1, 0) == pytest.approx(0.1)
+
+    def test_jitter_varies_around_pair_base(self):
+        matrix = AsymmetricLatencyMatrix(base_latency=0.1, jitter=0.01, seed=3)
+        samples = {matrix.delivery_time(0.0, 0, 1) for _ in range(10)}
+        assert len(samples) > 1
+        assert all(value >= 0.0 for value in samples)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            AsymmetricLatencyMatrix(base_latency=-0.1)
+        with pytest.raises(ValueError):
+            AsymmetricLatencyMatrix(skew=-1.0)
+        with pytest.raises(ValueError):
+            AsymmetricLatencyMatrix(ring=1)
+        with pytest.raises(ValueError):
+            AsymmetricLatencyMatrix(pair_latencies={(0, 1): -0.5})
+
+
+class TestMultiPartitionDelay:
+    SCHEDULE = ((1.0, 4.0, ((0, 1),)), (6.0, 9.0, ((0, 2), (1,))))
+
+    def test_message_inside_phase_held_until_heal(self):
+        delay = MultiPartitionDelay(latency=0.1, jitter=0.0, schedule=self.SCHEDULE)
+        # at t=2.0: phase one separates {0,1} from the rest group {2, ...}
+        assert delay.delivery_time(2.0, 0, 2) == pytest.approx(4.0 + 0.1)
+        assert delay.held_messages == 1
+
+    def test_same_group_messages_pass_through_phase(self):
+        delay = MultiPartitionDelay(latency=0.1, jitter=0.0, schedule=self.SCHEDULE)
+        assert delay.delivery_time(2.0, 0, 1) == pytest.approx(2.1)
+        assert delay.held_messages == 0
+
+    def test_later_phase_regroups_processes(self):
+        delay = MultiPartitionDelay(latency=0.1, jitter=0.0, schedule=self.SCHEDULE)
+        # at t=7.0: phase two groups 0 with 2, but separates 1
+        assert delay.delivery_time(7.0, 0, 2) == pytest.approx(7.1)
+        assert delay.delivery_time(7.0, 0, 1) == pytest.approx(9.1)
+
+    def test_heal_can_land_in_a_later_phase_and_be_held_again(self):
+        schedule = ((1.0, 4.0, ((0,),)), (4.05, 9.0, ((0,),)))
+        delay = MultiPartitionDelay(latency=0.1, jitter=0.0, schedule=schedule)
+        # held to 4.0, re-arrives at 4.1 inside phase two, held to 9.0
+        assert delay.delivery_time(2.0, 0, 1) == pytest.approx(9.1)
+        assert delay.held_messages == 2
+
+    def test_messages_outside_all_phases_unaffected(self):
+        delay = MultiPartitionDelay(latency=0.1, jitter=0.0, schedule=self.SCHEDULE)
+        assert delay.delivery_time(10.0, 0, 1) == pytest.approx(10.1)
+        assert delay.extra_stats() == {"held_messages": 0.0}
+
+    def test_rest_group_members_stay_connected(self):
+        delay = MultiPartitionDelay(latency=0.1, jitter=0.0, schedule=self.SCHEDULE)
+        # 2 and 3 are both unnamed by phase one: same implicit rest group
+        assert delay.delivery_time(2.0, 2, 3) == pytest.approx(2.1)
+
+    def test_invalid_schedules_rejected(self):
+        with pytest.raises(ValueError, match="window"):
+            MultiPartitionDelay(schedule=((3.0, 2.0, ((0,),)),))
+        with pytest.raises(ValueError, match="overlap"):
+            MultiPartitionDelay(
+                schedule=((1.0, 5.0, ((0,),)), (4.0, 8.0, ((1,),)))
+            )
+        with pytest.raises(ValueError, match="non-empty"):
+            MultiPartitionDelay(schedule=((1.0, 2.0, ((),)),))
+        with pytest.raises(ValueError, match="disjoint"):
+            MultiPartitionDelay(schedule=((1.0, 2.0, ((0, 1), (1, 2))),))
+
+    def test_phases_sorted_by_start(self):
+        delay = MultiPartitionDelay(
+            jitter=0.0,
+            schedule=((6.0, 9.0, ((0,),)), (1.0, 4.0, ((1,),))),
+        )
+        assert [phase[0] for phase in delay.schedule] == [1.0, 6.0]
+
+
+class TestScenarioBindings:
+    @pytest.mark.parametrize(
+        "model",
+        [AsymmetricNetwork(), MultiPartitionNetwork()],
+        ids=["asymmetric", "multi-partition"],
+    )
+    def test_networks_build_for_both_backends(self, model):
+        network = model.build(Simulator(), seed=1)
+        assert network is not None
+        assert model.delay_model(seed=1) is not None
+        assert "kind" in model.describe()
+
+    @pytest.mark.parametrize("name", ["asymmetric-mesh", "multi-partition"])
+    @pytest.mark.parametrize("seed", [3, 2015])
+    def test_new_network_scenarios_preserve_verdicts_on_both_backends(
+        self, name, seed
+    ):
+        # both conditions deliver every message eventually, so conclusive
+        # verdicts must match the loopback runner on either backend
+        scenario = get_scenario(name)
+        registry = case_study_registry(3)
+        automaton = build_monitor("F(P0.p & P1.p)", atoms=registry.names)
+        computation = random_computation(3, 12, seed=seed)
+        loopback = run_decentralized(computation, automaton, registry)
+        simulated = simulate_monitored_run(
+            computation, automaton, registry, seed=seed, network=scenario.network
+        )
+        streamed = run_streaming(
+            computation, automaton, registry, delay=scenario.network.delay_model(seed)
+        )
+        assert simulated.declared_verdicts == loopback.declared_verdicts
+        assert streamed.declared_verdicts == loopback.declared_verdicts

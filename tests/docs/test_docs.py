@@ -12,12 +12,15 @@ from repro.scenarios import docgen, scenario_names
 REPO_ROOT = Path(__file__).resolve().parents[2]
 DOCS = REPO_ROOT / "docs"
 SCENARIOS_DOC = DOCS / "scenarios.md"
+FAULTS_DOC = DOCS / "faults.md"
 
 #: packages/modules held to the "every public API has a docstring" ratchet
 #: (mirrored by the ruff D100–D104 configuration in pyproject.toml)
 RATCHETED_PATHS = [
     REPO_ROOT / "src" / "repro" / "scenarios",
     REPO_ROOT / "src" / "repro" / "runtime",
+    REPO_ROOT / "src" / "repro" / "faults",
+    REPO_ROOT / "src" / "repro" / "core",
     REPO_ROOT / "src" / "repro" / "experiments" / "engine.py",
 ]
 
@@ -71,6 +74,44 @@ class TestScenariosDoc:
         assert docgen.main([str(plain)]) == 1
 
 
+class TestFaultsDoc:
+    def test_doc_exists_with_markers(self):
+        text = FAULTS_DOC.read_text(encoding="utf-8")
+        assert docgen.FAULTS_BEGIN_MARKER in text
+        assert docgen.FAULTS_END_MARKER in text
+
+    def test_faults_doc_matches_registry(self):
+        """The generated fault catalogue must equal a fresh rendering."""
+        text = FAULTS_DOC.read_text(encoding="utf-8")
+        begin = text.index(docgen.FAULTS_BEGIN_MARKER)
+        end = text.index(docgen.FAULTS_END_MARKER) + len(docgen.FAULTS_END_MARKER)
+        assert text[begin:end] == docgen.render_fault_catalogue(), (
+            "docs/faults.md is out of date; regenerate it with "
+            "`PYTHONPATH=src python -m repro.scenarios.docgen docs/faults.md`"
+        )
+
+    def test_every_fault_scenario_documented(self):
+        from repro.scenarios import list_scenarios
+
+        text = FAULTS_DOC.read_text(encoding="utf-8")
+        fault_scenarios = [s for s in list_scenarios() if s.faults is not None]
+        assert len(fault_scenarios) >= 4
+        for scenario in fault_scenarios:
+            assert f"### `{scenario.name}`" in text
+
+    def test_docgen_refreshes_fault_markers(self, tmp_path):
+        copy = tmp_path / "faults.md"
+        copy.write_text(
+            "# header\n\n"
+            f"{docgen.FAULTS_BEGIN_MARKER}\nstale\n{docgen.FAULTS_END_MARKER}\n",
+            encoding="utf-8",
+        )
+        assert docgen.main([str(copy)]) == 0
+        updated = copy.read_text(encoding="utf-8")
+        assert "stale" not in updated
+        assert docgen.render_fault_catalogue() in updated
+
+
 class TestDocsLinks:
     def test_all_relative_links_resolve(self):
         result = subprocess.run(
@@ -87,7 +128,7 @@ class TestDocsLinks:
         assert result.returncode == 0, result.stdout + result.stderr
 
     def test_required_documents_exist(self):
-        for name in ("architecture.md", "scenarios.md", "benchmarks.md"):
+        for name in ("architecture.md", "scenarios.md", "benchmarks.md", "faults.md"):
             assert (DOCS / name).exists(), f"docs/{name} is missing"
 
     def test_readme_links_architecture_doc(self):

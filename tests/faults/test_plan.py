@@ -1,0 +1,173 @@
+"""Tests for the declarative fault-plan layer: specs, plans, the grammar."""
+
+import json
+
+import pytest
+
+from repro.faults import (
+    RECOVERY_POLICIES,
+    RECOVERY_REJOIN,
+    RECOVERY_REPLAY,
+    CrashSpec,
+    FaultPlan,
+    FaultStats,
+    format_fault_plan,
+    parse_fault_plan,
+)
+
+
+class TestCrashSpec:
+    def test_defaults(self):
+        spec = CrashSpec(process=1, after_events=4)
+        assert spec.down_events == 1
+        assert spec.recovery == RECOVERY_REPLAY
+
+    def test_negative_process_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            CrashSpec(process=-1, after_events=1)
+
+    def test_crash_before_first_event_rejected(self):
+        with pytest.raises(ValueError, match="after_events"):
+            CrashSpec(process=0, after_events=0)
+
+    def test_negative_downtime_rejected(self):
+        with pytest.raises(ValueError, match="down_events"):
+            CrashSpec(process=0, after_events=1, down_events=-1)
+
+    def test_unknown_recovery_rejected(self):
+        with pytest.raises(ValueError, match="recovery policy"):
+            CrashSpec(process=0, after_events=1, recovery="pray")
+
+    def test_known_recovery_policies(self):
+        assert RECOVERY_POLICIES == (RECOVERY_REPLAY, RECOVERY_REJOIN)
+        for recovery in RECOVERY_POLICIES:
+            CrashSpec(process=0, after_events=1, recovery=recovery)
+
+    def test_describe_is_json_serialisable(self):
+        spec = CrashSpec(process=2, after_events=5, down_events=3, recovery="rejoin")
+        description = json.loads(json.dumps(spec.describe()))
+        assert description == {
+            "process": 2,
+            "after_events": 5,
+            "down_events": 3,
+            "recovery": "rejoin",
+        }
+
+
+class TestFaultPlan:
+    def test_empty_plan_is_noop(self):
+        assert FaultPlan().is_noop(3)
+        assert FaultPlan().specs_for(0) == ()
+
+    def test_out_of_range_specs_make_plan_noop(self):
+        plan = FaultPlan((CrashSpec(process=7, after_events=2),))
+        assert plan.is_noop(3)
+        assert not plan.is_noop(8)
+
+    def test_specs_ordered_by_process_then_trigger(self):
+        plan = FaultPlan(
+            (
+                CrashSpec(process=1, after_events=9),
+                CrashSpec(process=0, after_events=4),
+                CrashSpec(process=1, after_events=2),
+            )
+        )
+        assert [(s.process, s.after_events) for s in plan.crashes] == [
+            (0, 4),
+            (1, 2),
+            (1, 9),
+        ]
+
+    def test_specs_for_filters_by_process(self):
+        plan = FaultPlan(
+            (CrashSpec(process=0, after_events=2), CrashSpec(process=1, after_events=3))
+        )
+        assert [s.process for s in plan.specs_for(1)] == [1]
+
+    def test_overlapping_cycles_rejected(self):
+        # the first cycle is still down (2 + 3 >= 4) when the second triggers
+        with pytest.raises(ValueError, match="overlapping"):
+            FaultPlan(
+                (
+                    CrashSpec(process=0, after_events=2, down_events=3),
+                    CrashSpec(process=0, after_events=4),
+                )
+            )
+
+    def test_back_to_back_cycles_allowed(self):
+        plan = FaultPlan(
+            (
+                CrashSpec(process=0, after_events=2, down_events=1),
+                CrashSpec(process=0, after_events=4),
+            )
+        )
+        assert len(plan.crashes) == 2
+
+    def test_overlap_on_different_processes_allowed(self):
+        plan = FaultPlan(
+            (
+                CrashSpec(process=0, after_events=2, down_events=5),
+                CrashSpec(process=1, after_events=3),
+            )
+        )
+        assert len(plan.crashes) == 2
+
+    def test_describe_is_json_serialisable(self):
+        plan = FaultPlan((CrashSpec(process=0, after_events=1),))
+        description = json.loads(json.dumps(plan.describe()))
+        assert description["crashes"][0]["process"] == 0
+
+
+class TestGrammar:
+    def test_parse_minimal_spec(self):
+        plan = parse_fault_plan("1@4")
+        assert plan.crashes == (CrashSpec(process=1, after_events=4),)
+
+    def test_parse_full_spec(self):
+        plan = parse_fault_plan("0@2+3:rejoin")
+        assert plan.crashes == (
+            CrashSpec(process=0, after_events=2, down_events=3, recovery="rejoin"),
+        )
+
+    def test_parse_multiple_specs_with_whitespace(self):
+        plan = parse_fault_plan(" 1@4:replay , 0@2+3:rejoin ,")
+        assert len(plan.crashes) == 2
+
+    def test_parse_empty_text_gives_empty_plan(self):
+        assert parse_fault_plan("") == FaultPlan()
+
+    @pytest.mark.parametrize("text", ["nonsense", "1@", "@3", "a@b", "1@2+x"])
+    def test_invalid_specs_rejected(self, text):
+        with pytest.raises(ValueError, match="invalid fault spec"):
+            parse_fault_plan(text)
+
+    def test_invalid_recovery_surfaces_policy_error(self):
+        with pytest.raises(ValueError, match="recovery policy"):
+            parse_fault_plan("1@2:pray")
+
+    def test_format_parse_roundtrip(self):
+        plan = FaultPlan(
+            (
+                CrashSpec(process=0, after_events=2, down_events=3, recovery="rejoin"),
+                CrashSpec(process=2, after_events=5),
+            )
+        )
+        assert parse_fault_plan(format_fault_plan(plan)) == plan
+
+    def test_format_empty_plan(self):
+        assert format_fault_plan(FaultPlan()) == ""
+
+
+class TestFaultStats:
+    def test_as_dict_exposes_fault_prefixed_floats(self):
+        stats = FaultStats(crashes=2, restarts=2, held_messages=5)
+        row = stats.as_dict()
+        assert row["fault_crashes"] == 2.0
+        assert row["fault_restarts"] == 2.0
+        assert row["fault_held_messages"] == 5.0
+        assert all(key.startswith("fault") for key in row)
+        assert all(isinstance(value, float) for value in row.values())
+
+    def test_extra_counters_merged(self):
+        stats = FaultStats(extra={"fault_custom": 1.0})
+        assert stats.as_dict()["fault_custom"] == 1.0

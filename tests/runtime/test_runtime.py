@@ -170,6 +170,166 @@ class TestStreamTransport:
         assert [m for _, m in sinks[0].received] == [-i for i in range(20)]
 
 
+class TestTcpMidFrameDisconnect:
+    """A peer dying mid-frame must surface a precise diagnostic.
+
+    Regression: a disconnect inside a length-prefixed frame used to surface
+    as a raw ``EOFError`` (or a bogus quiescence timeout) instead of naming
+    the truncated frame.  The reader now records a ``ConnectionError`` as
+    ``transport.fatal_error`` and ``wait_quiescent`` re-raises it.
+    """
+
+    @staticmethod
+    async def _transport_with_sink():
+        transport = TcpStreamTransport()
+        sink = _EchoNode(0, transport)
+        transport.register(0, sink)
+        await transport.start()
+        return transport, sink
+
+    @staticmethod
+    async def _wait_for_fatal(transport, timeout=5.0):
+        deadline = asyncio.get_running_loop().time() + timeout
+        while transport.fatal_error is None:
+            if asyncio.get_running_loop().time() > deadline:
+                raise AssertionError("fatal_error was never recorded")
+            await asyncio.sleep(0.005)
+
+    def test_truncated_length_prefix_reported(self):
+        async def main():
+            transport, _ = await self._transport_with_sink()
+            try:
+                _, writer = await asyncio.open_connection("127.0.0.1", transport.ports[0])
+                writer.write(b"\x00\x00")  # 2 of the 4 length-prefix bytes
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+                await self._wait_for_fatal(transport)
+                with pytest.raises(ConnectionError, match="mid-frame.*length-prefix"):
+                    await transport.wait_quiescent(timeout=5.0)
+            finally:
+                await transport.aclose()
+
+        asyncio.run(asyncio.wait_for(main(), timeout=15.0))
+
+    def test_truncated_payload_reported(self):
+        async def main():
+            transport, _ = await self._transport_with_sink()
+            try:
+                _, writer = await asyncio.open_connection("127.0.0.1", transport.ports[0])
+                # a full header announcing 100 payload bytes, then only 10
+                import struct
+
+                writer.write(struct.pack(">I", 100) + b"x" * 10)
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+                await self._wait_for_fatal(transport)
+                with pytest.raises(
+                    ConnectionError, match="10 of 100 payload bytes"
+                ):
+                    await transport.wait_quiescent(timeout=5.0)
+            finally:
+                await transport.aclose()
+
+        asyncio.run(asyncio.wait_for(main(), timeout=15.0))
+
+    def test_reset_after_header_reported_as_mid_frame(self):
+        async def main():
+            transport, _ = await self._transport_with_sink()
+            try:
+                import socket
+                import struct
+
+                _, writer = await asyncio.open_connection("127.0.0.1", transport.ports[0])
+                writer.write(struct.pack(">I", 100))  # header only, then RST
+                await writer.drain()
+                await asyncio.sleep(0.05)  # let the server consume the header
+                sock = writer.get_extra_info("socket")
+                sock.setsockopt(
+                    socket.SOL_SOCKET,
+                    socket.SO_LINGER,
+                    struct.pack("ii", 1, 0),  # linger=0: close sends RST
+                )
+                writer.close()
+                await self._wait_for_fatal(transport)
+                with pytest.raises(ConnectionError, match="reset the connection mid-frame"):
+                    await transport.wait_quiescent(timeout=5.0)
+            finally:
+                await transport.aclose()
+
+        asyncio.run(asyncio.wait_for(main(), timeout=15.0))
+
+    def test_undecodable_frame_reported(self):
+        async def main():
+            transport, _ = await self._transport_with_sink()
+            try:
+                _, writer = await asyncio.open_connection("127.0.0.1", transport.ports[0])
+                import struct
+
+                garbage = b"not a pickle"
+                writer.write(struct.pack(">I", len(garbage)) + garbage)
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+                await self._wait_for_fatal(transport)
+                import pickle
+
+                with pytest.raises(pickle.UnpicklingError):
+                    await transport.wait_quiescent(timeout=5.0)
+            finally:
+                await transport.aclose()
+
+        asyncio.run(asyncio.wait_for(main(), timeout=15.0))
+
+    def test_clean_close_between_frames_is_not_an_error(self):
+        class _Recorder:
+            """Node double that records without acking: the injected frame
+            was never transport-tracked, so acking it would drive the
+            in-flight counter negative."""
+
+            process = 0
+            pending_items = 0
+            received = []
+
+            def enqueue_message(self, due, message):
+                self.received.append((due, message))
+
+            def failure(self):
+                return None
+
+        async def main():
+            transport = TcpStreamTransport()
+            sink = _Recorder()
+            sink.received = []
+            transport.register(0, sink)
+            await transport.start()
+            try:
+                import pickle
+                import struct
+
+                _, writer = await asyncio.open_connection("127.0.0.1", transport.ports[0])
+                payload = pickle.dumps((0.0, "hello"))
+                writer.write(struct.pack(">I", len(payload)) + payload)
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+                deadline = asyncio.get_running_loop().time() + 5.0
+                while not sink.received:
+                    assert asyncio.get_running_loop().time() < deadline
+                    await asyncio.sleep(0.005)
+                # an out-of-band frame is not transport-tracked in-flight
+                # work, so quiescence must hold and no error may be recorded
+                await transport.wait_quiescent(timeout=5.0)
+                assert transport.fatal_error is None
+                return sink.received
+            finally:
+                await transport.aclose()
+
+        received = asyncio.run(asyncio.wait_for(main(), timeout=15.0))
+        assert [message for _, message in received] == ["hello"]
+
+
 class TestRuntimeClock:
     def test_negative_time_scale_rejected(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,160 @@
+"""Run every registered scenario on every backend; emit one combined BENCH doc.
+
+The nightly CI job (``full-matrix`` in ``.github/workflows/ci.yml``) calls
+this tool at smoke scale::
+
+    PYTHONPATH=src python tools/run_full_matrix.py --out BENCH_full_matrix.json
+
+It executes the full (scenario × backend) matrix — every name in the
+scenario registry, on both the discrete-event simulator and the asyncio
+streaming runtime — and writes a single ``repro-bench/1`` document whose
+timings are tagged ``group: "full-matrix"`` with their scenario, backend and
+row count, plus the ``describe()`` metadata of every scenario exercised
+(including fault models).  The PR-path smoke job intentionally does *not*
+run this; it stays fast while the nightly sweep covers the whole catalogue.
+
+``--scenarios`` / ``--properties`` narrow the matrix (used by the smoke test
+of this tool itself); the scale flags mirror the experiment CLI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from collections.abc import Sequence
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.experiments import BACKENDS, ExperimentScale, run_scenario  # noqa: E402
+from repro.experiments.benchjson import write_bench_json  # noqa: E402
+from repro.scenarios import SweepGrid, get_scenario, scenario_names  # noqa: E402
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The command-line interface of the full-matrix runner."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default="BENCH_full_matrix.json",
+        help="path of the combined repro-bench/1 document (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="scenario subset to run (default: every registered scenario)",
+    )
+    parser.add_argument(
+        "--backends",
+        nargs="+",
+        default=list(BACKENDS),
+        choices=list(BACKENDS),
+        help="backend subset to run (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--properties",
+        nargs="+",
+        default=None,
+        metavar="P",
+        help="override every scenario's property axis (smoke runs use one)",
+    )
+    parser.add_argument(
+        "--processes", type=int, nargs="+", default=[2, 3],
+        help="process counts to sweep (default: 2 3)",
+    )
+    parser.add_argument(
+        "--events", type=int, default=3, help="internal events per process"
+    )
+    parser.add_argument(
+        "--replications", type=int, default=1, help="replications per point"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, help="sweep-sharding worker processes"
+    )
+    return parser
+
+
+def run_matrix(
+    names: Sequence[str],
+    backends: Sequence[str],
+    scale: ExperimentScale,
+    grid: SweepGrid | None,
+) -> dict[str, dict[str, object]]:
+    """Execute the (scenario × backend) matrix and collect tagged timings."""
+    timings: dict[str, dict[str, object]] = {}
+    for name in names:
+        scenario = get_scenario(name)  # fail fast on unknown names
+        for backend in backends:
+            label = f"matrix_{name}_{backend}"
+            print(f"[full-matrix] {name} on {backend} ...", flush=True)
+            start = time.perf_counter()
+            rows = run_scenario(scenario, scale, grid=grid, backend=backend)
+            timings[label] = {
+                "seconds": time.perf_counter() - start,
+                "group": "full-matrix",
+                "scenario": name,
+                "backend": backend,
+                "rows": len(rows),
+            }
+    return timings
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the matrix and write the combined document."""
+    args = build_parser().parse_args(argv)
+    names: Sequence[str] = args.scenarios or scenario_names()
+    scale = ExperimentScale(
+        process_counts=tuple(args.processes),
+        events_per_process=args.events,
+        replications=args.replications,
+        max_views_per_state=2,
+        workers=args.workers,
+    )
+    grid = SweepGrid(properties=tuple(args.properties)) if args.properties else None
+    try:
+        timings = run_matrix(names, args.backends, scale, grid)
+        scenarios = {name: get_scenario(name).describe() for name in names}
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    write_bench_json(args.out, timings, scale, scenarios=scenarios)
+    cells = len(timings)
+    total = sum(float(t["seconds"]) for t in timings.values())
+    print(f"wrote {args.out}: {cells} matrix cells, {total:.1f}s total")
+    write_job_summary(timings)
+    return 0
+
+
+def write_job_summary(timings: dict[str, dict[str, object]]) -> None:
+    """Append the per-cell matrix table to the GitHub job summary, if any."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    lines = [
+        "### Nightly full matrix",
+        "",
+        f"{len(timings)} (scenario × backend) cells",
+        "",
+        "| scenario | backend | seconds | rows |",
+        "| --- | --- | ---: | ---: |",
+    ]
+    for name in sorted(timings):
+        record = timings[name]
+        lines.append(
+            f"| {record['scenario']} | {record['backend']} "
+            f"| {float(record['seconds']):.2f} | {record['rows']} |"
+        )
+    try:
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+    except OSError as error:  # pragma: no cover - runner-environment failure
+        # the matrix ran and the document is written; never fail the job
+        # (and skip the artifact upload) over an unwritable summary file
+        print(f"cannot write job summary: {error}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
