@@ -1,0 +1,125 @@
+"""Benchmarks for the wire protocol v2 codec hot paths.
+
+Every monitoring message of the asyncio and cluster backends crosses
+:func:`repro.cluster.codec.encode_wire` / :func:`decode_wire`, so their
+throughput bounds the streaming runtimes the same way the kernel hot paths
+bound the simulator.  Two timings land in the ``BENCH_*.json`` document:
+
+* ``codec_encode`` — framing a batch of representative tokens (multi-entry,
+  with scan history) and termination notices.
+* ``codec_decode`` — splitting and decoding the same batch of frames back
+  into messages.
+
+The batch is deterministic, so the byte volume reported next to the timing
+is comparable across runs.
+"""
+
+import time
+
+import pytest
+
+from conftest import record_timing
+from repro.cluster import codec
+from repro.core.messages import TerminationNotice, Token, TokenEntry
+
+#: messages framed/parsed per benchmark round
+BATCH_MESSAGES = 2000
+
+
+def _representative_token(seed: int) -> Token:
+    """One three-process token with two in-flight entries and scan history."""
+    n = 3
+    entry = TokenEntry(
+        transition_id=seed % 7,
+        guard={"P0.p": True, "P1.q": False},
+        conjuncts=[{"P0.p": True}, {"P1.q": False}, {}],
+        start_cut=[seed % 5, 0, 1],
+        cut=[seed % 5 + 1, 2, 1],
+        depend=[seed % 5 + 1, 2, 2],
+        min_positions=[0, 0, 0],
+        satisfied=[True, False, False],
+        letters={0: frozenset({"P0.p"}), 1: frozenset({"P1.q", "P1.p"})},
+        scanned_letters={1: {2: frozenset({"P1.q"}), 3: frozenset()}},
+        scanned_vcs={1: {2: (1, 2, 0), 3: (1, 3, 0)}},
+        eval=None,
+        parked_on=2,
+        waiting_for={2},
+    )
+    repair = TokenEntry(
+        transition_id=None,
+        guard={},
+        conjuncts=[{} for _ in range(n)],
+        start_cut=[0, 0, 0],
+        cut=[1, 1, 1],
+        depend=[1, 1, 1],
+        min_positions=[1, 1, 1],
+        satisfied=[True, True, True],
+        eval=True,
+    )
+    return Token(
+        parent_process=seed % n,
+        parent_view=seed % 11,
+        parent_event_sn=seed % 13,
+        entries=[entry, repair],
+        token_id=seed + 1,
+        hops=seed % 4,
+    )
+
+
+def _message_batch() -> list[tuple[float, object]]:
+    """The deterministic batch both benchmarks work through."""
+    batch = []
+    for i in range(BATCH_MESSAGES):
+        if i % 10 == 9:
+            message = TerminationNotice(process=i % 3, final_event_sn=i % 17)
+        else:
+            message = _representative_token(i)
+        batch.append((float(i) * 0.25, message))
+    return batch
+
+
+@pytest.mark.benchmark(group="codec")
+def test_codec_encode_hot_path(benchmark):
+    batch = _message_batch()
+
+    def encode_all():
+        return [codec.encode_wire(due, message) for due, message in batch]
+
+    start = time.perf_counter()
+    frames = benchmark.pedantic(encode_all, rounds=1, iterations=1)
+    elapsed = time.perf_counter() - start
+    wire_bytes = sum(len(frame) for frame in frames)
+    record_timing(
+        "codec_encode",
+        elapsed,
+        group="codec",
+        replaces="test_codec_encode_hot_path",
+        messages=len(frames),
+        wire_bytes=wire_bytes,
+    )
+    assert len(frames) == BATCH_MESSAGES
+    assert all(frame.startswith(codec.MAGIC) for frame in frames)
+
+
+@pytest.mark.benchmark(group="codec")
+def test_codec_decode_hot_path(benchmark):
+    batch = _message_batch()
+    frames = [codec.encode_wire(due, message) for due, message in batch]
+
+    def decode_all():
+        return [
+            codec.decode_wire(*codec.split_frame(frame)) for frame in frames
+        ]
+
+    start = time.perf_counter()
+    decoded = benchmark.pedantic(decode_all, rounds=1, iterations=1)
+    elapsed = time.perf_counter() - start
+    record_timing(
+        "codec_decode",
+        elapsed,
+        group="codec",
+        replaces="test_codec_decode_hot_path",
+        messages=len(decoded),
+        wire_bytes=sum(len(frame) for frame in frames),
+    )
+    assert decoded == batch  # byte-stable round-trip of the whole batch

@@ -22,7 +22,8 @@ import time
 import pytest
 
 from conftest import BENCH_SCALE, record_timing
-from repro.experiments import format_table, run_scenario
+from repro.api import run_scenario
+from repro.experiments import format_table
 
 #: restrict the bench sweeps to two properties so the whole file stays
 #: well under the CI smoke budget while still crossing automaton shapes

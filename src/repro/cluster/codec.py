@@ -1,0 +1,636 @@
+"""Wire protocol v2: the versioned binary codec of the cluster runtime.
+
+Protocol v1 — the original streaming transport — framed messages as a bare
+4-byte length prefix followed by a pickled payload.  Pickle on a network
+socket is both a serialization hot path and a security liability (a
+malicious peer gains arbitrary code execution), so v2 replaces it with an
+explicit binary format shared by every runtime wire path: the loopback TCP
+transport of :mod:`repro.runtime.transport`, the worker-to-worker links of
+the cluster runtime, and the coordinator's control channel.
+
+Frame layout (network byte order)::
+
+    offset  size  field
+    0       2     magic   b"RW"           (Repro Wire)
+    2       1     version 0x02            (this module speaks exactly one)
+    3       1     type    message type tag (see the ``TYPE_*`` constants)
+    4       4     length  payload size in bytes, big-endian unsigned
+    8       n     payload type-specific binary body
+
+Monitoring frames (:data:`TYPE_TOKEN`, :data:`TYPE_TERMINATION`,
+:data:`TYPE_VALUE`) carry a *delivery instant* — the virtual-time ``due``
+the sending transport computed — as a leading float64, followed by the
+message body.  Control frames (:data:`TYPE_CONTROL`) carry one string-keyed
+mapping encoded with the same primitive layer; the coordinator/worker
+handshake travels in them.
+
+Every message type of :mod:`repro.core.messages` has a dedicated encoder
+that writes dataclass fields in a fixed order with canonicalised container
+order (map keys and set elements sorted), so encoding is **byte-stable**:
+``encode(decode(encode(m))) == encode(m)``, which the codec property tests
+enforce.  Primitive values use a compact tagged layout: variable-length
+integers (LEB128, zigzag for signed), length-prefixed UTF-8 strings,
+float64, one-byte booleans.
+
+Version policy
+--------------
+The version byte identifies the frame layout *and* the payload encoders as
+one unit; there is no in-band downgrade.  A decoder that sees a version it
+does not speak raises :class:`ProtocolVersionError` naming both versions, so
+a mixed-version cluster fails fast at the handshake with an actionable
+diagnostic instead of corrupting a run.  Bumping the protocol means bumping
+:data:`PROTOCOL_VERSION` and teaching the decoder both layouts for one
+release.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO
+
+from ..core.messages import TerminationNotice, Token, TokenEntry
+
+__all__ = [
+    "MAGIC",
+    "PROTOCOL_VERSION",
+    "HEADER",
+    "TYPE_TOKEN",
+    "TYPE_TERMINATION",
+    "TYPE_VALUE",
+    "TYPE_CONTROL",
+    "CodecError",
+    "CorruptFrameError",
+    "ProtocolVersionError",
+    "encode_message",
+    "decode_message",
+    "encode_wire",
+    "decode_wire",
+    "encode_control",
+    "decode_control",
+    "decode_header",
+    "split_frame",
+]
+
+#: the two magic bytes opening every v2 frame
+MAGIC = b"RW"
+#: the wire protocol version this codec speaks (exactly one)
+PROTOCOL_VERSION = 2
+
+#: frame header: magic (2s) + version (B) + type (B) + payload length (I)
+HEADER = struct.Struct(">2sBBI")
+
+#: a :class:`repro.core.messages.Token` with its delivery instant
+TYPE_TOKEN = 0x01
+#: a :class:`repro.core.messages.TerminationNotice` with its delivery instant
+TYPE_TERMINATION = 0x02
+#: an arbitrary primitive value with its delivery instant (tests, probes)
+TYPE_VALUE = 0x03
+#: a string-keyed control mapping (coordinator/worker handshake)
+TYPE_CONTROL = 0x10
+
+_FLOAT64 = struct.Struct(">d")
+
+
+class CodecError(ValueError):
+    """Base class for every wire-codec failure."""
+
+
+class CorruptFrameError(CodecError):
+    """A frame that is structurally invalid (bad magic, type, or payload)."""
+
+
+class ProtocolVersionError(CodecError):
+    """A frame whose wire protocol version this codec does not speak."""
+
+    def __init__(self, peer_version: int) -> None:
+        self.peer_version = peer_version
+        super().__init__(
+            f"peer speaks wire protocol version {peer_version}, this node "
+            f"speaks only version {PROTOCOL_VERSION}; run matching releases "
+            f"on every cluster node (pickled v1 frames are not accepted)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# primitive layer: varints, strings, floats, tagged values
+# ---------------------------------------------------------------------------
+def _w_uvarint(out: bytearray, value: int) -> None:
+    """Append *value* (non-negative) as a LEB128 varint."""
+    if value < 0:
+        raise CodecError(f"uvarint cannot encode negative value {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _r_uvarint(data: bytes, pos: int) -> tuple[int, int]:
+    """Read one LEB128 varint at *pos*; returns ``(value, new_pos)``."""
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise CorruptFrameError("truncated payload: varint runs past the end")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            raise CorruptFrameError("malformed varint: more than 64 bits")
+
+
+def _w_svarint(out: bytearray, value: int) -> None:
+    """Append a signed integer, zigzag-mapped onto a uvarint."""
+    _w_uvarint(out, (value << 1) ^ (value >> 63) if value < 0 else value << 1)
+
+
+def _r_svarint(data: bytes, pos: int) -> tuple[int, int]:
+    """Read one zigzag-encoded signed integer."""
+    raw, pos = _r_uvarint(data, pos)
+    return (raw >> 1) ^ -(raw & 1), pos
+
+
+def _w_str(out: bytearray, value: str) -> None:
+    encoded = value.encode("utf-8")
+    _w_uvarint(out, len(encoded))
+    out += encoded
+
+
+def _r_str(data: bytes, pos: int) -> tuple[str, int]:
+    length, pos = _r_uvarint(data, pos)
+    end = pos + length
+    if end > len(data):
+        raise CorruptFrameError(
+            f"truncated payload: string of {length} bytes runs past the end"
+        )
+    return data[pos:end].decode("utf-8"), end
+
+
+def _w_float(out: bytearray, value: float) -> None:
+    out += _FLOAT64.pack(value)
+
+
+def _r_float(data: bytes, pos: int) -> tuple[float, int]:
+    end = pos + _FLOAT64.size
+    if end > len(data):
+        raise CorruptFrameError("truncated payload: float64 runs past the end")
+    return _FLOAT64.unpack_from(data, pos)[0], end
+
+
+# value tags for the generic tagged encoder (TYPE_VALUE / control payloads)
+_V_NONE, _V_FALSE, _V_TRUE, _V_INT, _V_FLOAT, _V_STR, _V_BYTES = range(7)
+_V_LIST, _V_MAP, _V_SET = 7, 8, 9
+
+
+def _w_value(out: bytearray, value: object) -> None:
+    """Append one tagged primitive value (the generic recursive layer)."""
+    if value is None:
+        out.append(_V_NONE)
+    elif value is False:
+        out.append(_V_FALSE)
+    elif value is True:
+        out.append(_V_TRUE)
+    elif isinstance(value, int):
+        out.append(_V_INT)
+        _w_svarint(out, value)
+    elif isinstance(value, float):
+        out.append(_V_FLOAT)
+        _w_float(out, value)
+    elif isinstance(value, str):
+        out.append(_V_STR)
+        _w_str(out, value)
+    elif isinstance(value, (bytes, bytearray)):
+        out.append(_V_BYTES)
+        _w_uvarint(out, len(value))
+        out += value
+    elif isinstance(value, (list, tuple)):
+        out.append(_V_LIST)
+        _w_uvarint(out, len(value))
+        for item in value:
+            _w_value(out, item)
+    elif isinstance(value, dict):
+        out.append(_V_MAP)
+        _w_uvarint(out, len(value))
+        for key in sorted(value, key=repr):
+            _w_value(out, key)
+            _w_value(out, value[key])
+    elif isinstance(value, (set, frozenset)):
+        out.append(_V_SET)
+        _w_uvarint(out, len(value))
+        for item in sorted(value, key=repr):
+            _w_value(out, item)
+    else:
+        raise CodecError(
+            f"wire protocol v2 cannot encode {type(value).__name__} values"
+        )
+
+
+def _r_value(data: bytes, pos: int) -> tuple[object, int]:
+    """Read one tagged primitive value."""
+    if pos >= len(data):
+        raise CorruptFrameError("truncated payload: value tag runs past the end")
+    tag = data[pos]
+    pos += 1
+    if tag == _V_NONE:
+        return None, pos
+    if tag == _V_FALSE:
+        return False, pos
+    if tag == _V_TRUE:
+        return True, pos
+    if tag == _V_INT:
+        return _r_svarint(data, pos)
+    if tag == _V_FLOAT:
+        return _r_float(data, pos)
+    if tag == _V_STR:
+        return _r_str(data, pos)
+    if tag == _V_BYTES:
+        length, pos = _r_uvarint(data, pos)
+        end = pos + length
+        if end > len(data):
+            raise CorruptFrameError("truncated payload: bytes run past the end")
+        return data[pos:end], end
+    if tag == _V_LIST:
+        length, pos = _r_uvarint(data, pos)
+        items = []
+        for _ in range(length):
+            item, pos = _r_value(data, pos)
+            items.append(item)
+        return items, pos
+    if tag == _V_MAP:
+        length, pos = _r_uvarint(data, pos)
+        mapping = {}
+        for _ in range(length):
+            key, pos = _r_value(data, pos)
+            val, pos = _r_value(data, pos)
+            mapping[key] = val
+        return mapping, pos
+    if tag == _V_SET:
+        length, pos = _r_uvarint(data, pos)
+        items = set()
+        for _ in range(length):
+            item, pos = _r_value(data, pos)
+            items.add(item)
+        return items, pos
+    raise CorruptFrameError(f"unknown value tag 0x{tag:02x} in payload")
+
+
+# ---------------------------------------------------------------------------
+# message-specific encoders: fixed field order, canonical container order
+# ---------------------------------------------------------------------------
+def _w_opt_int(out: bytearray, value: int | None) -> None:
+    if value is None:
+        out.append(0)
+    else:
+        out.append(1)
+        _w_svarint(out, value)
+
+
+def _r_opt_int(data: bytes, pos: int) -> tuple[int | None, int]:
+    if pos >= len(data):
+        raise CorruptFrameError("truncated payload: optional flag missing")
+    flag = data[pos]
+    pos += 1
+    if flag == 0:
+        return None, pos
+    return _r_svarint(data, pos)
+
+
+def _w_bool_map(out: bytearray, mapping) -> None:
+    """A ``str -> bool`` mapping in sorted key order."""
+    _w_uvarint(out, len(mapping))
+    for key in sorted(mapping):
+        _w_str(out, key)
+        out.append(1 if mapping[key] else 0)
+
+
+def _r_bool_map(data: bytes, pos: int) -> tuple[dict[str, bool], int]:
+    length, pos = _r_uvarint(data, pos)
+    mapping: dict[str, bool] = {}
+    for _ in range(length):
+        key, pos = _r_str(data, pos)
+        if pos >= len(data):
+            raise CorruptFrameError("truncated payload: bool map value missing")
+        mapping[key] = bool(data[pos])
+        pos += 1
+    return mapping, pos
+
+
+def _w_int_list(out: bytearray, values) -> None:
+    _w_uvarint(out, len(values))
+    for value in values:
+        _w_svarint(out, value)
+
+
+def _r_int_list(data: bytes, pos: int) -> tuple[list[int], int]:
+    length, pos = _r_uvarint(data, pos)
+    values = []
+    for _ in range(length):
+        value, pos = _r_svarint(data, pos)
+        values.append(value)
+    return values, pos
+
+
+def _w_letter(out: bytearray, letter) -> None:
+    """A letter — ``frozenset[str]`` — in sorted element order."""
+    _w_uvarint(out, len(letter))
+    for name in sorted(letter):
+        _w_str(out, name)
+
+
+def _r_letter(data: bytes, pos: int) -> tuple[frozenset, int]:
+    length, pos = _r_uvarint(data, pos)
+    names = []
+    for _ in range(length):
+        name, pos = _r_str(data, pos)
+        names.append(name)
+    return frozenset(names), pos
+
+
+def _w_entry(out: bytearray, entry: TokenEntry) -> None:
+    """Encode one :class:`TokenEntry`, fields in declaration order."""
+    _w_opt_int(out, entry.transition_id)
+    _w_bool_map(out, entry.guard)
+    _w_uvarint(out, len(entry.conjuncts))
+    for conjunct in entry.conjuncts:
+        _w_bool_map(out, conjunct)
+    _w_int_list(out, entry.start_cut)
+    _w_int_list(out, entry.cut)
+    _w_int_list(out, entry.depend)
+    _w_int_list(out, entry.min_positions)
+    _w_uvarint(out, len(entry.satisfied))
+    for flag in entry.satisfied:
+        out.append(1 if flag else 0)
+    _w_uvarint(out, len(entry.letters))
+    for process in sorted(entry.letters):
+        _w_svarint(out, process)
+        _w_letter(out, entry.letters[process])
+    _w_uvarint(out, len(entry.scanned_letters))
+    for process in sorted(entry.scanned_letters):
+        _w_svarint(out, process)
+        scanned = entry.scanned_letters[process]
+        _w_uvarint(out, len(scanned))
+        for sn in sorted(scanned):
+            _w_svarint(out, sn)
+            _w_letter(out, scanned[sn])
+    _w_uvarint(out, len(entry.scanned_vcs))
+    for process in sorted(entry.scanned_vcs):
+        _w_svarint(out, process)
+        scanned = entry.scanned_vcs[process]
+        _w_uvarint(out, len(scanned))
+        for sn in sorted(scanned):
+            _w_svarint(out, sn)
+            _w_int_list(out, scanned[sn])
+    # eval is tri-state: None / False / True
+    out.append(0 if entry.eval is None else (2 if entry.eval else 1))
+    _w_opt_int(out, entry.parked_on)
+    _w_int_list(out, sorted(entry.waiting_for))
+
+
+def _r_entry(data: bytes, pos: int) -> tuple[TokenEntry, int]:
+    """Decode one :class:`TokenEntry`."""
+    transition_id, pos = _r_opt_int(data, pos)
+    guard, pos = _r_bool_map(data, pos)
+    count, pos = _r_uvarint(data, pos)
+    conjuncts = []
+    for _ in range(count):
+        conjunct, pos = _r_bool_map(data, pos)
+        conjuncts.append(conjunct)
+    start_cut, pos = _r_int_list(data, pos)
+    cut, pos = _r_int_list(data, pos)
+    depend, pos = _r_int_list(data, pos)
+    min_positions, pos = _r_int_list(data, pos)
+    count, pos = _r_uvarint(data, pos)
+    if pos + count > len(data):
+        raise CorruptFrameError("truncated payload: satisfied flags run past the end")
+    satisfied = [bool(b) for b in data[pos : pos + count]]
+    pos += count
+    count, pos = _r_uvarint(data, pos)
+    letters = {}
+    for _ in range(count):
+        process, pos = _r_svarint(data, pos)
+        letter, pos = _r_letter(data, pos)
+        letters[process] = letter
+    count, pos = _r_uvarint(data, pos)
+    scanned_letters: dict[int, dict] = {}
+    for _ in range(count):
+        process, pos = _r_svarint(data, pos)
+        inner_count, pos = _r_uvarint(data, pos)
+        inner: dict[int, frozenset] = {}
+        for _ in range(inner_count):
+            sn, pos = _r_svarint(data, pos)
+            letter, pos = _r_letter(data, pos)
+            inner[sn] = letter
+        scanned_letters[process] = inner
+    count, pos = _r_uvarint(data, pos)
+    scanned_vcs: dict[int, dict] = {}
+    for _ in range(count):
+        process, pos = _r_svarint(data, pos)
+        inner_count, pos = _r_uvarint(data, pos)
+        vcs: dict[int, tuple[int, ...]] = {}
+        for _ in range(inner_count):
+            sn, pos = _r_svarint(data, pos)
+            vc, pos = _r_int_list(data, pos)
+            vcs[sn] = tuple(vc)
+        scanned_vcs[process] = vcs
+    if pos >= len(data):
+        raise CorruptFrameError("truncated payload: eval flag missing")
+    eval_tag = data[pos]
+    pos += 1
+    if eval_tag > 2:
+        raise CorruptFrameError(f"invalid eval tag 0x{eval_tag:02x} in token entry")
+    evaluation = None if eval_tag == 0 else eval_tag == 2
+    parked_on, pos = _r_opt_int(data, pos)
+    waiting, pos = _r_int_list(data, pos)
+    entry = TokenEntry(
+        transition_id=transition_id,
+        guard=guard,
+        conjuncts=conjuncts,
+        start_cut=start_cut,
+        cut=cut,
+        depend=depend,
+        min_positions=min_positions,
+        satisfied=satisfied,
+        letters=letters,
+        scanned_letters=scanned_letters,
+        scanned_vcs=scanned_vcs,
+        eval=evaluation,
+        parked_on=parked_on,
+        waiting_for=set(waiting),
+    )
+    return entry, pos
+
+
+def encode_message(message: object) -> tuple[int, bytes]:
+    """Encode one wire message; returns ``(type_tag, payload_body)``.
+
+    :class:`Token` and :class:`TerminationNotice` use their dedicated binary
+    encoders; any other (primitive) value falls back to the generic tagged
+    layout under :data:`TYPE_VALUE`.
+    """
+    out = bytearray()
+    if isinstance(message, Token):
+        _w_svarint(out, message.parent_process)
+        _w_svarint(out, message.parent_view)
+        _w_svarint(out, message.parent_event_sn)
+        _w_svarint(out, message.token_id)
+        _w_svarint(out, message.hops)
+        _w_uvarint(out, len(message.entries))
+        for entry in message.entries:
+            _w_entry(out, entry)
+        return TYPE_TOKEN, bytes(out)
+    if isinstance(message, TerminationNotice):
+        _w_svarint(out, message.process)
+        _w_svarint(out, message.final_event_sn)
+        return TYPE_TERMINATION, bytes(out)
+    _w_value(out, message)
+    return TYPE_VALUE, bytes(out)
+
+
+def decode_message(type_tag: int, body: bytes) -> object:
+    """Decode one payload body previously produced by :func:`encode_message`."""
+    if type_tag == TYPE_TOKEN:
+        pos = 0
+        parent_process, pos = _r_svarint(body, pos)
+        parent_view, pos = _r_svarint(body, pos)
+        parent_event_sn, pos = _r_svarint(body, pos)
+        token_id, pos = _r_svarint(body, pos)
+        hops, pos = _r_svarint(body, pos)
+        count, pos = _r_uvarint(body, pos)
+        entries = []
+        for _ in range(count):
+            entry, pos = _r_entry(body, pos)
+            entries.append(entry)
+        _check_consumed(body, pos)
+        return Token(
+            parent_process=parent_process,
+            parent_view=parent_view,
+            parent_event_sn=parent_event_sn,
+            entries=entries,
+            token_id=token_id,
+            hops=hops,
+        )
+    if type_tag == TYPE_TERMINATION:
+        pos = 0
+        process, pos = _r_svarint(body, pos)
+        final_event_sn, pos = _r_svarint(body, pos)
+        _check_consumed(body, pos)
+        return TerminationNotice(process=process, final_event_sn=final_event_sn)
+    if type_tag == TYPE_VALUE:
+        value, pos = _r_value(body, 0)
+        _check_consumed(body, pos)
+        return value
+    raise CorruptFrameError(f"unknown message type 0x{type_tag:02x}")
+
+
+def _check_consumed(body: bytes, pos: int) -> None:
+    if pos != len(body):
+        raise CorruptFrameError(
+            f"corrupt payload: {len(body) - pos} trailing bytes after the message"
+        )
+
+
+# ---------------------------------------------------------------------------
+# frame assembly and splitting
+# ---------------------------------------------------------------------------
+def encode_wire(due: float, message: object) -> bytes:
+    """One complete monitoring frame: header + delivery instant + message."""
+    type_tag, body = encode_message(message)
+    payload = _FLOAT64.pack(due) + body
+    return HEADER.pack(MAGIC, PROTOCOL_VERSION, type_tag, len(payload)) + payload
+
+
+def decode_wire(type_tag: int, payload: bytes) -> tuple[float, object]:
+    """Decode a monitoring frame payload into ``(due, message)``."""
+    if len(payload) < _FLOAT64.size:
+        raise CorruptFrameError(
+            f"truncated payload: {len(payload)} bytes cannot hold the "
+            f"delivery instant"
+        )
+    due = _FLOAT64.unpack_from(payload, 0)[0]
+    return due, decode_message(type_tag, payload[_FLOAT64.size :])
+
+
+def encode_control(mapping: dict[str, object]) -> bytes:
+    """One complete control frame carrying a string-keyed mapping."""
+    out = bytearray()
+    _w_value(out, dict(mapping))
+    return HEADER.pack(MAGIC, PROTOCOL_VERSION, TYPE_CONTROL, len(out)) + bytes(out)
+
+
+def decode_control(payload: bytes) -> dict[str, object]:
+    """Decode a control frame payload back into its mapping."""
+    value, pos = _r_value(payload, 0)
+    _check_consumed(payload, pos)
+    if not isinstance(value, dict):
+        raise CorruptFrameError(
+            f"control frame carries {type(value).__name__}, expected a mapping"
+        )
+    return value
+
+
+def decode_header(header: bytes) -> tuple[int, int]:
+    """Validate one 8-byte frame header; returns ``(type_tag, length)``.
+
+    Raises :class:`CorruptFrameError` on a bad magic (including v1 pickled
+    frames, whose length prefix can never start with ``b"RW"``) and
+    :class:`ProtocolVersionError` on a version this codec does not speak.
+    """
+    if len(header) != HEADER.size:
+        raise CorruptFrameError(
+            f"short header: {len(header)} of {HEADER.size} bytes"
+        )
+    magic, version, type_tag, length = HEADER.unpack(header)
+    if magic != MAGIC:
+        raise CorruptFrameError(
+            f"bad frame magic {magic!r}: not a repro wire frame "
+            f"(v1 length-prefixed pickle framing is no longer supported)"
+        )
+    if version != PROTOCOL_VERSION:
+        raise ProtocolVersionError(version)
+    return type_tag, length
+
+
+def split_frame(frame: bytes) -> tuple[int, bytes]:
+    """Split one in-memory frame into ``(type_tag, payload)`` (tests, bench)."""
+    type_tag, length = decode_header(frame[: HEADER.size])
+    payload = frame[HEADER.size :]
+    if len(payload) != length:
+        raise CorruptFrameError(
+            f"frame length mismatch: header announces {length} payload "
+            f"bytes, {len(payload)} present"
+        )
+    return type_tag, payload
+
+
+def write_frame(stream: BinaryIO, due: float, message: object) -> None:
+    """Write one monitoring frame to a blocking binary *stream*."""
+    stream.write(encode_wire(due, message))
+
+
+def read_frame(stream: BinaryIO) -> tuple[float, object] | None:
+    """Read one monitoring frame from a blocking binary *stream*.
+
+    Returns ``None`` on a clean EOF between frames; raises
+    :class:`CorruptFrameError` on truncation inside a frame.
+    """
+    header = stream.read(HEADER.size)
+    if not header:
+        return None
+    if len(header) < HEADER.size:
+        raise CorruptFrameError(
+            f"stream ended mid-frame: {len(header)} of {HEADER.size} "
+            f"header bytes"
+        )
+    type_tag, length = decode_header(header)
+    payload = stream.read(length)
+    if len(payload) < length:
+        raise CorruptFrameError(
+            f"stream ended mid-frame: {len(payload)} of {length} payload bytes"
+        )
+    return decode_wire(type_tag, payload)

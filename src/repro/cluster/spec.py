@@ -1,0 +1,140 @@
+"""Run specs: the JSON document the coordinator distributes to workers.
+
+A cluster run never ships events over the control channel.  Every cell of
+the experiment engine already derives its workload deterministically from
+``(scenario, property, scale, seed)``, so the coordinator serialises just
+those parameters as a :class:`RunSpec` and each worker regenerates the
+*identical* computation locally — the same trick the sharded sweep engine
+plays with its process pool, promoted to independent OS processes.  Fault
+plans travel in the compact ``run --fault-plan`` grammar
+(:func:`repro.faults.format_fault_plan`), so a crash schedule means exactly
+the same thing on every backend and every host.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from ..faults import FaultPlan, format_fault_plan, parse_fault_plan
+
+__all__ = ["RunSpec", "build_cell_inputs"]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything a worker needs to regenerate its share of one cell.
+
+    All fields are JSON-scalar so the document round-trips losslessly; the
+    fault plan is carried as its grammar string (``None`` for fault-free
+    runs).  ``scenario`` is a registered scenario name — workers resolve it
+    through the same registry the coordinator used.
+    """
+
+    scenario: str
+    property_name: str
+    num_processes: int
+    events_per_process: int
+    evt_mu: float
+    evt_sigma: float
+    comm_mu: float | None
+    comm_sigma: float
+    seed: int
+    max_views_per_state: int | None
+    fault_plan: str | None = None
+
+    def to_json(self) -> str:
+        """Serialise the spec as a JSON document."""
+        return json.dumps(asdict(self), indent=2) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> RunSpec:
+        """Parse a spec document written by :meth:`to_json`."""
+        data = json.loads(text)
+        unknown = set(data) - {field for field in cls.__dataclass_fields__}
+        if unknown:
+            raise ValueError(f"run spec has unknown fields: {sorted(unknown)}")
+        return cls(**data)
+
+    def save(self, path: str | Path) -> Path:
+        """Write the spec document to *path*."""
+        path = Path(path)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> RunSpec:
+        """Load a spec document from *path*."""
+        return cls.from_json(Path(path).read_text())
+
+    def faults(self) -> FaultPlan | None:
+        """The fault plan the spec carries, parsed back from its grammar."""
+        if self.fault_plan is None:
+            return None
+        return parse_fault_plan(self.fault_plan)
+
+
+def spec_for_cell(
+    scenario_name: str,
+    property_name: str,
+    num_processes: int,
+    events_per_process: int,
+    evt_mu: float,
+    evt_sigma: float,
+    comm_mu: float | None,
+    comm_sigma: float,
+    seed: int,
+    max_views_per_state: int | None,
+    fault_plan: FaultPlan | None,
+) -> RunSpec:
+    """Build the spec of one sweep cell from its resolved parameters."""
+    serialised = None
+    if fault_plan is not None and not fault_plan.is_noop(num_processes):
+        serialised = format_fault_plan(fault_plan)
+    return RunSpec(
+        scenario=scenario_name,
+        property_name=property_name,
+        num_processes=num_processes,
+        events_per_process=events_per_process,
+        evt_mu=evt_mu,
+        evt_sigma=evt_sigma,
+        comm_mu=comm_mu,
+        comm_sigma=comm_sigma,
+        seed=seed,
+        max_views_per_state=max_views_per_state,
+        fault_plan=serialised,
+    )
+
+
+def build_cell_inputs(spec: RunSpec):
+    """Regenerate the computation and monitor inputs a spec describes.
+
+    Returns ``(computation, automaton, registry)`` — byte-identical on
+    every worker and on the coordinator, because everything is a pure
+    function of the spec.  Imported lazily from the experiments package to
+    keep :mod:`repro.cluster` importable from the runtime transport without
+    a cycle.
+    """
+    from ..experiments.engine import trace_design
+    from ..experiments.properties import case_study_monitor, case_study_registry
+    from ..scenarios import get_scenario
+    from ..sim.workload import generate_computation
+
+    scenario = get_scenario(spec.scenario)
+    initial_valuation, truth_probability = trace_design(spec.property_name)
+    config = scenario.workload.build_config(
+        num_processes=spec.num_processes,
+        events_per_process=spec.events_per_process,
+        evt_mu=spec.evt_mu,
+        evt_sigma=spec.evt_sigma,
+        comm_mu=spec.comm_mu,
+        comm_sigma=spec.comm_sigma,
+        truth_probability=truth_probability,
+        initial_valuation=dict(initial_valuation),
+        seed=spec.seed,
+    )
+    computation = generate_computation(config)
+    registry = case_study_registry(spec.num_processes)
+    automaton = case_study_monitor(spec.property_name, spec.num_processes)
+    return computation, automaton, registry

@@ -6,13 +6,18 @@ Public API
   :func:`case_study_registry` — properties A–F of Section 5.1.
 * ``run_table_5_1`` … ``run_fig_5_9`` — one function per table/figure, each
   a thin scenario+grid declaration.
-* :func:`run_scenario` / :func:`execute_sweep` — the generic sharded engine
-  executing any :class:`repro.scenarios.Scenario`.
 * :class:`ExperimentScale` — workload size knobs.
 * :func:`format_table` — plain-text rendering of result rows.
+
+The engine entry points previously re-exported here (``run_scenario``,
+``execute_sweep``, ``execute_points``, ``BACKENDS``) moved to the curated
+:mod:`repro.api` surface; importing them from this package still works for
+one release but emits a :class:`DeprecationWarning` (PEP 562 shim below).
 """
 
-from .engine import BACKENDS, execute_points, execute_sweep, run_scenario, trace_design
+import warnings
+from importlib import import_module
+
 from .harness import (
     DEFAULT_SCALE,
     ExperimentScale,
@@ -32,6 +37,16 @@ from .properties import (
     case_study_monitor,
     case_study_registry,
     property_formula,
+)
+
+#: engine names kept importable from this package behind a deprecation shim;
+#: the supported spellings live in :mod:`repro.api`
+_DEPRECATED_ENGINE_NAMES = (
+    "BACKENDS",
+    "run_scenario",
+    "execute_sweep",
+    "execute_points",
+    "trace_design",
 )
 
 __all__ = [
@@ -57,3 +72,26 @@ __all__ = [
     "case_study_registry",
     "property_formula",
 ]
+
+
+def __getattr__(name: str) -> object:
+    """Resolve deprecated engine re-exports with a :class:`DeprecationWarning`.
+
+    The names keep working (they resolve to the same objects in
+    :mod:`repro.experiments.engine`) so existing scripts run unchanged,
+    but each access points callers at the stable :mod:`repro.api` home.
+    """
+    if name in _DEPRECATED_ENGINE_NAMES:
+        home = (
+            f"repro.api.{name}"
+            if name in ("BACKENDS", "run_scenario")
+            else f"repro.experiments.engine.{name}"
+        )
+        warnings.warn(
+            f"importing {name!r} from repro.experiments is deprecated; "
+            f"use {home}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(import_module(".engine", __name__), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

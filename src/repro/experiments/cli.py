@@ -7,8 +7,11 @@ Usage (after installing the package)::
     python -m repro.experiments.cli fig5.4 --processes 2 3 4 --events 6
     python -m repro.experiments.cli fig5.9
     python -m repro.experiments.cli list-scenarios
+    python -m repro.experiments.cli list-scenarios --format json
     python -m repro.experiments.cli run --scenario lossy-retransmit --workers 4
     python -m repro.experiments.cli run --scenario paper-default --backend asyncio
+    python -m repro.experiments.cli run --scenario paper-default --backend cluster
+    python -m repro.experiments.cli run --backend cluster --manifest cluster.toml
     python -m repro.experiments.cli run --scenario crash-restart-rejoin
     python -m repro.experiments.cli run --scenario paper-default --fault-plan 1@3+2:rejoin
     python -m repro.experiments.cli bench --json BENCH_local.json
@@ -19,13 +22,18 @@ table; the heavier sweeps accept ``--processes``, ``--events``,
 ``--replications`` and ``--workers`` to control the workload scale (with
 ``--workers`` the engine shards the full sweep-point × replication product
 across a process pool).  ``list-scenarios`` shows the registered scenario
-catalogue (with each scenario's fault condition and recovery policy) and
-``run --scenario NAME`` executes one of them —
-``--backend {sim,asyncio}`` selects the discrete-event simulator (default)
-or the asyncio streaming runtime (monitors as concurrent tasks; add
-``--stream-transport tcp`` for real loopback sockets), and
-``--fault-plan SPEC`` injects monitor crash/restart faults on top of the
-scenario's own fault model (see :mod:`repro.faults`).  The ``bench``
+catalogue (with each scenario's fault condition and recovery policy; add
+``--format json`` for tooling) and ``run --scenario NAME`` executes one of
+them — ``--backend {sim,asyncio,cluster}`` selects the discrete-event
+simulator (default), the asyncio streaming runtime (monitors as concurrent
+tasks; add ``--stream-transport tcp`` for real loopback sockets), or the
+multi-process cluster runtime of :mod:`repro.cluster` (one OS process per
+monitor; add ``--manifest FILE`` to pin worker addresses instead of
+auto-allocating loopback ports), and ``--fault-plan SPEC`` injects monitor
+crash/restart faults on top of the scenario's own fault model (see
+:mod:`repro.faults`).  ``--stream-transport`` requires the asyncio backend
+and ``--manifest`` the cluster backend; mismatched combinations fail fast
+with a clear error.  The ``bench``
 sub-command times the kernel hot paths and the figure experiments and (with
 ``--json OUT``) writes the same ``repro-bench/1`` JSON document the CI
 benchmark suite emits — embedding the resolved :class:`ExperimentScale` and
@@ -37,12 +45,15 @@ self-describing.  See ``docs/benchmarks.md`` for the full schema.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from collections.abc import Sequence
+from pathlib import Path
 
 from ..faults import format_fault_plan, parse_fault_plan
 from ..scenarios import get_scenario, list_scenarios
+from .engine import ExecutionConfig
 from .harness import (
     ExperimentScale,
     format_table,
@@ -121,7 +132,50 @@ def _emit_fig_5_9(args: argparse.Namespace) -> None:
     )
 
 
+def _execution_config(args: argparse.Namespace) -> ExecutionConfig:
+    """Validate the backend flag matrix and build the execution config.
+
+    The error matrix is deliberately strict so a silently-ignored flag can
+    never mislead a measurement:
+
+    =====================  =======  =========  =========
+    flag                   sim      asyncio    cluster
+    =====================  =======  =========  =========
+    ``--stream-transport``  error    used       error
+    ``--manifest``          error    error      used
+    =====================  =======  =========  =========
+    """
+    if args.stream_transport is not None and args.backend != "asyncio":
+        raise SystemExit(
+            f"error: --stream-transport only applies to --backend asyncio "
+            f"(got --backend {args.backend})"
+        )
+    if args.manifest is not None and args.backend != "cluster":
+        raise SystemExit(
+            f"error: --manifest only applies to --backend cluster "
+            f"(got --backend {args.backend})"
+        )
+    if args.manifest is not None and not Path(args.manifest).exists():
+        raise SystemExit(f"error: cluster manifest not found: {args.manifest}")
+    fault_plan = None
+    if args.fault_plan:
+        try:
+            fault_plan = parse_fault_plan(args.fault_plan)
+        except ValueError as error:
+            raise SystemExit(f"error: {error}") from None
+    return ExecutionConfig(
+        backend=args.backend,
+        stream_transport=args.stream_transport or "memory",
+        fault_plan=fault_plan,
+        manifest=args.manifest,
+    )
+
+
 def _emit_list_scenarios(args: argparse.Namespace) -> None:
+    if args.format == "json":
+        catalogue = [scenario.describe() for scenario in list_scenarios()]
+        print(json.dumps(catalogue, indent=2, sort_keys=True))
+        return
     rows = []
     for scenario in list_scenarios():
         description = scenario.describe()
@@ -159,31 +213,22 @@ def _emit_run_scenario(args: argparse.Namespace) -> None:
         scenario = get_scenario(args.scenario)
     except KeyError as error:
         raise SystemExit(f"error: {error.args[0]}") from None
-    fault_plan = None
-    if args.fault_plan:
-        try:
-            fault_plan = parse_fault_plan(args.fault_plan)
-        except ValueError as error:
-            raise SystemExit(f"error: {error}") from None
+    config = _execution_config(args)
     scale = _scale_from_args(args)
-    rows = run_scenario(
-        scenario,
-        scale,
-        backend=args.backend,
-        stream_transport=args.stream_transport,
-        fault_plan=fault_plan,
-    )
+    rows = run_scenario(scenario, scale, config=config)
     columns = list(_SWEEP_COLUMNS)
     for row in rows:
         for key in row:
             if key not in columns and key not in ("token_messages", "log_events", "log_messages"):
                 columns.append(key)
-    backend = args.backend
+    backend = config.backend
     if backend == "asyncio":
-        backend = f"asyncio/{args.stream_transport}"
+        backend = f"asyncio/{config.stream_transport}"
     print(f"scenario {scenario.name} [backend {backend}] — {scenario.description}")
-    if fault_plan is not None:
-        print(f"fault plan override: {format_fault_plan(fault_plan) or '(empty)'}")
+    if config.fault_plan is not None:
+        print(
+            f"fault plan override: {format_fault_plan(config.fault_plan) or '(empty)'}"
+        )
     print(format_table(rows, columns=columns))
 
 
@@ -196,6 +241,7 @@ def _emit_bench(args: argparse.Namespace) -> None:
     )
 
     scale = _scale_from_args(args)
+    config = _execution_config(args)
     try:
         bench_scenario = get_scenario(args.scenario)
     except KeyError as error:
@@ -229,23 +275,20 @@ def _emit_bench(args: argparse.Namespace) -> None:
             "scenario": bench_scenario.name,
             "backend": "sim",
         }
-    if args.backend == "asyncio":
-        # time the chosen scenario on the streaming backend as well, so
-        # BENCH documents carry directly comparable sim/asyncio pairs
+    if config.backend != "sim":
+        # time the chosen scenario on the selected non-default backend as
+        # well, so BENCH documents carry directly comparable backend pairs
         start = time.perf_counter()
-        run_scenario(
-            bench_scenario,
-            scale,
-            backend="asyncio",
-            stream_transport=args.stream_transport,
-        )
-        timings[f"scenario_{bench_scenario.name}_asyncio"] = {
+        run_scenario(bench_scenario, scale, config=config)
+        timing = {
             "seconds": time.perf_counter() - start,
             "group": "scenarios",
             "scenario": bench_scenario.name,
-            "backend": "asyncio",
-            "stream_transport": args.stream_transport,
+            "backend": config.backend,
         }
+        if config.backend == "asyncio":
+            timing["stream_transport"] = config.stream_transport
+        timings[f"scenario_{bench_scenario.name}_{config.backend}"] = timing
 
     rows = []
     for name, record in timings.items():
@@ -309,19 +352,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--backend",
-        choices=["sim", "asyncio"],
+        choices=["sim", "asyncio", "cluster"],
         default="sim",
         help="monitoring backend for 'run': the discrete-event simulator "
-        "(default) or the asyncio streaming runtime where monitors run as "
-        "concurrent tasks; with 'bench' the asyncio backend is timed in "
+        "(default), the asyncio streaming runtime where monitors run as "
+        "concurrent tasks, or the cluster runtime where every monitor is "
+        "its own OS process; with 'bench' a non-sim backend is timed in "
         "addition to the simulator",
     )
     parser.add_argument(
         "--stream-transport",
         choices=["memory", "tcp"],
-        default="memory",
+        default=None,
         help="asyncio backend only: exchange monitor messages through "
-        "in-process queues (default) or real loopback TCP sockets",
+        "in-process queues (the default) or real loopback TCP sockets",
+    )
+    parser.add_argument(
+        "--manifest",
+        metavar="FILE",
+        default=None,
+        help="cluster backend only: TOML/JSON manifest pinning worker "
+        "host:port addresses (default: auto-allocate loopback ports)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["table", "json"],
+        default="table",
+        help="list-scenarios only: aligned table (default) or a JSON "
+        "catalogue for tooling",
     )
     parser.add_argument(
         "--fault-plan",

@@ -9,14 +9,20 @@ the **full (point × replication) product** across a process pool.  Because
 cell seeds are derived (never drawn) and aggregation walks cells in list
 order, serial and sharded executions are byte-identical.
 
-Cells are backend-agnostic: ``backend="sim"`` (the default) replays each
-cell on the discrete-event simulator, ``backend="asyncio"`` on the
-streaming runtime of :mod:`repro.runtime`, where monitors run as concurrent
-asyncio tasks (over in-process queues or real TCP sockets, see
-*stream_transport*) shaped by the same scenario network condition.  Both
-backends share one monitor implementation and deliver reliably, so a cell's
-conclusive verdicts are identical for a fixed seed — only timing/queuing
-metrics reflect the backend's nature.
+Cells are backend-agnostic, selected by an :class:`ExecutionConfig`:
+``backend="sim"`` (the default) replays each cell on the discrete-event
+simulator, ``backend="asyncio"`` on the streaming runtime of
+:mod:`repro.runtime`, where monitors run as concurrent asyncio tasks (over
+in-process queues or real TCP sockets, see ``stream_transport``), and
+``backend="cluster"`` on the multi-process cluster runtime of
+:mod:`repro.cluster`, where every monitor is its own OS process exchanging
+wire protocol v2 frames.  All backends share one monitor implementation and
+deliver reliably, so a cell's conclusive verdicts are identical for a fixed
+seed — only timing/queuing metrics reflect the backend's nature.
+
+The legacy per-call ``backend=`` / ``stream_transport=`` / ``fault_plan=``
+keyword arguments are still accepted everywhere for one release, emitting a
+:class:`DeprecationWarning`; pass ``config=ExecutionConfig(...)`` instead.
 
 The per-cell task function is a module-level callable fed plain picklable
 values (the scenario itself is a frozen dataclass of frozen dataclasses), so
@@ -29,8 +35,10 @@ from __future__ import annotations
 
 import math
 import statistics
+import warnings
 from collections.abc import Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 
 from ..faults import FaultPlan
 from ..scenarios import GridPoint, Scenario, SweepGrid, get_scenario
@@ -40,6 +48,7 @@ from .properties import PROPERTY_NAMES, case_study_monitor, case_study_registry
 
 __all__ = [
     "BACKENDS",
+    "ExecutionConfig",
     "trace_design",
     "run_scenario_cell",
     "execute_points",
@@ -48,7 +57,80 @@ __all__ = [
 ]
 
 #: the monitoring backends a sweep cell can execute on
-BACKENDS = ("sim", "asyncio")
+BACKENDS = ("sim", "asyncio", "cluster")
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How sweep cells execute: backend, transport, faults, cluster layout.
+
+    One frozen, picklable value threaded through every engine entrypoint
+    (and across the sharding process pool) instead of loose keyword
+    arguments.  Fields irrelevant to the chosen backend are ignored:
+    ``stream_transport`` only matters to ``backend="asyncio"`` and
+    ``manifest`` only to ``backend="cluster"``.
+
+    Attributes
+    ----------
+    backend:
+        ``"sim"``, ``"asyncio"`` or ``"cluster"`` (see :data:`BACKENDS`).
+    stream_transport:
+        Streaming medium of the asyncio backend: ``"memory"`` (in-process
+        queues) or ``"tcp"`` (real loopback sockets).
+    fault_plan:
+        Optional :class:`repro.faults.FaultPlan` overriding the scenario's
+        own fault model for every cell.
+    manifest:
+        Cluster backend only: a :class:`repro.cluster.ClusterManifest` or a
+        manifest file path; ``None`` auto-allocates loopback workers.
+    """
+
+    backend: str = "sim"
+    stream_transport: str = "memory"
+    fault_plan: FaultPlan | None = None
+    manifest: object | None = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r} (known: {BACKENDS})"
+            )
+
+
+def _resolve_config(
+    config: ExecutionConfig | None,
+    backend: str | None,
+    stream_transport: str | None,
+    fault_plan: FaultPlan | None,
+) -> ExecutionConfig:
+    """Fold the legacy keyword arguments into one :class:`ExecutionConfig`.
+
+    Passing any legacy keyword emits a :class:`DeprecationWarning`; mixing
+    them with an explicit *config* is an error (the call would be
+    ambiguous).
+    """
+    legacy_used = (
+        backend is not None or stream_transport is not None or fault_plan is not None
+    )
+    if config is not None:
+        if legacy_used:
+            raise TypeError(
+                "pass either config=ExecutionConfig(...) or the legacy "
+                "backend=/stream_transport=/fault_plan= keywords, not both"
+            )
+        return config
+    if legacy_used:
+        warnings.warn(
+            "the backend=/stream_transport=/fault_plan= keyword arguments "
+            "are deprecated; pass config=ExecutionConfig(...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return ExecutionConfig(
+        backend=backend if backend is not None else "sim",
+        stream_transport=stream_transport if stream_transport is not None else "memory",
+        fault_plan=fault_plan,
+    )
 
 
 def trace_design(property_name: str) -> tuple[dict[str, bool], float]:
@@ -89,32 +171,71 @@ def run_scenario_cell(
     point: GridPoint,
     scale: _ScaleLike,
     seed: int,
-    backend: str = "sim",
-    stream_transport: str = "memory",
+    backend: str | None = None,
+    stream_transport: str | None = None,
     fault_plan: FaultPlan | None = None,
+    *,
+    config: ExecutionConfig | None = None,
 ) -> dict[str, float]:
     """Run one (sweep-point, replication) cell and return its slim metrics.
 
-    *backend* selects the executor: ``"sim"`` replays the cell on the
-    discrete-event simulator, ``"asyncio"`` streams it through concurrent
-    monitor tasks (:func:`repro.runtime.run_streaming`) over
-    *stream_transport* (``"memory"`` or ``"tcp"``), with the scenario's
-    network condition mapped onto the streaming transport via
-    :meth:`repro.scenarios.NetworkModel.delay_model`.
+    ``config.backend`` selects the executor: ``"sim"`` replays the cell on
+    the discrete-event simulator, ``"asyncio"`` streams it through
+    concurrent monitor tasks (:func:`repro.runtime.runner.run_streaming`)
+    over ``config.stream_transport``, with the scenario's network condition
+    mapped onto the streaming transport via
+    :meth:`repro.scenarios.NetworkModel.delay_model`, and ``"cluster"``
+    runs it across one OS process per monitor via
+    :func:`repro.cluster.cluster_monitored_run` (the scenario must be a
+    registered one, since workers resolve it by name).
 
-    Monitor faults come from *fault_plan* when given (the CLI's
+    Monitor faults come from ``config.fault_plan`` when given (the CLI's
     ``run --fault-plan`` override), otherwise from the scenario's own
     :class:`~repro.faults.FaultModel`, which derives one deterministic
     crash schedule per cell from the cell's seed.
     """
+    config = _resolve_config(config, backend, stream_transport, fault_plan)
     comm_mu = scale.comm_mu if point.comm_mu == "default" else point.comm_mu
-    faults = fault_plan
+    faults = config.fault_plan
     if faults is None and scenario.faults is not None:
         faults = scenario.faults.build(
             point.num_processes, scale.events_per_process, seed
         )
+    if config.backend == "cluster":
+        from ..cluster.coordinator import cluster_monitored_run
+        from ..cluster.spec import spec_for_cell
+
+        try:
+            registered = get_scenario(scenario.name)
+        except KeyError:
+            raise ValueError(
+                f"the cluster backend needs a registered scenario (workers "
+                f"resolve it by name), but {scenario.name!r} is not in the "
+                f"registry"
+            ) from None
+        if registered != scenario:
+            raise ValueError(
+                f"scenario {scenario.name!r} differs from the registered "
+                f"scenario of that name; the cluster backend distributes "
+                f"scenarios by name, so register your variant first"
+            )
+        spec = spec_for_cell(
+            scenario.name,
+            point.property_name,
+            point.num_processes,
+            scale.events_per_process,
+            scale.evt_mu,
+            scale.evt_sigma,
+            comm_mu,
+            scale.comm_sigma,
+            seed,
+            scale.max_views_per_state,
+            faults,
+        )
+        report = cluster_monitored_run(spec, manifest=config.manifest)
+        return _cell_metrics(report)
     initial_valuation, truth_probability = trace_design(point.property_name)
-    config = scenario.workload.build_config(
+    workload_config = scenario.workload.build_config(
         num_processes=point.num_processes,
         events_per_process=scale.events_per_process,
         evt_mu=scale.evt_mu,
@@ -127,8 +248,8 @@ def run_scenario_cell(
     )
     registry = case_study_registry(point.num_processes)
     automaton = case_study_monitor(point.property_name, point.num_processes)
-    computation = generate_computation(config)
-    if backend == "sim":
+    computation = generate_computation(workload_config)
+    if config.backend == "sim":
         report = simulate_monitored_run(
             computation,
             automaton,
@@ -138,8 +259,8 @@ def run_scenario_cell(
             network=scenario.network,
             faults=faults,
         )
-    elif backend == "asyncio":
-        from ..runtime import run_streaming
+    else:  # "asyncio" — ExecutionConfig validated the backend already
+        from ..runtime.runner import run_streaming
 
         report = run_streaming(
             computation,
@@ -147,11 +268,14 @@ def run_scenario_cell(
             registry,
             delay=scenario.network.delay_model(seed),
             max_views_per_state=scale.max_views_per_state,
-            transport=stream_transport,
+            transport=config.stream_transport,
             faults=faults,
         )
-    else:
-        raise ValueError(f"unknown backend {backend!r} (known: {BACKENDS})")
+    return _cell_metrics(report)
+
+
+def _cell_metrics(report) -> dict[str, float]:
+    """Extract the slim backend-agnostic metrics row of one cell report."""
     metrics = {
         "events": float(report.total_events),
         "messages": float(report.monitor_messages),
@@ -166,21 +290,13 @@ def run_scenario_cell(
 
 
 def _run_cell(
-    task: tuple[Scenario | str, GridPoint, _ScaleLike, int, str, str, FaultPlan | None],
+    task: tuple[Scenario | str, GridPoint, _ScaleLike, int, ExecutionConfig],
 ) -> dict[str, float]:
     """Process-pool task: resolve the scenario (by value or name) and run."""
-    scenario, point, scale, seed, backend, stream_transport, fault_plan = task
+    scenario, point, scale, seed, config = task
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
-    return run_scenario_cell(
-        scenario,
-        point,
-        scale,
-        seed,
-        backend=backend,
-        stream_transport=stream_transport,
-        fault_plan=fault_plan,
-    )
+    return run_scenario_cell(scenario, point, scale, seed, config=config)
 
 
 def _mean(values: Iterable[float]) -> float:
@@ -213,9 +329,11 @@ def execute_points(
     points: Sequence[GridPoint],
     scale: _ScaleLike,
     pool: ProcessPoolExecutor | None = None,
-    backend: str = "sim",
-    stream_transport: str = "memory",
+    backend: str | None = None,
+    stream_transport: str | None = None,
     fault_plan: FaultPlan | None = None,
+    *,
+    config: ExecutionConfig | None = None,
 ) -> list[dict[str, float]]:
     """Run every (point × replication) cell of *scenario* and aggregate.
 
@@ -224,10 +342,10 @@ def execute_points(
     with P points and R replications keeps ``min(P*R, workers)`` workers
     busy.  Cell seeds are ``base_seed + 31*replication + point.seed_offset``
     (the scheme the pre-scenario harness used), so results are byte-identical
-    to a serial run and to earlier releases.  *backend* (and, for the
-    streaming backend, *stream_transport*) selects the per-cell executor —
-    see :func:`run_scenario_cell`.
+    to a serial run and to earlier releases.  *config* selects the per-cell
+    executor — see :func:`run_scenario_cell`.
     """
+    config = _resolve_config(config, backend, stream_transport, fault_plan)
     replications = max(1, scale.replications)
     cells = [
         (
@@ -235,9 +353,7 @@ def execute_points(
             point,
             scale,
             scale.base_seed + 31 * rep + point.seed_offset,
-            backend,
-            stream_transport,
-            fault_plan,
+            config,
         )
         for point in points
         for rep in range(replications)
@@ -261,40 +377,31 @@ def execute_sweep(
     scale: _ScaleLike,
     grid: SweepGrid | None = None,
     pool: ProcessPoolExecutor | None = None,
-    backend: str = "sim",
-    stream_transport: str = "memory",
+    backend: str | None = None,
+    stream_transport: str | None = None,
     fault_plan: FaultPlan | None = None,
+    *,
+    config: ExecutionConfig | None = None,
 ) -> list[dict[str, float]]:
     """Expand *grid* (default: the scenario's own) and run every cell."""
+    config = _resolve_config(config, backend, stream_transport, fault_plan)
     grid = grid if grid is not None else scenario.grid
     points = grid.points(PROPERTY_NAMES, scale.process_counts)
-    return execute_points(
-        scenario,
-        points,
-        scale,
-        pool=pool,
-        backend=backend,
-        stream_transport=stream_transport,
-        fault_plan=fault_plan,
-    )
+    return execute_points(scenario, points, scale, pool=pool, config=config)
 
 
 def run_scenario(
     scenario: Scenario | str,
     scale: _ScaleLike,
     grid: SweepGrid | None = None,
-    backend: str = "sim",
-    stream_transport: str = "memory",
+    backend: str | None = None,
+    stream_transport: str | None = None,
     fault_plan: FaultPlan | None = None,
+    *,
+    config: ExecutionConfig | None = None,
 ) -> list[dict[str, float]]:
     """Run a scenario (by value or registered name) over its sweep grid."""
+    config = _resolve_config(config, backend, stream_transport, fault_plan)
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
-    return execute_sweep(
-        scenario,
-        scale,
-        grid=grid,
-        backend=backend,
-        stream_transport=stream_transport,
-        fault_plan=fault_plan,
-    )
+    return execute_sweep(scenario, scale, grid=grid, config=config)

@@ -10,8 +10,8 @@ Two transports are provided:
   event loop.  Fast and used by the test-suite and the default CLI backend.
 * :class:`TcpStreamTransport` — every monitor node listens on a real TCP
   socket (``127.0.0.1``, ephemeral port) and the :mod:`repro.core.messages`
-  wire messages travel length-prefix-framed and pickled over real
-  connections.
+  wire messages travel as wire protocol v2 binary frames
+  (:mod:`repro.cluster.codec`) over real connections.
 
 Both transports preserve **FIFO order per (sender, receiver) channel** (the
 algorithm's reliable-FIFO-channel assumption): every channel has its own
@@ -34,10 +34,9 @@ counter before the decrement for the consumed message happens).
 from __future__ import annotations
 
 import asyncio
-import pickle
-import struct
 from typing import TYPE_CHECKING
 
+from ..cluster import codec
 from ..core.delays import DelayModel
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -49,8 +48,6 @@ __all__ = [
     "InMemoryStreamTransport",
     "TcpStreamTransport",
 ]
-
-_FRAME_HEADER = struct.Struct(">I")
 
 
 class RuntimeClock:
@@ -252,10 +249,12 @@ class TcpStreamTransport(StreamTransport):
 
     Every registered node gets its own ``asyncio.start_server`` on
     ``127.0.0.1`` with an ephemeral port; channel pumps lazily open one
-    client connection per (sender, target) pair and write length-prefixed
-    pickled ``(due, message)`` frames.  The receiving server unpickles each
-    frame and enqueues it into the target node's inbox, so from the
-    monitors' point of view nothing changes — only the medium does.
+    client connection per (sender, target) pair and write wire protocol v2
+    frames — a magic/version/type header followed by the binary-encoded
+    delivery instant and message (:mod:`repro.cluster.codec`).  The
+    receiving server decodes each frame and enqueues it into the target
+    node's inbox, so from the monitors' point of view nothing changes —
+    only the medium does.
     """
 
     def __init__(
@@ -311,8 +310,7 @@ class TcpStreamTransport(StreamTransport):
         if writer is None:
             _, writer = await asyncio.open_connection(self.host, self.ports[target])
             self._writers[channel] = writer
-        payload = pickle.dumps((due, message), protocol=pickle.HIGHEST_PROTOCOL)
-        writer.write(_FRAME_HEADER.pack(len(payload)) + payload)
+        writer.write(codec.encode_wire(due, message))
         await writer.drain()
 
     async def _serve(
@@ -324,32 +322,33 @@ class TcpStreamTransport(StreamTransport):
         """Read frames from one inbound connection into the node's inbox.
 
         A clean EOF *between* frames is a normal peer close.  A disconnect
-        *mid-frame* (a truncated length prefix or payload) means a
-        monitoring message was lost on the wire; because the protocol has no
+        *mid-frame* (a truncated header or payload) means a monitoring
+        message was lost on the wire; because the protocol has no
         retransmission, that run can never quiesce, so the truncation is
         recorded as :attr:`StreamTransport.fatal_error` with a precise
         diagnostic instead of surfacing later as a bare ``EOFError`` or a
-        bogus quiescence timeout.  Undecodable frames are reported the same
-        way.
+        bogus quiescence timeout.  Undecodable frames — bad magic, a wire
+        protocol version this node does not speak, corrupt payloads — are
+        reported the same way.
         """
         try:
             while True:
                 try:
-                    header = await reader.readexactly(_FRAME_HEADER.size)
+                    header = await reader.readexactly(codec.HEADER.size)
                 except asyncio.IncompleteReadError as error:
                     if error.partial:
                         raise ConnectionError(
                             f"peer of monitor {node.process} disconnected "
                             f"mid-frame: {len(error.partial)} of "
-                            f"{_FRAME_HEADER.size} length-prefix bytes received"
+                            f"{codec.HEADER.size} frame-header bytes received"
                         ) from error
                     return  # clean close between frames
                 except ConnectionResetError:
                     # a reset at the frame boundary is an abrupt teardown of
-                    # an idle connection; only resets after the length prefix
-                    # was consumed are unambiguously mid-frame
+                    # an idle connection; only resets after the header was
+                    # consumed are unambiguously mid-frame
                     return
-                length = _FRAME_HEADER.unpack(header)[0]
+                type_tag, length = codec.decode_header(header)
                 try:
                     payload = await reader.readexactly(length)
                 except asyncio.IncompleteReadError as error:
@@ -363,7 +362,7 @@ class TcpStreamTransport(StreamTransport):
                         f"peer of monitor {node.process} reset the connection "
                         f"mid-frame before its {length}-byte payload arrived"
                     ) from error
-                due, message = pickle.loads(payload)
+                due, message = codec.decode_wire(type_tag, payload)
                 node.enqueue_message(due, message)
         except Exception as error:  # noqa: BLE001 - recorded, then re-raised by wait_quiescent
             if self.fatal_error is None:

@@ -1,16 +1,20 @@
 """Render generated-checked catalogues into the docs — and keep them true.
 
-Two reference documents are *generated-checked*: the catalogue section of
-``docs/scenarios.md`` (between :data:`BEGIN_MARKER` and :data:`END_MARKER`)
-and the fault-scenario section of ``docs/faults.md`` (between
-:data:`FAULTS_BEGIN_MARKER` and :data:`FAULTS_END_MARKER`).  Both are
-produced straight from the live registry
-(:mod:`repro.scenarios.registry`), and tests assert each file matches the
-renderer's output, so the documents cannot drift from the code.  After
-adding or changing a scenario, regenerate with::
+Three reference documents are *generated-checked*: the catalogue section
+of ``docs/scenarios.md`` (between :data:`BEGIN_MARKER` and
+:data:`END_MARKER`), the fault-scenario section of ``docs/faults.md``
+(between :data:`FAULTS_BEGIN_MARKER` and :data:`FAULTS_END_MARKER`), and
+the public API reference of ``docs/api.md`` (between
+:data:`API_BEGIN_MARKER` and :data:`API_END_MARKER`).  The catalogues are
+produced straight from the live registry (:mod:`repro.scenarios.registry`)
+and the API reference from the live ``repro.api.__all__``; tests assert
+each file matches the renderer's output, so the documents cannot drift
+from the code.  After adding or changing a scenario or a public API name,
+regenerate with::
 
     PYTHONPATH=src python -m repro.scenarios.docgen docs/scenarios.md
     PYTHONPATH=src python -m repro.scenarios.docgen docs/faults.md
+    PYTHONPATH=src python -m repro.scenarios.docgen docs/api.md
 
 ``main`` replaces whichever marker pairs the given file contains.
 Everything rendered comes from :meth:`repro.scenarios.Scenario.describe`:
@@ -31,8 +35,11 @@ __all__ = [
     "END_MARKER",
     "FAULTS_BEGIN_MARKER",
     "FAULTS_END_MARKER",
+    "API_BEGIN_MARKER",
+    "API_END_MARKER",
     "render_catalogue",
     "render_fault_catalogue",
+    "render_api_reference",
     "replace_generated_section",
     "main",
 ]
@@ -42,6 +49,9 @@ END_MARKER = "<!-- END GENERATED SCENARIO CATALOGUE -->"
 
 FAULTS_BEGIN_MARKER = "<!-- BEGIN GENERATED FAULT CATALOGUE (repro.scenarios.docgen) -->"
 FAULTS_END_MARKER = "<!-- END GENERATED FAULT CATALOGUE -->"
+
+API_BEGIN_MARKER = "<!-- BEGIN GENERATED API REFERENCE (repro.scenarios.docgen) -->"
+API_END_MARKER = "<!-- END GENERATED API REFERENCE -->"
 
 
 def _format_params(description: dict[str, object]) -> str:
@@ -112,10 +122,48 @@ def render_fault_catalogue() -> str:
     return "\n".join(lines)
 
 
+def render_api_reference() -> str:
+    """The generated name-by-name section of ``docs/api.md``.
+
+    Rendered straight from the live ``repro.api.__all__`` — every listed
+    name with its kind and the first line of its docstring — so the
+    documented surface cannot drift from the code.
+    """
+    import inspect
+
+    from .. import api
+
+    lines = [
+        API_BEGIN_MARKER,
+        "",
+        f"`repro.api.__all__` lists {len(api.__all__)} supported names.",
+        "",
+        "| name | kind | summary |",
+        "| --- | --- | --- |",
+    ]
+    for name in api.__all__:
+        obj = getattr(api, name)
+        if inspect.isclass(obj):
+            kind = "class"
+        elif callable(obj):
+            kind = "function"
+        else:
+            kind = "constant"
+        if kind == "constant":
+            summary = f"`{obj!r}`"
+        else:
+            doc = inspect.getdoc(obj) or ""
+            summary = doc.splitlines()[0] if doc else ""
+        lines.append(f"| `{name}` | {kind} | {summary} |")
+    lines.extend(["", API_END_MARKER])
+    return "\n".join(lines)
+
+
 #: every generated-checked section ``main`` knows how to refresh
 _SECTIONS: tuple[tuple[str, str, object], ...] = (
     (BEGIN_MARKER, END_MARKER, render_catalogue),
     (FAULTS_BEGIN_MARKER, FAULTS_END_MARKER, render_fault_catalogue),
+    (API_BEGIN_MARKER, API_END_MARKER, render_api_reference),
 )
 
 
@@ -145,7 +193,8 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if len(argv) != 1:
         print(
-            "usage: python -m repro.scenarios.docgen docs/scenarios.md|docs/faults.md",
+            "usage: python -m repro.scenarios.docgen "
+            "docs/scenarios.md|docs/faults.md|docs/api.md",
             file=sys.stderr,
         )
         return 2

@@ -1,0 +1,169 @@
+"""The public API facade: surface completeness, shims, ExecutionConfig.
+
+Three contracts are gated here:
+
+1. ``repro.api.__all__`` is the supported surface — every listed name
+   resolves, and ``import repro; repro.api`` works from a cold interpreter.
+2. The deep imports that moved behind the facade keep working for one
+   release behind :class:`DeprecationWarning` shims that resolve to the
+   same objects.
+3. The engine's legacy ``backend=``/``stream_transport=``/``fault_plan=``
+   keywords fold into :class:`ExecutionConfig` with a deprecation warning,
+   and mixing them with an explicit config is an error.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+import repro.api as api
+from repro.experiments.engine import run_scenario_cell
+from repro.scenarios import GridPoint, get_scenario
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+SMALL_SCALE = api.ExperimentScale(
+    process_counts=(2,),
+    events_per_process=3,
+    replications=1,
+    max_views_per_state=2,
+)
+
+
+class TestApiSurface:
+    def test_every_documented_name_resolves(self):
+        missing = [name for name in api.__all__ if not hasattr(api, name)]
+        assert not missing
+
+    def test_import_repro_exposes_api_lazily(self):
+        # the acceptance criterion, from a cold interpreter: the top-level
+        # package exposes the facade without eagerly importing the world
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "import repro; repro.api; print(len(repro.api.__all__))",
+            ],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 0, result.stderr
+        assert int(result.stdout) == len(api.__all__)
+
+    def test_top_level_lazy_subpackages(self):
+        for name in repro.__all__:
+            module = getattr(repro, name)
+            assert module.__name__ == f"repro.{name}"
+        assert "cluster" in dir(repro)
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError, match="no attribute 'nonsense'"):
+            repro.nonsense
+
+    def test_compile_formula_builds_a_monitor(self):
+        automaton = api.compile_formula("F(P0.p & P1.q)")
+        assert automaton.num_states > 0
+        assert set(api.Verdict) == {
+            api.Verdict.TOP, api.Verdict.BOTTOM, api.Verdict.INCONCLUSIVE
+        }
+
+    def test_run_scenario_via_facade(self):
+        rows = api.run_scenario(
+            "paper-default",
+            SMALL_SCALE,
+            grid=api.SweepGrid(properties=("B",)),
+        )
+        assert len(rows) == 1
+        assert rows[0]["events"] > 0
+
+    def test_run_cluster_via_facade(self):
+        rows = api.run_cluster(
+            "paper-default",
+            SMALL_SCALE,
+            grid=api.SweepGrid(properties=("B",)),
+        )
+        assert len(rows) == 1
+        assert rows[0]["events"] > 0
+
+
+DEPRECATED_IMPORTS = [
+    ("repro.experiments", "BACKENDS", "repro.experiments.engine"),
+    ("repro.experiments", "run_scenario", "repro.experiments.engine"),
+    ("repro.experiments", "execute_sweep", "repro.experiments.engine"),
+    ("repro.runtime", "run_streaming", "repro.runtime.runner"),
+]
+
+
+class TestDeprecationShims:
+    @pytest.mark.parametrize(
+        "package, name, home", DEPRECATED_IMPORTS,
+        ids=[f"{p}.{n}" for p, n, _ in DEPRECATED_IMPORTS],
+    )
+    def test_deep_import_warns_and_resolves(self, package, name, home):
+        import importlib
+
+        shimmed_module = importlib.import_module(package)
+        home_module = importlib.import_module(home)
+        with pytest.warns(DeprecationWarning, match=f"{name}.*deprecated"):
+            shimmed = getattr(shimmed_module, name)
+        assert shimmed is getattr(home_module, name)
+
+    def test_shimmed_names_stay_in_all(self):
+        import repro.experiments
+        import repro.runtime
+
+        assert "run_scenario" in repro.experiments.__all__
+        assert "run_streaming" in repro.runtime.__all__
+
+
+class TestExecutionConfig:
+    def test_legacy_keywords_warn_but_work(self):
+        scenario = get_scenario("paper-default")
+        with pytest.warns(DeprecationWarning, match="config=ExecutionConfig"):
+            legacy = run_scenario_cell(
+                scenario, GridPoint("B", 2), SMALL_SCALE, seed=7, backend="sim"
+            )
+        modern = run_scenario_cell(
+            scenario,
+            GridPoint("B", 2),
+            SMALL_SCALE,
+            seed=7,
+            config=api.ExecutionConfig(backend="sim"),
+        )
+        assert legacy == modern
+
+    def test_mixing_config_and_legacy_keywords_raises(self):
+        scenario = get_scenario("paper-default")
+        with pytest.raises(TypeError, match="not both"):
+            run_scenario_cell(
+                scenario,
+                GridPoint("B", 2),
+                SMALL_SCALE,
+                seed=7,
+                backend="sim",
+                config=api.ExecutionConfig(),
+            )
+
+    def test_run_scenario_legacy_backend_keyword_warns(self):
+        from repro.experiments.engine import run_scenario as engine_run_scenario
+
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            rows = engine_run_scenario(
+                "paper-default",
+                SMALL_SCALE,
+                grid=api.SweepGrid(properties=("B",)),
+                backend="sim",
+            )
+        assert len(rows) == 1
+
+    def test_config_is_frozen_and_validated(self):
+        config = api.ExecutionConfig(backend="asyncio", stream_transport="tcp")
+        with pytest.raises(AttributeError):
+            config.backend = "sim"
+        with pytest.raises(ValueError, match="unknown backend"):
+            api.ExecutionConfig(backend="carrier-pigeon")

@@ -1,0 +1,306 @@
+"""Wire protocol v2 codec: byte-stable round-trips and corruption diagnostics.
+
+The acceptance properties of the codec (hypothesis-tested here):
+
+1. **Round-trip**: every message type in :mod:`repro.core.messages` — and
+   every generic primitive value — decodes back to an equal object.
+2. **Byte stability**: re-encoding a decoded message reproduces the exact
+   original frame (canonical map-key and set-element order), so frames can
+   be compared, cached and hashed by bytes.
+3. **Diagnostics**: corrupted frames, truncations and foreign protocol
+   versions raise typed errors whose messages say what went wrong — and a
+   v1 length-prefixed pickle frame is named as such.
+
+Plus the grep-enforced guarantee that pickle is gone from every runtime
+wire path.
+"""
+
+import io
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import codec
+from repro.core.messages import TerminationNotice, Token, TokenEntry
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+# -- hypothesis strategies ---------------------------------------------------
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False, width=64)
+small_ints = st.integers(min_value=-(2**40), max_value=2**40)
+atom_names = st.text(
+    alphabet="PQpq0123456789._", min_size=1, max_size=8
+)
+letters = st.frozensets(atom_names, max_size=3)
+
+primitive_values = st.one_of(
+    st.none(),
+    st.booleans(),
+    small_ints,
+    finite_floats,
+    st.text(max_size=20),
+    st.binary(max_size=20),
+)
+
+generic_values = st.recursive(
+    primitive_values,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+        st.sets(small_ints, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+@st.composite
+def token_entries(draw, num_processes):
+    """One :class:`TokenEntry` whose vectors all have *num_processes* slots."""
+    n = num_processes
+    int_vec = st.lists(
+        st.integers(min_value=-1, max_value=50), min_size=n, max_size=n
+    )
+    guard = draw(st.dictionaries(atom_names, st.booleans(), max_size=3))
+    conjuncts = draw(
+        st.lists(
+            st.dictionaries(atom_names, st.booleans(), max_size=2),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    sn_keys = st.integers(min_value=0, max_value=30)
+    scanned_letters = draw(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=n - 1),
+            st.dictionaries(sn_keys, letters, max_size=2),
+            max_size=2,
+        )
+    )
+    scanned_vcs = draw(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=n - 1),
+            st.dictionaries(
+                sn_keys,
+                st.lists(
+                    st.integers(min_value=0, max_value=50),
+                    min_size=n,
+                    max_size=n,
+                ).map(tuple),
+                max_size=2,
+            ),
+            max_size=2,
+        )
+    )
+    return TokenEntry(
+        transition_id=draw(st.one_of(st.none(), st.integers(0, 500))),
+        guard=guard,
+        conjuncts=conjuncts,
+        start_cut=draw(int_vec),
+        cut=draw(int_vec),
+        depend=draw(int_vec),
+        min_positions=draw(int_vec),
+        satisfied=draw(st.lists(st.booleans(), min_size=n, max_size=n)),
+        letters=draw(
+            st.dictionaries(
+                st.integers(min_value=0, max_value=n - 1), letters, max_size=n
+            )
+        ),
+        scanned_letters=scanned_letters,
+        scanned_vcs=scanned_vcs,
+        eval=draw(st.one_of(st.none(), st.booleans())),
+        parked_on=draw(st.one_of(st.none(), st.integers(0, n - 1))),
+        waiting_for=draw(st.sets(st.integers(0, n - 1), max_size=n)),
+    )
+
+
+@st.composite
+def tokens(draw):
+    """One :class:`Token` with 0–3 entries over a shared process count."""
+    n = draw(st.integers(min_value=1, max_value=4))
+    entries = draw(st.lists(token_entries(n), max_size=3))
+    return Token(
+        parent_process=draw(st.integers(0, n - 1)),
+        parent_view=draw(st.integers(0, 100)),
+        parent_event_sn=draw(st.integers(-1, 100)),
+        entries=entries,
+        token_id=draw(st.integers(1, 10**6)),
+        hops=draw(st.integers(0, 1000)),
+    )
+
+
+termination_notices = st.builds(
+    TerminationNotice,
+    process=st.integers(0, 16),
+    final_event_sn=st.integers(-1, 10**4),
+)
+
+
+class TestRoundTrip:
+    @settings(max_examples=150, deadline=None)
+    @given(message=tokens(), due=finite_floats)
+    def test_token_round_trips_byte_stably(self, message, due):
+        frame = codec.encode_wire(due, message)
+        type_tag, payload = codec.split_frame(frame)
+        assert type_tag == codec.TYPE_TOKEN
+        decoded_due, decoded = codec.decode_wire(type_tag, payload)
+        assert decoded_due == due
+        assert decoded == message
+        assert codec.encode_wire(decoded_due, decoded) == frame
+
+    @settings(max_examples=100, deadline=None)
+    @given(message=termination_notices, due=finite_floats)
+    def test_termination_round_trips_byte_stably(self, message, due):
+        frame = codec.encode_wire(due, message)
+        type_tag, payload = codec.split_frame(frame)
+        assert type_tag == codec.TYPE_TERMINATION
+        decoded_due, decoded = codec.decode_wire(type_tag, payload)
+        assert (decoded_due, decoded) == (due, message)
+        assert codec.encode_wire(decoded_due, decoded) == frame
+
+    @settings(max_examples=150, deadline=None)
+    @given(value=generic_values)
+    def test_generic_values_round_trip_byte_stably(self, value):
+        frame = codec.encode_wire(0.0, value)
+        type_tag, payload = codec.split_frame(frame)
+        assert type_tag == codec.TYPE_VALUE
+        _, decoded = codec.decode_wire(type_tag, payload)
+        assert decoded == value
+        assert codec.encode_wire(0.0, decoded) == frame
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        mapping=st.dictionaries(
+            st.text(max_size=10), generic_values, max_size=5
+        )
+    )
+    def test_control_frames_round_trip(self, mapping):
+        frame = codec.encode_control(mapping)
+        type_tag, payload = codec.split_frame(frame)
+        assert type_tag == codec.TYPE_CONTROL
+        assert codec.decode_control(payload) == mapping
+
+    def test_map_insertion_order_is_canonicalized(self):
+        # two dicts equal as mappings but built in opposite insertion order
+        # must produce the identical frame — byte stability across peers
+        ab = codec.encode_wire(0.0, {"a": 1, "b": 2})
+        ba = codec.encode_wire(0.0, {"b": 2, "a": 1})
+        assert ab == ba
+        assert codec.encode_wire(0.0, {1, 2, 3}) == codec.encode_wire(
+            0.0, {3, 2, 1}
+        )
+
+    def test_blocking_stream_round_trip(self):
+        buffer = io.BytesIO()
+        codec.write_frame(buffer, 1.5, TerminationNotice(0, 4))
+        codec.write_frame(buffer, 2.5, "done")
+        buffer.seek(0)
+        assert codec.read_frame(buffer) == (1.5, TerminationNotice(0, 4))
+        assert codec.read_frame(buffer) == (2.5, "done")
+        assert codec.read_frame(buffer) is None  # clean EOF between frames
+
+
+class TestDiagnostics:
+    def test_bad_magic_names_the_v1_framing(self):
+        header = b"\x00\x00\x00\x2a" + b"\x80\x04\x95\x00"  # v1: length + pickle
+        with pytest.raises(
+            codec.CorruptFrameError,
+            match="bad frame magic.*v1 length-prefixed pickle framing is no "
+            "longer supported",
+        ):
+            codec.decode_header(header[: codec.HEADER.size])
+
+    @pytest.mark.parametrize("version", [0, 1, 3, 255])
+    def test_foreign_version_reports_both_versions(self, version):
+        header = codec.HEADER.pack(codec.MAGIC, version, codec.TYPE_VALUE, 0)
+        with pytest.raises(
+            codec.ProtocolVersionError,
+            match=f"peer speaks wire protocol version {version}, this node "
+            f"speaks only version {codec.PROTOCOL_VERSION}",
+        ) as excinfo:
+            codec.decode_header(header)
+        assert excinfo.value.peer_version == version
+
+    def test_short_header_reported(self):
+        with pytest.raises(codec.CorruptFrameError, match="short header: 3 of 8"):
+            codec.decode_header(b"RW\x02")
+
+    def test_frame_length_mismatch_reported(self):
+        frame = codec.encode_wire(0.0, "hello")
+        with pytest.raises(
+            codec.CorruptFrameError, match="length mismatch.*announces"
+        ):
+            codec.split_frame(frame[:-1])
+
+    def test_trailing_bytes_rejected(self):
+        type_tag, body = codec.encode_message(TerminationNotice(1, 2))
+        with pytest.raises(
+            codec.CorruptFrameError, match="2 trailing bytes"
+        ):
+            codec.decode_message(type_tag, body + b"\x00\x00")
+
+    def test_unknown_type_tag_rejected(self):
+        with pytest.raises(
+            codec.CorruptFrameError, match="unknown message type 0x7f"
+        ):
+            codec.decode_message(0x7F, b"")
+
+    def test_payload_too_short_for_due_instant(self):
+        with pytest.raises(
+            codec.CorruptFrameError, match="cannot hold the.*delivery instant"
+        ):
+            codec.decode_wire(codec.TYPE_VALUE, b"\x00\x00")
+
+    def test_stream_truncated_mid_payload(self):
+        frame = codec.encode_wire(0.0, "hello")
+        with pytest.raises(codec.CorruptFrameError, match="payload bytes"):
+            codec.read_frame(io.BytesIO(frame[:-2]))
+
+    def test_stream_truncated_mid_header(self):
+        with pytest.raises(codec.CorruptFrameError, match="header bytes"):
+            codec.read_frame(io.BytesIO(b"RW\x02"))
+
+    def test_control_frame_must_carry_a_mapping(self):
+        out = bytearray()
+        codec._w_value(out, [1, 2, 3])
+        with pytest.raises(
+            codec.CorruptFrameError, match="carries list, expected a mapping"
+        ):
+            codec.decode_control(bytes(out))
+
+    def test_errors_are_value_errors(self):
+        # callers that predate the codec catch ValueError; keep that working
+        assert issubclass(codec.CodecError, ValueError)
+        assert issubclass(codec.CorruptFrameError, codec.CodecError)
+        assert issubclass(codec.ProtocolVersionError, codec.CodecError)
+
+
+class TestNoPickleOnWirePaths:
+    @pytest.mark.parametrize("package", ["runtime", "cluster", "core"])
+    def test_wire_packages_never_import_pickle(self, package):
+        """Acceptance: pickle is gone from every runtime wire path.
+
+        Checked at the import level (docstrings may still *mention* the
+        retired v1 pickle framing): no module under the wire packages may
+        import or refer to the ``pickle`` family.
+        """
+        import ast
+
+        offenders = []
+        for path in sorted((REPO_ROOT / "src" / "repro" / package).glob("*.py")):
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+            for node in ast.walk(tree):
+                if isinstance(node, ast.Import):
+                    names = [alias.name for alias in node.names]
+                elif isinstance(node, ast.ImportFrom):
+                    names = [node.module or ""]
+                else:
+                    continue
+                if any(name.partition(".")[0] in ("pickle", "cPickle", "dill")
+                       for name in names):
+                    offenders.append(path.name)
+        assert not offenders, (
+            f"pickle imported on the wire path: repro/{package}/{offenders}"
+        )

@@ -1,0 +1,129 @@
+"""Cluster manifests and run specs: parsing, validation, round-trips."""
+
+import json
+
+import pytest
+
+from repro.cluster.manifest import (
+    ClusterManifest,
+    Endpoint,
+    load_manifest,
+    loopback_manifest,
+    manifest_from_dict,
+)
+from repro.cluster.spec import RunSpec, build_cell_inputs, spec_for_cell
+from repro.faults import CrashSpec, FaultPlan
+
+EXAMPLE = ClusterManifest(
+    coordinator=Endpoint("10.0.0.1", 7000),
+    workers=(Endpoint("10.0.0.2", 7100), Endpoint("10.0.0.3", 7100)),
+)
+
+
+class TestManifest:
+    @pytest.mark.parametrize("filename", ["cluster.toml", "cluster.json"])
+    def test_save_load_round_trip(self, tmp_path, filename):
+        path = EXAMPLE.save(tmp_path / filename)
+        assert load_manifest(path) == EXAMPLE
+
+    def test_worker_lookup(self):
+        assert EXAMPLE.worker(1) == Endpoint("10.0.0.3", 7100)
+        assert str(EXAMPLE.worker(0)) == "10.0.0.2:7100"
+        with pytest.raises(KeyError, match="no worker for monitor 5"):
+            EXAMPLE.worker(5)
+
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="cluster manifest not found"):
+            load_manifest(tmp_path / "absent.toml")
+
+    def test_empty_worker_table_rejected(self):
+        with pytest.raises(ValueError, match="at least one worker"):
+            ClusterManifest(coordinator=Endpoint("h", 1), workers=())
+
+    def test_non_contiguous_worker_ids_rejected(self):
+        data = EXAMPLE.as_dict()
+        data["workers"] = {"0": data["workers"]["0"], "2": data["workers"]["1"]}
+        with pytest.raises(ValueError, match="contiguous range 0..1"):
+            manifest_from_dict(data)
+
+    def test_non_integer_worker_keys_rejected(self):
+        data = EXAMPLE.as_dict()
+        data["workers"] = {"zero": data["workers"]["0"]}
+        with pytest.raises(ValueError, match="integer monitor ids"):
+            manifest_from_dict(data)
+
+    def test_malformed_endpoint_rejected(self):
+        data = EXAMPLE.as_dict()
+        data["workers"]["1"] = {"host": "10.0.0.3", "port": "7100"}
+        with pytest.raises(ValueError, match="worker 1.*port an integer"):
+            manifest_from_dict(data)
+
+    def test_missing_coordinator_rejected(self):
+        data = EXAMPLE.as_dict()
+        del data["coordinator"]
+        with pytest.raises(ValueError, match="coordinator needs 'host' and 'port'"):
+            manifest_from_dict(data)
+
+    def test_invalid_file_error_names_the_path(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps({"workers": {}}))
+        with pytest.raises(ValueError, match="invalid cluster manifest .*broken"):
+            load_manifest(path)
+
+    def test_loopback_manifest_allocates_distinct_ports(self):
+        manifest = loopback_manifest(3)
+        assert manifest.num_workers == 3
+        endpoints = [manifest.coordinator, *manifest.workers]
+        assert all(e.host == "127.0.0.1" for e in endpoints)
+        assert len({e.port for e in endpoints}) == len(endpoints)
+
+
+class TestRunSpec:
+    def _spec(self, fault_plan=None):
+        return spec_for_cell(
+            scenario_name="paper-default",
+            property_name="B",
+            num_processes=3,
+            events_per_process=4,
+            evt_mu=3.0,
+            evt_sigma=1.0,
+            comm_mu=3.0,
+            comm_sigma=1.0,
+            seed=2015,
+            max_views_per_state=2,
+            fault_plan=fault_plan,
+        )
+
+    def test_json_round_trip(self, tmp_path):
+        spec = self._spec()
+        assert RunSpec.from_json(spec.to_json()) == spec
+        path = spec.save(tmp_path / "spec.json")
+        assert RunSpec.load(path) == spec
+
+    def test_unknown_fields_rejected(self):
+        document = json.loads(self._spec().to_json())
+        document["surprise"] = 1
+        with pytest.raises(ValueError, match="unknown fields: \\['surprise'\\]"):
+            RunSpec.from_json(json.dumps(document))
+
+    def test_fault_plan_travels_as_grammar(self):
+        plan = FaultPlan(crashes=(CrashSpec(process=1, after_events=2,
+                                            down_events=1, recovery="replay"),))
+        spec = self._spec(fault_plan=plan)
+        assert spec.fault_plan == "1@2+1:replay"
+        assert spec.faults() == plan
+
+    def test_noop_fault_plan_serializes_as_none(self):
+        spec = self._spec(fault_plan=FaultPlan())
+        assert spec.fault_plan is None
+        assert spec.faults() is None
+
+    def test_cell_inputs_are_deterministic(self):
+        spec = self._spec()
+        computation_a, automaton_a, _ = build_cell_inputs(spec)
+        computation_b, automaton_b, _ = build_cell_inputs(spec)
+        assert computation_a.num_events == computation_b.num_events
+        assert [e.vc for e in computation_a.all_events()] == [
+            e.vc for e in computation_b.all_events()
+        ]
+        assert automaton_a.num_states == automaton_b.num_states

@@ -6,7 +6,7 @@ from repro.core import run_decentralized
 from repro.core.delays import AsymmetricLatencyMatrix, MultiPartitionDelay
 from repro.experiments.properties import case_study_registry
 from repro.ltl import build_monitor
-from repro.runtime import run_streaming
+from repro.api import run_streaming
 from repro.scenarios import AsymmetricNetwork, MultiPartitionNetwork, get_scenario
 from repro.sim import Simulator, random_computation, simulate_monitored_run
 

@@ -13,6 +13,7 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 DOCS = REPO_ROOT / "docs"
 SCENARIOS_DOC = DOCS / "scenarios.md"
 FAULTS_DOC = DOCS / "faults.md"
+API_DOC = DOCS / "api.md"
 
 #: packages/modules held to the "every public API has a docstring" ratchet
 #: (mirrored by the ruff D100–D104 configuration in pyproject.toml)
@@ -22,6 +23,8 @@ RATCHETED_PATHS = [
     REPO_ROOT / "src" / "repro" / "faults",
     REPO_ROOT / "src" / "repro" / "core",
     REPO_ROOT / "src" / "repro" / "experiments" / "engine.py",
+    REPO_ROOT / "src" / "repro" / "cluster",
+    REPO_ROOT / "src" / "repro" / "api.py",
 ]
 
 
@@ -112,6 +115,42 @@ class TestFaultsDoc:
         assert docgen.render_fault_catalogue() in updated
 
 
+class TestApiDoc:
+    def test_doc_exists_with_markers(self):
+        text = API_DOC.read_text(encoding="utf-8")
+        assert docgen.API_BEGIN_MARKER in text
+        assert docgen.API_END_MARKER in text
+
+    def test_api_doc_matches_public_surface(self):
+        """The generated reference must equal a fresh rendering — no drift."""
+        text = API_DOC.read_text(encoding="utf-8")
+        begin = text.index(docgen.API_BEGIN_MARKER)
+        end = text.index(docgen.API_END_MARKER) + len(docgen.API_END_MARKER)
+        assert text[begin:end] == docgen.render_api_reference(), (
+            "docs/api.md is out of date; regenerate it with "
+            "`PYTHONPATH=src python -m repro.scenarios.docgen docs/api.md`"
+        )
+
+    def test_every_public_name_documented(self):
+        from repro import api
+
+        text = API_DOC.read_text(encoding="utf-8")
+        for name in api.__all__:
+            assert f"| `{name}` |" in text
+
+    def test_docgen_refreshes_api_markers(self, tmp_path):
+        copy = tmp_path / "api.md"
+        copy.write_text(
+            "# header\n\n"
+            f"{docgen.API_BEGIN_MARKER}\nstale\n{docgen.API_END_MARKER}\n",
+            encoding="utf-8",
+        )
+        assert docgen.main([str(copy)]) == 0
+        updated = copy.read_text(encoding="utf-8")
+        assert "stale" not in updated
+        assert docgen.render_api_reference() in updated
+
+
 class TestDocsLinks:
     def test_all_relative_links_resolve(self):
         result = subprocess.run(
@@ -128,7 +167,13 @@ class TestDocsLinks:
         assert result.returncode == 0, result.stdout + result.stderr
 
     def test_required_documents_exist(self):
-        for name in ("architecture.md", "scenarios.md", "benchmarks.md", "faults.md"):
+        for name in (
+            "architecture.md",
+            "scenarios.md",
+            "benchmarks.md",
+            "faults.md",
+            "api.md",
+        ):
             assert (DOCS / name).exists(), f"docs/{name} is missing"
 
     def test_readme_links_architecture_doc(self):

@@ -20,12 +20,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.experiments import ExperimentScale, run_scenario
+from repro.api import ExecutionConfig, ExperimentScale, run_scenario, run_streaming
 from repro.experiments.engine import run_scenario_cell
 from repro.experiments.properties import case_study_registry
 from repro.faults import CrashSpec, FaultPlan, parse_fault_plan
 from repro.ltl import build_monitor
-from repro.runtime import run_streaming
 from repro.scenarios import GridPoint, get_scenario, list_scenarios
 from repro.sim import random_computation, simulate_monitored_run
 
@@ -104,7 +103,11 @@ class TestFaultFreePlansAreByteIdentical:
         point = GridPoint("B", 3)
         baseline = run_scenario_cell(scenario, point, SMALL_SCALE, seed=2015)
         cell = run_scenario_cell(
-            scenario, point, SMALL_SCALE, seed=2015, fault_plan=FaultPlan()
+            scenario,
+            point,
+            SMALL_SCALE,
+            seed=2015,
+            config=ExecutionConfig(fault_plan=FaultPlan()),
         )
         assert json.dumps(cell, sort_keys=True) == json.dumps(baseline, sort_keys=True)
 
@@ -220,7 +223,11 @@ class TestFaultScenarios:
             get_scenario("paper-default"), point, SMALL_SCALE, seed=7
         )
         cell = run_scenario_cell(
-            scenario, point, SMALL_SCALE, seed=7, fault_plan=override
+            scenario,
+            point,
+            SMALL_SCALE,
+            seed=7,
+            config=ExecutionConfig(fault_plan=override),
         )
         # the override silenced the storm: identical to the fault-free cell
         assert json.dumps(cell, sort_keys=True) == json.dumps(baseline, sort_keys=True)

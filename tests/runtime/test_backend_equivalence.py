@@ -17,7 +17,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.experiments import BACKENDS, ExperimentScale
+from repro.api import BACKENDS, ExecutionConfig, ExperimentScale, run_streaming
 from repro.experiments.engine import (
     execute_points,
     run_scenario,
@@ -25,7 +25,6 @@ from repro.experiments.engine import (
     trace_design,
 )
 from repro.experiments.properties import case_study_monitor, case_study_registry
-from repro.runtime import run_streaming
 from repro.scenarios import GridPoint, get_scenario
 from repro.sim import generate_computation, simulate_monitored_run
 
@@ -108,20 +107,21 @@ class TestVerdictEquivalence:
 
 
 class TestEngineBackends:
-    def test_backends_constant_names_both_executable(self):
-        assert BACKENDS == ("sim", "asyncio")
+    def test_backends_constant_names_all_executable(self):
+        assert BACKENDS == ("sim", "asyncio", "cluster")
 
     def test_unknown_backend_rejected(self):
-        scenario = get_scenario("paper-default")
         with pytest.raises(ValueError, match="unknown backend"):
-            run_scenario_cell(
-                scenario, GridPoint("B", 2), SMALL_SCALE, seed=1, backend="quantum"
-            )
+            ExecutionConfig(backend="quantum")
 
     def test_asyncio_cells_produce_sweep_metrics(self):
         scenario = get_scenario("lossy-retransmit")
         cell = run_scenario_cell(
-            scenario, GridPoint("B", 2), SMALL_SCALE, seed=2015, backend="asyncio"
+            scenario,
+            GridPoint("B", 2),
+            SMALL_SCALE,
+            seed=2015,
+            config=ExecutionConfig(backend="asyncio"),
         )
         for key in (
             "events",
@@ -135,13 +135,15 @@ class TestEngineBackends:
             assert key in cell
         # both backends monitor the identical generated trace
         sim_cell = run_scenario_cell(
-            scenario, GridPoint("B", 2), SMALL_SCALE, seed=2015, backend="sim"
+            scenario, GridPoint("B", 2), SMALL_SCALE, seed=2015
         )
         assert cell["events"] == sim_cell["events"]
 
     def test_asyncio_rows_have_sim_row_shape(self):
         rows_sim = run_scenario("paper-default", SMALL_SCALE)
-        rows_asyncio = run_scenario("paper-default", SMALL_SCALE, backend="asyncio")
+        rows_asyncio = run_scenario(
+            "paper-default", SMALL_SCALE, config=ExecutionConfig(backend="asyncio")
+        )
         assert len(rows_sim) == len(rows_asyncio)
         for sim_row, asyncio_row in zip(rows_sim, rows_asyncio):
             assert set(sim_row) == set(asyncio_row)
@@ -159,7 +161,12 @@ class TestEngineBackends:
             max_views_per_state=2,
             workers=2,
         )
-        rows = execute_points(scenario, points, sharded_scale, backend="asyncio")
+        rows = execute_points(
+            scenario,
+            points,
+            sharded_scale,
+            config=ExecutionConfig(backend="asyncio"),
+        )
         assert len(rows) == 2
         assert all(row["events"] > 0 for row in rows)
 

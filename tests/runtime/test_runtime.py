@@ -13,12 +13,8 @@ from repro.core.delays import (
 )
 from repro.experiments.properties import case_study_registry
 from repro.ltl import build_monitor
-from repro.runtime import (
-    InMemoryStreamTransport,
-    RuntimeClock,
-    TcpStreamTransport,
-    run_streaming,
-)
+from repro.runtime import InMemoryStreamTransport, RuntimeClock, TcpStreamTransport
+from repro.runtime.runner import run_streaming
 from repro.sim import random_computation, simulate_monitored_run
 
 FORMULAS = ["F(P0.p & P1.p)", "G(P0.p U P1.q)", "G(!(P0.p & P1.q))"]
@@ -173,10 +169,13 @@ class TestStreamTransport:
 class TestTcpMidFrameDisconnect:
     """A peer dying mid-frame must surface a precise diagnostic.
 
-    Regression: a disconnect inside a length-prefixed frame used to surface
-    as a raw ``EOFError`` (or a bogus quiescence timeout) instead of naming
-    the truncated frame.  The reader now records a ``ConnectionError`` as
-    ``transport.fatal_error`` and ``wait_quiescent`` re-raises it.
+    Regression: a disconnect inside a frame used to surface as a raw
+    ``EOFError`` (or a bogus quiescence timeout) instead of naming the
+    truncated frame.  The reader now records a ``ConnectionError`` as
+    ``transport.fatal_error`` and ``wait_quiescent`` re-raises it.  Frames
+    are wire protocol v2 (:mod:`repro.cluster.codec`): raw bytes written
+    here carry the magic/version/type header, and undecodable or
+    wrong-version frames must surface the codec's diagnostics the same way.
     """
 
     @staticmethod
@@ -200,12 +199,12 @@ class TestTcpMidFrameDisconnect:
             transport, _ = await self._transport_with_sink()
             try:
                 _, writer = await asyncio.open_connection("127.0.0.1", transport.ports[0])
-                writer.write(b"\x00\x00")  # 2 of the 4 length-prefix bytes
+                writer.write(b"RW")  # 2 of the 8 frame-header bytes
                 await writer.drain()
                 writer.close()
                 await writer.wait_closed()
                 await self._wait_for_fatal(transport)
-                with pytest.raises(ConnectionError, match="mid-frame.*length-prefix"):
+                with pytest.raises(ConnectionError, match="mid-frame.*frame-header"):
                     await transport.wait_quiescent(timeout=5.0)
             finally:
                 await transport.aclose()
@@ -218,9 +217,12 @@ class TestTcpMidFrameDisconnect:
             try:
                 _, writer = await asyncio.open_connection("127.0.0.1", transport.ports[0])
                 # a full header announcing 100 payload bytes, then only 10
-                import struct
+                from repro.cluster import codec
 
-                writer.write(struct.pack(">I", 100) + b"x" * 10)
+                header = codec.HEADER.pack(
+                    codec.MAGIC, codec.PROTOCOL_VERSION, codec.TYPE_VALUE, 100
+                )
+                writer.write(header + b"x" * 10)
                 await writer.drain()
                 writer.close()
                 await writer.wait_closed()
@@ -241,8 +243,15 @@ class TestTcpMidFrameDisconnect:
                 import socket
                 import struct
 
+                from repro.cluster import codec
+
                 _, writer = await asyncio.open_connection("127.0.0.1", transport.ports[0])
-                writer.write(struct.pack(">I", 100))  # header only, then RST
+                # a valid v2 header announcing 100 bytes, then RST
+                writer.write(
+                    codec.HEADER.pack(
+                        codec.MAGIC, codec.PROTOCOL_VERSION, codec.TYPE_VALUE, 100
+                    )
+                )
                 await writer.drain()
                 await asyncio.sleep(0.05)  # let the server consume the header
                 sock = writer.get_extra_info("socket")
@@ -267,15 +276,43 @@ class TestTcpMidFrameDisconnect:
                 _, writer = await asyncio.open_connection("127.0.0.1", transport.ports[0])
                 import struct
 
-                garbage = b"not a pickle"
+                from repro.cluster import codec
+
+                # a v1-style frame: length prefix + pickle-shaped garbage —
+                # its first bytes can never spell the v2 magic
+                garbage = b"not a v2 frame"
                 writer.write(struct.pack(">I", len(garbage)) + garbage)
                 await writer.drain()
                 writer.close()
                 await writer.wait_closed()
                 await self._wait_for_fatal(transport)
-                import pickle
+                with pytest.raises(
+                    codec.CorruptFrameError,
+                    match="bad frame magic.*no longer supported",
+                ):
+                    await transport.wait_quiescent(timeout=5.0)
+            finally:
+                await transport.aclose()
 
-                with pytest.raises(pickle.UnpicklingError):
+        asyncio.run(asyncio.wait_for(main(), timeout=15.0))
+
+    def test_wrong_protocol_version_reported(self):
+        async def main():
+            transport, _ = await self._transport_with_sink()
+            try:
+                from repro.cluster import codec
+
+                _, writer = await asyncio.open_connection("127.0.0.1", transport.ports[0])
+                # a structurally valid frame claiming protocol version 1
+                writer.write(codec.HEADER.pack(codec.MAGIC, 1, codec.TYPE_VALUE, 0))
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+                await self._wait_for_fatal(transport)
+                with pytest.raises(
+                    codec.ProtocolVersionError,
+                    match="peer speaks wire protocol version 1",
+                ):
                     await transport.wait_quiescent(timeout=5.0)
             finally:
                 await transport.aclose()
@@ -305,12 +342,10 @@ class TestTcpMidFrameDisconnect:
             transport.register(0, sink)
             await transport.start()
             try:
-                import pickle
-                import struct
+                from repro.cluster import codec
 
                 _, writer = await asyncio.open_connection("127.0.0.1", transport.ports[0])
-                payload = pickle.dumps((0.0, "hello"))
-                writer.write(struct.pack(">I", len(payload)) + payload)
+                writer.write(codec.encode_wire(0.0, "hello"))
                 await writer.drain()
                 writer.close()
                 await writer.wait_closed()

@@ -8,13 +8,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import MonitorNetwork, run_decentralized
-from repro.experiments import (
-    ExperimentScale,
-    execute_points,
-    execute_sweep,
-    run_monitoring_experiment,
-    run_scenario,
-)
+from repro.api import ExperimentScale, run_scenario
+from repro.experiments import run_monitoring_experiment
+from repro.experiments.engine import execute_points, execute_sweep
 from repro.experiments.properties import case_study_registry
 from repro.ltl import build_monitor
 from repro.scenarios import (

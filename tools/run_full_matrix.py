@@ -13,6 +13,12 @@ row count, plus the ``describe()`` metadata of every scenario exercised
 (including fault models).  The PR-path smoke job intentionally does *not*
 run this; it stays fast while the nightly sweep covers the whole catalogue.
 
+The cluster backend (one OS process per monitor) is opt-in via
+``--backends cluster`` because each of its cells spawns real worker
+processes; the nightly job runs it as a second, narrowed invocation at
+smoke scale, and the ``cluster-smoke`` PR job runs one scenario the same
+way.
+
 ``--scenarios`` / ``--properties`` narrow the matrix (used by the smoke test
 of this tool itself); the scale flags mirror the experiment CLI.
 """
@@ -27,9 +33,14 @@ from collections.abc import Sequence
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
 
-from repro.experiments import BACKENDS, ExperimentScale, run_scenario  # noqa: E402
 from repro.experiments.benchjson import write_bench_json  # noqa: E402
+from repro.experiments.engine import BACKENDS, ExecutionConfig, run_scenario  # noqa: E402
+from repro.experiments.harness import ExperimentScale  # noqa: E402
 from repro.scenarios import SweepGrid, get_scenario, scenario_names  # noqa: E402
+
+#: backends the matrix sweeps by default; the cluster backend spawns real
+#: worker processes per cell, so it is opt-in via ``--backends cluster``
+DEFAULT_BACKENDS = ("sim", "asyncio")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,9 +61,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--backends",
         nargs="+",
-        default=list(BACKENDS),
+        default=list(DEFAULT_BACKENDS),
         choices=list(BACKENDS),
-        help="backend subset to run (default: %(default)s)",
+        help="backend subset to run (default: %(default)s; 'cluster' is "
+        "opt-in since every cell spawns real worker processes)",
     )
     parser.add_argument(
         "--properties",
@@ -91,7 +103,9 @@ def run_matrix(
             label = f"matrix_{name}_{backend}"
             print(f"[full-matrix] {name} on {backend} ...", flush=True)
             start = time.perf_counter()
-            rows = run_scenario(scenario, scale, grid=grid, backend=backend)
+            rows = run_scenario(
+                scenario, scale, grid=grid, config=ExecutionConfig(backend=backend)
+            )
             timings[label] = {
                 "seconds": time.perf_counter() - start,
                 "group": "full-matrix",
