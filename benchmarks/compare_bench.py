@@ -73,16 +73,28 @@ def load_documents(directory: str) -> dict[str, dict]:
 def compare_timings(
     previous: dict, current: dict
 ) -> list[tuple[str, float, float, float]]:
-    """``(name, old_seconds, new_seconds, ratio)`` for every common timing."""
+    """``(name, old_value, new_value, ratio)`` for every common measurement.
+
+    ``ratio`` is always a *slowdown factor* (``>= 1 + threshold`` means
+    regression, whatever the unit): ``new/old`` for wall-clock ``seconds``
+    entries, and the inverted ``old/new`` for throughput entries — timings
+    that carry an ``events_per_sec`` field (higher is better) are compared
+    on that field too, as a second ``<name>:events_per_sec`` row.
+    """
     rows = []
     old_timings = previous.get("timings", {})
     new_timings = current.get("timings", {})
     for name in sorted(set(old_timings) & set(new_timings)):
         old_seconds = float(old_timings[name].get("seconds") or 0.0)
         new_seconds = float(new_timings[name].get("seconds") or 0.0)
-        if old_seconds <= 0.0 or new_seconds <= 0.0:
-            continue
-        rows.append((name, old_seconds, new_seconds, new_seconds / old_seconds))
+        if old_seconds > 0.0 and new_seconds > 0.0:
+            rows.append((name, old_seconds, new_seconds, new_seconds / old_seconds))
+        old_rate = float(old_timings[name].get("events_per_sec") or 0.0)
+        new_rate = float(new_timings[name].get("events_per_sec") or 0.0)
+        if old_rate > 0.0 and new_rate > 0.0:
+            rows.append(
+                (f"{name}:events_per_sec", old_rate, new_rate, old_rate / new_rate)
+            )
     return rows
 
 
@@ -95,8 +107,13 @@ def annotate(
     """Print the comparison table; return the names that regressed."""
     regressions = []
     print(f"== {file_name}")
-    print(f"{'timing':45} {'prev s':>9} {'curr s':>9} {'delta':>8}")
-    for name, old_seconds, new_seconds, ratio in rows:
+    print(f"{'timing':45} {'prev':>11} {'curr':>11} {'slowdown':>9}")
+    for name, old_value, new_value, ratio in rows:
+        # rate rows (":events_per_sec") already carry an inverted ratio, so
+        # the delta below uniformly reads "percent slower"
+        unit = "ev/s" if name.endswith(":events_per_sec") else "s"
+        old_text = f"{old_value:.3f}" if unit == "s" else f"{old_value:,.0f}"
+        new_text = f"{new_value:.3f}" if unit == "s" else f"{new_value:,.0f}"
         delta = (ratio - 1.0) * 100.0
         marker = ""
         if ratio >= 1.0 + warn_threshold:
@@ -105,16 +122,16 @@ def annotate(
             if github:
                 print(
                     f"::warning title=benchmark regression::{name} "
-                    f"({file_name}): {old_seconds:.3f}s -> {new_seconds:.3f}s "
+                    f"({file_name}): {old_text}{unit} -> {new_text}{unit} "
                     f"(+{delta:.1f}%, threshold {warn_threshold * 100:.0f}%)"
                 )
         elif ratio <= 1.0 - warn_threshold and github:
             print(
                 f"::notice title=benchmark improvement::{name} "
-                f"({file_name}): {old_seconds:.3f}s -> {new_seconds:.3f}s "
+                f"({file_name}): {old_text}{unit} -> {new_text}{unit} "
                 f"({delta:.1f}%)"
             )
-        print(f"{name:45} {old_seconds:9.3f} {new_seconds:9.3f} {delta:+7.1f}%{marker}")
+        print(f"{name:45} {old_text:>11} {new_text:>11} {delta:+8.1f}%{marker}")
     return regressions
 
 

@@ -1,4 +1,4 @@
-"""Benchmarks for the two kernel hot paths of the LTL monitoring stack.
+"""Benchmarks for the kernel hot paths of the LTL monitoring stack.
 
 These are the acceptance metrics tracked across PRs through the emitted
 ``BENCH_*.json`` artifact (see ``conftest.py``):
@@ -9,22 +9,49 @@ These are the acceptance metrics tracked across PRs through the emitted
   costs per distinct formula instead of per transition.
 * ``run_monitoring_experiment`` — one representative simulated monitoring
   point (property C, 4 processes) at the default :class:`ExperimentScale`.
+* ``compiled_step_throughput`` / ``interpreted_step_throughput`` — the
+  per-event inner loop (combine the per-process letters, step the Moore
+  machine) through the bitmask table kernel of
+  :mod:`repro.ltl.compiled` vs the interpreted frozenset path.  Both
+  records carry an ``events_per_sec`` field (higher is better;
+  ``compare_bench.py`` inverts the regression direction for it).
+* ``box_bfs_events_per_sec`` — the box-reachability BFS over a fully
+  concurrent box, compiled vs interpreted, as hit by token returns.
+* ``monitoring_end_to_end_compiled`` / ``_interpreted`` — one full sweep
+  cell with the kernel flag on and off; the cell metrics must be
+  byte-identical, only the wall clock may differ.
 
 The recorded wall-clock numbers land in the JSON document next to the fixed
 seed baseline (:data:`repro.experiments.benchjson.SEED_BASELINE_SECONDS`),
 so the speedup factor is directly computable from the artifact alone.
 """
 
+import os
+import random
 import time
 
 import pytest
 
 from conftest import record_timing
+from repro.api import ExecutionConfig
+from repro.core.global_view import GlobalView
+from repro.core.messages import TokenEntry
+from repro.core.monitor import DecentralizedMonitor
+from repro.core.transport import LoopbackNetwork
 from repro.experiments import DEFAULT_SCALE, run_monitoring_experiment
 from repro.experiments.benchjson import SEED_BASELINE_SECONDS
-from repro.experiments.properties import PROPERTY_NAMES, property_formula
+from repro.experiments.engine import run_scenario_cell
+from repro.experiments.properties import (
+    PROPERTY_NAMES,
+    case_study_monitor,
+    case_study_registry,
+    property_formula,
+)
 from repro.ltl import parse
 from repro.ltl.progression import build_progression_machine
+from repro.scenarios import GridPoint, get_scenario
+
+_SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
 
 
 @pytest.mark.benchmark(group="kernel")
@@ -81,3 +108,189 @@ def test_run_monitoring_experiment_default_scale(benchmark):
     assert row["processes"] == 4
     assert row["events"] > 0
     assert row["messages"] > 0
+
+
+def _per_process_letters(num_processes, num_events, seed=2015):
+    """Random per-process letters over the case-study propositions."""
+    rng = random.Random(seed)
+    columns = []
+    for j in range(num_processes):
+        atoms = (f"P{j}.p", f"P{j}.q")
+        columns.append(
+            [
+                frozenset(a for a in atoms if rng.random() < 0.5)
+                for _ in range(num_events)
+            ]
+        )
+    return columns
+
+
+@pytest.mark.benchmark(group="compiled-kernel")
+def test_compiled_vs_interpreted_step_throughput():
+    """The single-monitor inner loop: combine per-process letters, step.
+
+    Both sides do the full per-event work of
+    :meth:`repro.core.monitor.DecentralizedMonitor._step_combined`: the
+    interpreted path unions the frozensets and steps through the letter
+    index, the compiled path ORs the (cache-hit) bitmasks in
+    ``combine_batch`` and walks the dense table in ``run_batch``.
+    """
+    num_events = 20_000 if _SMOKE else 200_000
+    automaton = case_study_monitor("C", 3)
+    compiled = automaton.compiled
+    assert compiled is not None
+    columns = _per_process_letters(3, num_events)
+
+    def interpreted_pass():
+        state = automaton.initial_state
+        step = automaton.step
+        for letters in zip(*columns):
+            letter = frozenset().union(*letters)
+            state = step(state, letter)
+        return state
+
+    # the letter -> mask encoding is a bounded-cache dict hit in production
+    # (DecentralizedMonitor._mask_of), amortised per distinct letter
+    rows = [compiled.encode_many(column) for column in columns]
+
+    def compiled_pass():
+        masks = compiled.combine_batch(rows)
+        state, _ = compiled.run_batch(compiled.initial, masks)
+        return state
+
+    def best_of(fn, rounds=3):
+        best, result = float("inf"), None
+        for _ in range(rounds):
+            start = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - start)
+        return best, result
+
+    interpreted_elapsed, interpreted_state = best_of(interpreted_pass)
+    compiled_elapsed, compiled_state = best_of(compiled_pass)
+
+    assert compiled_state == interpreted_state
+    record_timing(
+        "interpreted_step_throughput",
+        interpreted_elapsed,
+        group="compiled-kernel",
+        events=num_events,
+        events_per_sec=num_events / interpreted_elapsed,
+    )
+    record_timing(
+        "compiled_step_throughput",
+        compiled_elapsed,
+        group="compiled-kernel",
+        events=num_events,
+        events_per_sec=num_events / compiled_elapsed,
+        speedup_vs_interpreted=interpreted_elapsed / compiled_elapsed,
+    )
+    # weak sanity floor; the tracked artifact shows the real factor (>=10x
+    # with numpy on the case-study formulas)
+    assert compiled_elapsed < interpreted_elapsed / 2
+
+
+def _fully_concurrent_box(monitor, automaton, registry, side):
+    """A view plus token entry spanning a fully concurrent ``side``³ box."""
+    n = monitor.num_processes
+    initial_letters = [registry.local_letter(j, {}) for j in range(n)]
+    view = GlobalView(
+        cut=[0] * n, state=automaton.initial_state, letters=initial_letters
+    )
+    entry = TokenEntry(
+        transition_id=0,
+        guard={},
+        conjuncts=[{} for _ in range(n)],
+        start_cut=[0] * n,
+        cut=[side] * n,
+        depend=[0] * n,
+        min_positions=[0] * n,
+        satisfied=[True] * n,
+    )
+    columns = _per_process_letters(n, side, seed=7)
+    for j in range(n):
+        for sn in range(1, side + 1):
+            vc = tuple(sn if k == j else 0 for k in range(n))
+            entry.record_scan(j, sn, columns[j][sn - 1], vc)
+    return view, entry
+
+
+@pytest.mark.benchmark(group="compiled-kernel")
+def test_box_bfs_events_per_sec():
+    """Box reachability (the token-return hot path) compiled vs interpreted.
+
+    A fully concurrent box maximises the consistent cells the BFS must
+    expand, so this isolates the per-cell combine+step cost.  The recorded
+    unit is cells expanded per second (``events_per_sec``, higher better).
+    """
+    side = 8 if _SMOKE else 16
+    iterations = 2 if _SMOKE else 3
+    n = 3
+    cells = (side + 1) ** n
+    automaton = case_study_monitor("C", n)
+    registry = case_study_registry(n)
+    results = {}
+    for label, flag in (("compiled", True), ("interpreted", False)):
+        monitor = DecentralizedMonitor(
+            process=0,
+            num_processes=n,
+            automaton=automaton,
+            registry=registry,
+            initial_letters=[registry.local_letter(j, {}) for j in range(n)],
+            transport=LoopbackNetwork(),
+            use_compiled_kernel=flag,
+        )
+        view, entry = _fully_concurrent_box(monitor, automaton, registry, side)
+        start = time.perf_counter()
+        for _ in range(iterations):
+            reachable, letters = monitor._box_reachable(view, entry)
+        elapsed = time.perf_counter() - start
+        results[label] = (reachable, letters, monitor.declared_verdicts, elapsed)
+    assert results["compiled"][0] == results["interpreted"][0]
+    assert results["compiled"][1] == results["interpreted"][1]
+    assert results["compiled"][2] == results["interpreted"][2]
+    for label in ("compiled", "interpreted"):
+        elapsed = results[label][3]
+        record_timing(
+            f"box_bfs_{label}",
+            elapsed,
+            group="compiled-kernel",
+            cells=cells * iterations,
+            events_per_sec=cells * iterations / elapsed,
+        )
+
+
+@pytest.mark.benchmark(group="compiled-kernel")
+def test_monitoring_end_to_end_compiled_vs_interpreted():
+    """One full sweep cell with the kernel flag on and off.
+
+    The cell metrics must be byte-identical (the kernel is semantics
+    preserving); only wall clock differs, and both are tracked.
+    """
+    from conftest import BENCH_SCALE
+
+    scenario = get_scenario("paper-default")
+    point = GridPoint("C", 3)
+    cells = {}
+    for label, flag in (("compiled", True), ("interpreted", False)):
+        start = time.perf_counter()
+        cell = run_scenario_cell(
+            scenario,
+            point,
+            BENCH_SCALE,
+            seed=2015,
+            config=ExecutionConfig(compiled_kernel=flag),
+        )
+        elapsed = time.perf_counter() - start
+        cells[label] = cell
+        record_timing(
+            f"monitoring_end_to_end_{label}",
+            elapsed,
+            group="compiled-kernel",
+            scenario="paper-default",
+            property="C",
+            processes=3,
+            events=cell["events"],
+            events_per_sec=cell["events"] / elapsed,
+        )
+    assert cells["compiled"] == cells["interpreted"]

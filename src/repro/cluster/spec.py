@@ -43,6 +43,10 @@ class RunSpec:
     seed: int
     max_views_per_state: int | None
     fault_plan: str | None = None
+    #: step monitors with the compiled bitmask/dense-table kernel; defaults
+    #: to true so specs written before the field existed keep the new
+    #: behaviour (the two kernels are step-for-step equivalent)
+    compiled_kernel: bool = True
 
     def to_json(self) -> str:
         """Serialise the spec as a JSON document."""
@@ -87,6 +91,7 @@ def spec_for_cell(
     seed: int,
     max_views_per_state: int | None,
     fault_plan: FaultPlan | None,
+    compiled_kernel: bool = True,
 ) -> RunSpec:
     """Build the spec of one sweep cell from its resolved parameters."""
     serialised = None
@@ -104,6 +109,7 @@ def spec_for_cell(
         seed=seed,
         max_views_per_state=max_views_per_state,
         fault_plan=serialised,
+        compiled_kernel=compiled_kernel,
     )
 
 

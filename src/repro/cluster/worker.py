@@ -95,6 +95,7 @@ async def run_worker(manifest: ClusterManifest, process: int, spec: RunSpec) -> 
             initial_letters=initial_letters,
             transport=transport,
             max_views_per_state=spec.max_views_per_state,
+            use_compiled_kernel=spec.compiled_kernel,
         )
 
     plan = spec.faults()

@@ -49,11 +49,14 @@ class CentralizedMonitor:
         automaton: MonitorAutomaton,
         registry: PropositionRegistry,
         initial_letters: list[Letter],
+        use_compiled_kernel: bool = True,
     ) -> None:
         self.num_processes = num_processes
         self.automaton = automaton
         self.registry = registry
         self.initial_letters = list(initial_letters)
+        self._compiled = automaton.compiled if use_compiled_kernel else None
+        self._mask_cache: dict[Letter, int] = {}
         self._events: list[dict[int, Event]] = [dict() for _ in range(num_processes)]
         bottom: Cut = (0,) * num_processes
         initial_state = automaton.step(
@@ -88,6 +91,29 @@ class CentralizedMonitor:
                 )
         return self._combine(letters)
 
+    def _mask_of(self, letter: Letter) -> int:
+        """Bitmask of a per-process letter under the compiled machine."""
+        mask = self._mask_cache.get(letter)
+        if mask is None:
+            mask = self._compiled.encode(letter)  # type: ignore[union-attr]
+            if len(self._mask_cache) < 4096:
+                self._mask_cache[letter] = mask
+        return mask
+
+    def _mask_of_cut(self, cut: Cut) -> int:
+        """Combined letter bitmask of a cut (compiled-kernel counterpart
+        of :meth:`_letter_of_cut`)."""
+        mask = 0
+        for process in range(self.num_processes):
+            count = cut[process]
+            if count == 0:
+                letter = self.initial_letters[process]
+            else:
+                event = self._events[process][count]
+                letter = self.registry.local_letter(process, event.state)
+            mask |= self._mask_of(letter)
+        return mask
+
     def _cut_consistent(self, cut: Cut) -> bool:
         for process in range(self.num_processes):
             count = cut[process]
@@ -110,6 +136,7 @@ class CentralizedMonitor:
 
     def _extend_frontier(self) -> None:
         """Propagate reachable states to all newly-completable cuts."""
+        compiled = self._compiled
         changed = True
         while changed:
             changed = False
@@ -123,15 +150,25 @@ class CentralizedMonitor:
                     )
                     if not self._cut_consistent(successor):
                         continue
-                    letter = self._letter_of_cut(successor)
                     target = self._reachable.setdefault(successor, set())
                     before = len(target)
-                    for state in states:
-                        new_state = self.automaton.step(state, letter)
-                        target.add(new_state)
-                        verdict = self.automaton.verdict(new_state)
-                        if verdict.is_final:
-                            self.declared.add(verdict)
+                    if compiled is not None:
+                        mask = self._mask_of_cut(successor)
+                        table = compiled.table
+                        n_letters = compiled.n_letters
+                        for state in states:
+                            new_state = table[state * n_letters + mask]
+                            target.add(new_state)
+                            if compiled.final_flags[new_state]:
+                                self.declared.add(self.automaton.verdict(new_state))
+                    else:
+                        letter = self._letter_of_cut(successor)
+                        for state in states:
+                            new_state = self.automaton.step(state, letter)
+                            target.add(new_state)
+                            verdict = self.automaton.verdict(new_state)
+                            if verdict.is_final:
+                                self.declared.add(verdict)
                     if len(target) != before:
                         changed = True
             self.max_tracked_cuts = max(self.max_tracked_cuts, len(self._reachable))
@@ -158,13 +195,20 @@ class CentralizedMonitor:
         computation: Computation,
         automaton: MonitorAutomaton,
         registry: PropositionRegistry,
+        use_compiled_kernel: bool = True,
     ) -> CentralizedResult:
         """Replay a finished computation through a centralized monitor."""
         initial_letters = [
             registry.local_letter(i, computation.initial_states[i])
             for i in range(computation.num_processes)
         ]
-        monitor = cls(computation.num_processes, automaton, registry, initial_letters)
+        monitor = cls(
+            computation.num_processes,
+            automaton,
+            registry,
+            initial_letters,
+            use_compiled_kernel=use_compiled_kernel,
+        )
         events = sorted(computation.all_events(), key=lambda e: (e.timestamp, e.process, e.sn))
         for event in events:
             monitor.receive_event(event)

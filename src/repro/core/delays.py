@@ -292,6 +292,42 @@ class MultiPartitionDelay(GaussianDelay):
         self.held_messages = 0
 
     @staticmethod
+    def derive_schedule(
+        schedule: tuple[PartitionPhase, ...],
+        seed: int | None,
+        jitter: float = 0.25,
+    ) -> tuple[PartitionPhase, ...]:
+        """Derive a per-seed variant of *schedule* with shifted phase starts.
+
+        Each phase keeps its duration and groups but its start is shifted by
+        a uniform offset in ``±jitter * duration``, drawn from a dedicated
+        :class:`random.Random` keyed on *seed* — so every replication of a
+        sweep sees a deterministically different partition timing instead of
+        the identical wall-clock phases.  Shifts are clamped so phases stay
+        non-negative, ordered and non-overlapping (each phase moves within
+        the slack to its neighbours, split evenly).  ``seed=None`` or a
+        non-positive *jitter* returns the schedule unchanged.
+        """
+        if seed is None or jitter <= 0 or not schedule:
+            return tuple(schedule)
+        phases = tuple(sorted(schedule, key=lambda phase: phase[0]))
+        rng = random.Random(f"multi-partition-schedule:{seed}")
+        derived: list[PartitionPhase] = []
+        previous_end = 0.0
+        for index, (start, end, groups) in enumerate(phases):
+            duration = end - start
+            next_start = (
+                phases[index + 1][0] if index + 1 < len(phases) else math.inf
+            )
+            # half the gap to each neighbour is this phase's movement slack
+            low = max(-jitter * duration, (previous_end - start) / 2.0, -start)
+            high = min(jitter * duration, (next_start - end) / 2.0)
+            shift = rng.uniform(low, high) if high > low else 0.0
+            derived.append((start + shift, end + shift, groups))
+            previous_end = end + shift
+        return tuple(derived)
+
+    @staticmethod
     def _group_of(process: int, groups: tuple[tuple[int, ...], ...]) -> int:
         """The phase-local group index of *process* (-1 = the rest group)."""
         for index, group in enumerate(groups):

@@ -110,6 +110,13 @@ class DecentralizedMonitor:
         a small multiple of the automaton size) on long workloads at the
         cost of possibly missing verdicts reachable only through the pruned
         views.
+    use_compiled_kernel:
+        When true (default) and the automaton's machine compiles (see
+        :mod:`repro.ltl.compiled`), letter combination and automaton
+        stepping run over integer bitmasks and a dense transition table
+        instead of frozenset union + dictionary lookups.  The two paths are
+        step-for-step equivalent; this flag is the per-monitor end of
+        ``ExecutionConfig.compiled_kernel`` / ``--no-compiled-kernel``.
     """
 
     def __init__(
@@ -121,6 +128,7 @@ class DecentralizedMonitor:
         initial_letters: Sequence[Letter],
         transport: Transport,
         max_views_per_state: int | None = None,
+        use_compiled_kernel: bool = True,
     ) -> None:
         self.process = process
         self.num_processes = num_processes
@@ -129,6 +137,8 @@ class DecentralizedMonitor:
         self.initial_letters: list[Letter] = [frozenset(l) for l in initial_letters]
         self.transport = transport
         self.max_views_per_state = max_views_per_state
+        self._compiled = automaton.compiled if use_compiled_kernel else None
+        self._mask_cache: dict[Letter, int] = {}
         self.metrics = MonitorMetrics()
 
         self.history: dict[int, Event] = {}
@@ -148,8 +158,8 @@ class DecentralizedMonitor:
         self.declared_verdicts: set[Verdict] = set()
         self.declared_states: set[int] = set()
 
-        initial_state = automaton.step(
-            automaton.initial_state, self._combine(self.initial_letters)
+        initial_state = self._step_combined(
+            automaton.initial_state, self.initial_letters
         )
         view = GlobalView(
             cut=[0] * num_processes,
@@ -175,6 +185,36 @@ class DecentralizedMonitor:
         for letter in letters:
             result |= letter
         return frozenset(result)
+
+    def _mask_of(self, letter: Letter) -> int:
+        """Bitmask of a per-process letter under the compiled machine.
+
+        Masks of letters seen are cached (bounded, mirroring the projection
+        cache of :meth:`repro.ltl.dfa.MooreMachine.step`) so the hot path is
+        one dictionary lookup per per-process letter.
+        """
+        mask = self._mask_cache.get(letter)
+        if mask is None:
+            mask = self._compiled.encode(letter)  # type: ignore[union-attr]
+            if len(self._mask_cache) < 4096:
+                self._mask_cache[letter] = mask
+        return mask
+
+    def _step_combined(self, state: int, letters: Iterable[Letter]) -> int:
+        """Step the automaton on the combination of per-process letters.
+
+        The compiled path OR-combines letter bitmasks and indexes the dense
+        table; the interpreted path unions frozensets and steps the Moore
+        machine.  Both produce the same successor state.
+        """
+        compiled = self._compiled
+        if compiled is not None:
+            mask = 0
+            mask_of = self._mask_of
+            for letter in letters:
+                mask |= mask_of(letter)
+            return compiled.step(state, mask)
+        return self.automaton.step(state, self._combine(letters))
 
     def _declare(self, state: int) -> None:
         verdict = self.automaton.verdict(state)
@@ -312,8 +352,17 @@ class DecentralizedMonitor:
             return
 
         letter_local = self._local_letter(event.sn)
-        global_letter = view.letter_with(self.process, letter_local)
-        new_state = self.automaton.step(view.state, global_letter)
+        if self._compiled is not None:
+            mask = self._mask_of(letter_local)
+            mask_of = self._mask_of
+            mine = self.process
+            for j, letter in enumerate(view.letters):
+                if j != mine:
+                    mask |= mask_of(letter)
+            new_state = self._compiled.step(view.state, mask)
+        else:
+            global_letter = view.letter_with(self.process, letter_local)
+            new_state = self.automaton.step(view.state, global_letter)
         view.cut[self.process] = event.sn
         view.letters[self.process] = letter_local
         view.state = new_state
@@ -729,6 +778,14 @@ class DecentralizedMonitor:
         automaton_step = self.automaton.step
         is_final = self.automaton.is_final
         n_range = range(n)
+        compiled = self._compiled
+        if compiled is not None:
+            # per-(process, offset) bitmask columns: combining the letters of
+            # a cell is an integer OR and stepping is one dense-table load
+            mask_of = self._mask_of
+            masks_by = [[mask_of(letter) for letter in col] for col in letters_by]
+            table = compiled.table
+            n_letters = compiled.n_letters
 
         # Level-synchronous BFS over the *reachable consistent* cells of the
         # box (all predecessors of a cell sit exactly one level below it, so
@@ -742,7 +799,7 @@ class DecentralizedMonitor:
         current: dict[tuple[int, ...], set[int]] = {origin: {view.state}}
         while current:
             nxt: dict[tuple[int, ...], set[int]] = {}
-            letters_at: dict[tuple[int, ...], Letter] = {}
+            letters_at: dict[tuple[int, ...], Letter | int] = {}
             for offsets, states in current.items():
                 for j in active:
                     oj = offsets[j]
@@ -769,16 +826,33 @@ class DecentralizedMonitor:
                             inconsistent.add(succ)
                             continue
                         bucket = nxt[succ] = set()
-                        letters_at[succ] = self._combine(
-                            letters_by[i][succ[i]] for i in n_range
-                        )
+                        if compiled is not None:
+                            cell_mask = 0
+                            for i in n_range:
+                                cell_mask |= masks_by[i][succ[i]]
+                            letters_at[succ] = cell_mask
+                        else:
+                            letters_at[succ] = self._combine(
+                                letters_by[i][succ[i]] for i in n_range
+                            )
                     letter = letters_at[succ]
+                    if compiled is not None:
+                        for state in states:
+                            bucket.add(table[state * n_letters + letter])
+                    else:
+                        for state in states:
+                            bucket.add(automaton_step(state, letter))
+            if compiled is not None:
+                final_flags = compiled.final_flags
+                for states in nxt.values():
                     for state in states:
-                        bucket.add(automaton_step(state, letter))
-            for states in nxt.values():
-                for state in states:
-                    if is_final(state):
-                        self._declare(state)
+                        if final_flags[state]:
+                            self._declare(state)
+            else:
+                for states in nxt.values():
+                    for state in states:
+                        if is_final(state):
+                            self._declare(state)
             if final_offsets in nxt:
                 final_states = nxt[final_offsets]
             current = nxt
@@ -797,6 +871,22 @@ class DecentralizedMonitor:
         events.sort(key=lambda item: (sum(item[0]), item[0], item[1]))
         letters = list(view.letters)
         state = view.state
+        compiled = self._compiled
+        if compiled is not None:
+            mask_of = self._mask_of
+            masks = [mask_of(letter) for letter in letters]
+            table = compiled.table
+            n_letters = compiled.n_letters
+            final_flags = compiled.final_flags
+            for _, j, sn in events:
+                masks[j] = mask_of(entry.scanned_letters[j][sn])
+                mask = 0
+                for m in masks:
+                    mask |= m
+                state = table[state * n_letters + mask]
+                if final_flags[state]:
+                    self._declare(state)
+            return {state}
         for _, j, sn in events:
             letters[j] = entry.scanned_letters[j][sn]
             state = self.automaton.step(state, self._combine(letters))

@@ -106,6 +106,7 @@ def run_decentralized(
     registry: PropositionRegistry,
     deliver_after_each_event: bool = True,
     max_views_per_state: int | None = None,
+    compiled_kernel: bool = True,
 ) -> DecentralizedResult:
     """Monitor a finished computation with the decentralized algorithm.
 
@@ -128,6 +129,9 @@ def run_decentralized(
     max_views_per_state:
         Optional exploration budget forwarded to every monitor (see
         :class:`repro.core.monitor.DecentralizedMonitor`).
+    compiled_kernel:
+        Forwarded to every monitor as ``use_compiled_kernel`` (bitmask/dense
+        table stepping, default on).
     """
     if isinstance(property_or_automaton, str):
         automaton = build_monitor(
@@ -150,6 +154,7 @@ def run_decentralized(
             initial_letters=initial_letters,
             transport=network,
             max_views_per_state=max_views_per_state,
+            use_compiled_kernel=compiled_kernel,
         )
         for i in range(n)
     ]

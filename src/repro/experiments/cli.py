@@ -168,6 +168,7 @@ def _execution_config(args: argparse.Namespace) -> ExecutionConfig:
         stream_transport=args.stream_transport or "memory",
         fault_plan=fault_plan,
         manifest=args.manifest,
+        compiled_kernel=not args.no_compiled_kernel,
     )
 
 
@@ -380,6 +381,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="table",
         help="list-scenarios only: aligned table (default) or a JSON "
         "catalogue for tooling",
+    )
+    parser.add_argument(
+        "--no-compiled-kernel",
+        action="store_true",
+        help="step monitors with the interpreted Moore machine instead of "
+        "the compiled bitmask/dense-table kernel (results are identical; "
+        "this is an escape hatch and an A/B measurement aid)",
     )
     parser.add_argument(
         "--fault-plan",

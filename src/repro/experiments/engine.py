@@ -83,12 +83,19 @@ class ExecutionConfig:
     manifest:
         Cluster backend only: a :class:`repro.cluster.ClusterManifest` or a
         manifest file path; ``None`` auto-allocates loopback workers.
+    compiled_kernel:
+        Step monitors with the compiled bitmask/dense-table kernel
+        (:mod:`repro.ltl.compiled`).  Default on; the CLI exposes
+        ``--no-compiled-kernel`` as the escape hatch.  Results are
+        byte-identical either way — the flag only selects the stepping
+        implementation.
     """
 
     backend: str = "sim"
     stream_transport: str = "memory"
     fault_plan: FaultPlan | None = None
     manifest: object | None = None
+    compiled_kernel: bool = True
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -231,6 +238,7 @@ def run_scenario_cell(
             seed,
             scale.max_views_per_state,
             faults,
+            compiled_kernel=config.compiled_kernel,
         )
         report = cluster_monitored_run(spec, manifest=config.manifest)
         return _cell_metrics(report)
@@ -258,6 +266,7 @@ def run_scenario_cell(
             max_views_per_state=scale.max_views_per_state,
             network=scenario.network,
             faults=faults,
+            compiled_kernel=config.compiled_kernel,
         )
     else:  # "asyncio" — ExecutionConfig validated the backend already
         from ..runtime.runner import run_streaming
@@ -270,6 +279,7 @@ def run_scenario_cell(
             max_views_per_state=scale.max_views_per_state,
             transport=config.stream_transport,
             faults=faults,
+            compiled_kernel=config.compiled_kernel,
         )
     return _cell_metrics(report)
 

@@ -49,6 +49,7 @@ from .ast import (
 )
 from .boolmin import Implicant, implicant_to_str, minimize_letters
 from .buchi import BuchiAutomaton, Guard, ltl_to_buchi, nonempty_states
+from .compiled import CompiledMachine, compile_machine
 from .dfa import MooreMachine, determinize
 from .monitor import MonitorAutomaton, Transition, build_monitor
 from .parser import LTLSyntaxError, parse
@@ -105,6 +106,8 @@ __all__ = [
     "nonempty_states",
     "MooreMachine",
     "determinize",
+    "CompiledMachine",
+    "compile_machine",
     "MonitorAutomaton",
     "Transition",
     "build_monitor",

@@ -1,0 +1,368 @@
+"""Compiled monitor kernel: bitmask letters over dense transition tables.
+
+The synthesized LTL3 monitor (:class:`repro.ltl.dfa.MooreMachine`) interprets
+each transition as a hash + two dictionary lookups over ``frozenset[str]``
+letters.  This module compiles such a machine — whose alphabet is complete
+over its atom set, as every machine built by :mod:`repro.ltl.monitor` and
+:mod:`repro.ltl.progression` is — into a :class:`CompiledMachine`:
+
+* **Letters are integer bitmasks.**  Atom ``i`` (in sorted atom order) is bit
+  ``1 << i``; a letter is the OR of its atoms' bits.  Projection of foreign
+  atoms (propositions of processes the formula never mentions) falls out of
+  :meth:`CompiledMachine.encode` for free, and combining per-process letters
+  into a global letter is a masked integer OR instead of frozenset
+  construction + hashing.
+* **The bitmask IS the column index.**  ``delta`` is stored as one flat dense
+  ``array('i')`` of ``num_states * 2**n_atoms`` entries laid out as
+  ``state * n_letters + mask``, so a transition is a single indexed load with
+  no per-letter dictionary at all.
+* **Batched stepping.**  :meth:`CompiledMachine.run_batch` advances a whole
+  event window in one call through a pointer-chased node table (one list
+  index per event), returning both the final state and the index of the
+  first conclusive verdict; :meth:`CompiledMachine.combine_batch` OR-combines
+  per-process mask streams (vectorised through numpy when it is importable,
+  with a pure-Python fallback otherwise); :meth:`CompiledMachine.outputs_batch`
+  is the vectorised Moore-output lookup.
+
+numpy is strictly optional: every operation has a pure-Python code path and
+the numpy views are built lazily only when requested on a host that has it.
+:func:`compile_machine` returns ``None`` (callers keep the interpreted
+machine) when a machine cannot be compiled: its alphabet is not the full
+``2**n_atoms`` assignment set, or the dense table would exceed
+:data:`MAX_TABLE_ENTRIES`.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import Callable, Hashable, Iterable, Sequence
+from typing import Any
+
+from .dfa import Letter, MooreMachine
+
+__all__ = ["CompiledMachine", "compile_machine", "MAX_TABLE_ENTRIES"]
+
+#: refuse to materialise dense tables larger than this (states × 2**atoms);
+#: the case-study machines are thousands of times smaller
+MAX_TABLE_ENTRIES = 1 << 24
+
+try:  # pragma: no cover - exercised indirectly on hosts with numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on hosts without numpy
+    _np = None
+
+#: chunk size of the :meth:`CompiledMachine.run_batch` fast path; finality is
+#: only re-checked at chunk boundaries when conclusive states are absorbing
+_BATCH_CHUNK = 4096
+
+
+def _default_is_final(output: Hashable) -> bool:
+    """Treat outputs with a truthy ``is_final`` attribute as conclusive."""
+    return bool(getattr(output, "is_final", False))
+
+
+class CompiledMachine:
+    """A Moore machine compiled to bitmask letters and a dense flat table.
+
+    Instances are built by :func:`compile_machine`; the constructor arguments
+    mirror the compiled representation directly.
+
+    Attributes
+    ----------
+    atoms:
+        The machine's atoms in bit order (``atoms[i]`` is bit ``1 << i``).
+    n_letters:
+        ``2 ** len(atoms)`` — the dense column count; a letter's bitmask is
+        its column index.
+    initial:
+        Index of the initial state.
+    table:
+        Flat dense successor table: ``table[state * n_letters + mask]``.
+    outputs:
+        Per-state Moore outputs (verdicts for monitor machines).
+    """
+
+    __slots__ = (
+        "atoms",
+        "atom_bit",
+        "n_letters",
+        "num_states",
+        "initial",
+        "table",
+        "outputs",
+        "final_flags",
+        "final_absorbing",
+        "_nodes",
+        "_np_table",
+        "_np_outputs",
+    )
+
+    def __init__(
+        self,
+        atoms: Sequence[str],
+        initial: int,
+        table: array,
+        outputs: Sequence[Hashable],
+        final_flags: Sequence[bool],
+    ) -> None:
+        self.atoms: tuple[str, ...] = tuple(atoms)
+        self.atom_bit: dict[str, int] = {a: 1 << i for i, a in enumerate(self.atoms)}
+        self.n_letters: int = 1 << len(self.atoms)
+        self.num_states: int = len(outputs)
+        self.initial: int = initial
+        self.table: array = table
+        self.outputs: tuple[Hashable, ...] = tuple(outputs)
+        self.final_flags: tuple[bool, ...] = tuple(bool(f) for f in final_flags)
+        # finality is *absorbing* when no conclusive state can leave the
+        # conclusive set — true for every LTL3 monitor (⊤/⊥ are trap states)
+        # and the property the chunked run_batch fast path relies on
+        L = self.n_letters
+        self.final_absorbing: bool = all(
+            self.final_flags[table[s * L + m]]
+            for s in range(self.num_states)
+            if self.final_flags[s]
+            for m in range(L)
+        )
+        # node-chained view of the table: nodes[s][mask] is the *node* of the
+        # successor state, so a batched step is one list index per event;
+        # node[L] is the state id and node[L + 1] its finality flag
+        nodes: list[list[Any]] = [[None] * (L + 2) for _ in range(self.num_states)]
+        for s in range(self.num_states):
+            row = nodes[s]
+            base = s * L
+            for m in range(L):
+                row[m] = nodes[table[base + m]]
+            row[L] = s
+            row[L + 1] = 1 if self.final_flags[s] else 0
+        self._nodes: list[list[Any]] = nodes
+        self._np_table: Any = None
+        self._np_outputs: Any = None
+
+    # ------------------------------------------------------------------
+    # letter encoding
+    # ------------------------------------------------------------------
+    def encode(self, letter: Iterable[str]) -> int:
+        """Bitmask of *letter* (a set of true atoms).
+
+        Atoms outside the machine's alphabet contribute no bits, so foreign
+        propositions are projected away with no frozenset construction.
+        """
+        bits = self.atom_bit
+        mask = 0
+        for atom in letter:
+            bit = bits.get(atom)
+            if bit is not None:
+                mask |= bit
+        return mask
+
+    def encode_many(self, letters: Iterable[Iterable[str]]) -> array:
+        """Encode a stream of letters into a compact ``array('i')`` buffer.
+
+        The buffer indexes, slices and iterates like a list of ints, and
+        :meth:`combine_batch` combines such buffers zero-copy through
+        ``numpy.frombuffer`` instead of converting element by element.
+        """
+        encode = self.encode
+        return array("i", (encode(letter) for letter in letters))
+
+    def decode(self, mask: int) -> Letter:
+        """The letter (frozenset of true atoms) a bitmask denotes."""
+        return frozenset(
+            atom for atom, bit in self.atom_bit.items() if mask & bit
+        )
+
+    def combine_batch(self, mask_rows: Sequence[Sequence[int]]) -> list[int]:
+        """OR-combine per-process mask streams into global letter masks.
+
+        ``mask_rows[j][i]`` is the mask of process *j* at event *i*; the
+        result is the per-event OR across processes — the compiled
+        counterpart of the monitor's frozenset-union ``_combine``.  Uses a
+        vectorised ``numpy.bitwise_or`` reduction when numpy is importable
+        and falls back to a pure-Python fold otherwise.
+        """
+        if not mask_rows:
+            return []
+        if len(mask_rows) == 1:
+            return list(mask_rows[0])
+        if _np is not None:
+            if all(isinstance(row, array) for row in mask_rows):
+                # encode_many buffers: reinterpret the raw bytes zero-copy
+                rows = [
+                    _np.frombuffer(row, dtype=f"=i{row.itemsize}")
+                    for row in mask_rows
+                ]
+            else:
+                rows = [_np.asarray(row, dtype=_np.int64) for row in mask_rows]
+            combined = rows[0]
+            for row in rows[1:]:
+                combined = combined | row
+            return combined.tolist()
+        folded = list(mask_rows[0])
+        for row in mask_rows[1:]:
+            folded = [a | b for a, b in zip(folded, row)]
+        return folded
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+    def step(self, state: int, mask: int) -> int:
+        """Successor of *state* after reading the letter bitmask *mask*."""
+        return self.table[state * self.n_letters + mask]
+
+    def step_letter(self, state: int, letter: Iterable[str]) -> int:
+        """Successor of *state* after reading a (possibly foreign) letter."""
+        return self.table[state * self.n_letters + self.encode(letter)]
+
+    def run(self, masks: Iterable[int], start: int | None = None) -> int:
+        """State reached after reading *masks* from *start* (default initial)."""
+        node = self._nodes[self.initial if start is None else start]
+        for mask in masks:
+            node = node[mask]
+        return node[self.n_letters]
+
+    def run_batch(
+        self, state: int, masks: Sequence[int]
+    ) -> tuple[int, int]:
+        """Advance *state* over a whole event window in one call.
+
+        Returns ``(final_state, first_final_index)`` where
+        ``first_final_index`` is the index of the event after which the
+        machine first sat in a conclusive (final-flagged) state, or ``-1``
+        when no consumed event leaves it in one (an empty window always
+        reports ``-1``, even from a conclusive state).  When finality is
+        absorbing (true
+        for LTL3 monitors) the hot loop runs chunked with one list index per
+        event and only re-scans the single chunk where the verdict landed.
+        """
+        L = self.n_letters
+        node = self._nodes[state]
+        if not self.final_absorbing:
+            first = -1
+            for i, mask in enumerate(masks):
+                node = node[mask]
+                if first < 0 and node[L + 1]:
+                    first = i
+            return node[L], first
+        if node[L + 1]:
+            # already conclusive at entry: absorbing finality keeps every
+            # subsequent state conclusive, so the first event qualifies
+            for mask in masks:
+                node = node[mask]
+            return node[L], 0 if masks else -1
+        total = len(masks)
+        for base in range(0, total, _BATCH_CHUNK):
+            chunk = masks[base : base + _BATCH_CHUNK]
+            entry = node
+            for mask in chunk:
+                node = node[mask]
+            if node[L + 1]:
+                # the verdict became conclusive inside this chunk: replay it
+                # with per-step checks to locate the exact event index
+                return self._scan_from(entry, masks, base)
+        return node[L], -1
+
+    def _scan_from(
+        self, node: list[Any], masks: Sequence[int], base: int
+    ) -> tuple[int, int]:
+        """Per-step finality scan used to pinpoint the conclusive index."""
+        L = self.n_letters
+        first = -1
+        for i in range(base, len(masks)):
+            node = node[masks[i]]
+            if node[L + 1]:
+                first = i
+                break
+        if first >= 0:
+            for i in range(first + 1, len(masks)):
+                node = node[masks[i]]
+        return node[L], first
+
+    # ------------------------------------------------------------------
+    # outputs
+    # ------------------------------------------------------------------
+    def output(self, state: int) -> Hashable:
+        """The Moore output (verdict) of *state*."""
+        return self.outputs[state]
+
+    def is_final(self, state: int) -> bool:
+        """Whether *state* carries a conclusive (final-flagged) output."""
+        return self.final_flags[state]
+
+    def outputs_batch(self, states: Sequence[int]) -> list[Hashable]:
+        """Vectorised Moore-output lookup for a batch of states.
+
+        Uses numpy fancy indexing over an object array when numpy is
+        importable and the batch is large enough to amortise the conversion;
+        a list comprehension otherwise (identical results either way).
+        """
+        if _np is not None and len(states) >= 64:
+            if self._np_outputs is None:
+                self._np_outputs = _np.array(self.outputs, dtype=object)
+            return self._np_outputs[_np.asarray(states, dtype=_np.intp)].tolist()
+        outputs = self.outputs
+        return [outputs[s] for s in states]
+
+    def numpy_table(self) -> Any:
+        """The dense table as a ``(num_states, n_letters)`` numpy view.
+
+        Returns ``None`` when numpy is not importable — callers must fall
+        back to :attr:`table` (the portable ``array('i')`` representation).
+        """
+        if _np is None:
+            return None
+        if self._np_table is None:
+            self._np_table = _np.asarray(self.table, dtype=_np.int32).reshape(
+                self.num_states, self.n_letters
+            )
+        return self._np_table
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompiledMachine(states={self.num_states}, atoms={len(self.atoms)}, "
+            f"n_letters={self.n_letters})"
+        )
+
+
+def compile_machine(
+    machine: MooreMachine,
+    is_final: Callable[[Hashable], bool] | None = None,
+) -> CompiledMachine | None:
+    """Compile *machine* into a :class:`CompiledMachine`, if possible.
+
+    Returns ``None`` — callers keep the interpreted machine — when the
+    machine's alphabet is not the complete ``2**n_atoms`` assignment set over
+    its atoms (the dense mask→column identity would have holes) or when the
+    dense table would exceed :data:`MAX_TABLE_ENTRIES`.
+
+    *is_final* classifies Moore outputs as conclusive for
+    :meth:`CompiledMachine.run_batch`; the default treats outputs exposing a
+    truthy ``is_final`` attribute (e.g. :class:`repro.ltl.verdict.Verdict`)
+    as conclusive.
+    """
+    atoms = sorted(machine._atom_universe())
+    n_letters = 1 << len(atoms)
+    if len(machine.letters) != n_letters:
+        return None
+    if machine.num_states * n_letters > MAX_TABLE_ENTRIES:
+        return None
+    bit = {atom: 1 << i for i, atom in enumerate(atoms)}
+    column_of_mask = [0] * n_letters
+    letter_index = {letter: i for i, letter in enumerate(machine.letters)}
+    for mask in range(n_letters):
+        letter = frozenset(atom for atom in atoms if mask & bit[atom])
+        column = letter_index.get(letter)
+        if column is None:
+            return None  # incomplete alphabet: some assignment is missing
+        column_of_mask[mask] = column
+    table = array("i", bytes(0))
+    for state in range(machine.num_states):
+        row = machine.delta[state]
+        table.extend(row[column_of_mask[mask]] for mask in range(n_letters))
+    predicate = is_final if is_final is not None else _default_is_final
+    return CompiledMachine(
+        atoms=atoms,
+        initial=machine.initial,
+        table=table,
+        outputs=machine.outputs,
+        final_flags=[predicate(output) for output in machine.outputs],
+    )

@@ -16,6 +16,11 @@ __all__ = ["MooreMachine", "determinize"]
 
 Letter = frozenset[str]
 
+#: cap on cached foreign-letter projections per machine (see
+#: :meth:`MooreMachine.step`); beyond it, projections are recomputed rather
+#: than cached so adversarial streams of distinct letters cannot leak memory
+_PROJECTION_CACHE_LIMIT = 4096
+
 
 @dataclass
 class MooreMachine:
@@ -62,14 +67,18 @@ class MooreMachine:
 
         Letters may mention atoms outside the machine's alphabet (e.g.
         propositions of processes not appearing in the formula); they are
-        projected onto the known atoms.  The projection of every letter seen
-        is cached, so the per-transition cost is two dictionary lookups.
+        projected onto the known atoms.  Projections of letters seen are
+        cached — up to :data:`_PROJECTION_CACHE_LIMIT` entries beyond the
+        alphabet itself, so streams of ever-distinct foreign letters cannot
+        grow the cache without bound — making the common per-transition cost
+        two dictionary lookups.
         """
         column = self._letter_index.get(letter)
         if column is None:
             projected = frozenset(a for a in letter if a in self._atoms)
             column = self._letter_index[projected]
-            self._letter_index[letter] = column
+            if len(self._letter_index) < len(self.letters) + _PROJECTION_CACHE_LIMIT:
+                self._letter_index[letter] = column
         return self.delta[state][column]
 
     def _atom_universe(self) -> frozenset[str]:

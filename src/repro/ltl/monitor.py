@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from .ast import Formula, Not, atoms_of
 from .boolmin import implicant_to_str, minimize_letters
 from .buchi import BuchiAutomaton, ltl_to_buchi, nonempty_states
+from .compiled import CompiledMachine, compile_machine
 from .dfa import MooreMachine, determinize
 from .parser import parse
 from .semantics import all_assignments
@@ -93,6 +94,8 @@ class MonitorAutomaton:
         self.formula = formula
         self.atoms: tuple[str, ...] = tuple(atoms)
         self._machine = machine
+        self._compiled: CompiledMachine | None = None
+        self._compile_attempted = False
         self.initial_state: int = machine.initial
         self.transitions: list[Transition] = self._build_transitions()
         self._outgoing: dict[int, list[Transition]] = {}
@@ -140,6 +143,19 @@ class MonitorAutomaton:
     def verdict(self, state: int) -> Verdict:
         """The verdict (Moore output) of *state*."""
         return self._machine.outputs[state]  # type: ignore[return-value]
+
+    @property
+    def compiled(self) -> CompiledMachine | None:
+        """The compiled (bitmask/dense-table) form of the machine, if any.
+
+        Compiled lazily on first access and cached; ``None`` when the machine
+        cannot be compiled (see :func:`repro.ltl.compiled.compile_machine`),
+        in which case callers fall back to the interpreted :meth:`step`.
+        """
+        if not self._compile_attempted:
+            self._compile_attempted = True
+            self._compiled = compile_machine(self._machine)
+        return self._compiled
 
     def step(self, state: int, letter: Letter) -> int:
         """Successor state after reading *letter* (a set of true atoms)."""

@@ -142,6 +142,7 @@ async def stream_monitored_run(
     time_scale: float = 0.0,
     quiesce_timeout: float = 120.0,
     faults: FaultPlan | None = None,
+    compiled_kernel: bool = True,
 ) -> RuntimeReport:
     """Stream *computation* through concurrent monitor tasks.
 
@@ -172,6 +173,10 @@ async def stream_monitored_run(
         Optional :class:`repro.faults.FaultPlan`; monitors named by the
         plan are wrapped in the same crash/restart proxies the simulator
         uses, so a fault schedule means the same thing on both backends.
+    compiled_kernel:
+        Forwarded to every monitor as ``use_compiled_kernel`` (bitmask/dense
+        table stepping, default on); verdicts and metrics are identical
+        either way.
     """
     started = time.perf_counter()
     n = computation.num_processes
@@ -190,6 +195,7 @@ async def stream_monitored_run(
             initial_letters=initial_letters,
             transport=net,
             max_views_per_state=max_views_per_state,
+            use_compiled_kernel=compiled_kernel,
         )
 
     monitors, injector = wrap_monitors(faults, n, make_monitor)
@@ -276,6 +282,7 @@ def run_streaming(
     time_scale: float = 0.0,
     quiesce_timeout: float = 120.0,
     faults: FaultPlan | None = None,
+    compiled_kernel: bool = True,
 ) -> RuntimeReport:
     """Synchronous wrapper: run :func:`stream_monitored_run` to completion.
 
@@ -293,5 +300,6 @@ def run_streaming(
             time_scale=time_scale,
             quiesce_timeout=quiesce_timeout,
             faults=faults,
+            compiled_kernel=compiled_kernel,
         )
     )

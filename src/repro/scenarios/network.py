@@ -290,6 +290,13 @@ class MultiPartitionNetwork:
     phase of ``schedule`` partitions the processes into its own explicit
     groups (unlisted processes share an implicit rest group), so a run can
     pass through several differently-shaped partitions that each heal.
+
+    ``seed_phase_jitter`` derives a per-seed variant of the schedule for
+    every run (:meth:`repro.core.delays.MultiPartitionDelay.derive_schedule`):
+    each phase keeps its duration and groups but its start shifts by up to
+    that fraction of the duration, deterministically from the run seed — so
+    replications sweep the partition timing instead of replaying identical
+    wall-clock phases.  ``0.0`` pins the schedule exactly as written.
     """
 
     latency: float = 0.05
@@ -298,6 +305,7 @@ class MultiPartitionNetwork:
         (1.5, 4.5, ((0, 1),)),
         (6.0, 9.0, ((0, 2), (1,))),
     )
+    seed_phase_jitter: float = 0.25
 
     def build(self, simulator: Simulator, seed: int | None) -> SimulatedNetwork:
         """Build a discrete-event network over the partition schedule."""
@@ -309,12 +317,19 @@ class MultiPartitionNetwork:
         )
 
     def delay_model(self, seed: int | None) -> MultiPartitionDelay:
-        """Phase-holding delays for the streaming backend."""
+        """Phase-holding delays for the streaming backend.
+
+        Both backends share this constructor (``build`` wraps it), so the
+        per-seed derived schedule is identical on either backend for the
+        same run seed.
+        """
         return MultiPartitionDelay(
             latency=self.latency,
             jitter=self.jitter,
             seed=seed,
-            schedule=self.schedule,
+            schedule=MultiPartitionDelay.derive_schedule(
+                self.schedule, seed, self.seed_phase_jitter
+            ),
         )
 
     def describe(self) -> dict[str, object]:

@@ -114,6 +114,7 @@ def simulate_monitored_run(
     max_views_per_state: int | None = None,
     network: NetworkFactory | None = None,
     faults: FaultPlan | None = None,
+    compiled_kernel: bool = True,
 ) -> SimulationReport:
     """Replay *computation* under decentralized monitoring with network latency.
 
@@ -123,7 +124,10 @@ def simulate_monitored_run(
     *latency_jitter* is used, as in the paper's testbed.  With *faults* set
     (a :class:`repro.faults.FaultPlan`) monitors named by the plan are
     wrapped in crash/restart proxies; a no-op plan takes the exact fault-free
-    code path, so its outputs are byte-identical to ``faults=None``.
+    code path, so its outputs are byte-identical to ``faults=None``.  With
+    *compiled_kernel* (default on) monitors step the compiled bitmask/dense
+    table form of the automaton; the interpreted path is step-for-step
+    equivalent and reports identical results.
     """
     n = computation.num_processes
     simulator = Simulator()
@@ -146,6 +150,7 @@ def simulate_monitored_run(
             initial_letters=initial_letters,
             transport=built_network,
             max_views_per_state=max_views_per_state,
+            use_compiled_kernel=compiled_kernel,
         )
 
     monitors, injector = wrap_monitors(faults, n, make_monitor)

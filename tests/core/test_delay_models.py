@@ -110,6 +110,76 @@ class TestMultiPartitionDelay:
         assert [phase[0] for phase in delay.schedule] == [1.0, 6.0]
 
 
+class TestDeriveSchedule:
+    SCHEDULE = TestMultiPartitionDelay.SCHEDULE
+
+    def test_deterministic_per_seed(self):
+        first = MultiPartitionDelay.derive_schedule(self.SCHEDULE, seed=7)
+        second = MultiPartitionDelay.derive_schedule(self.SCHEDULE, seed=7)
+        assert first == second
+
+    def test_distinct_across_seeds(self):
+        derived = {
+            MultiPartitionDelay.derive_schedule(self.SCHEDULE, seed=s)
+            for s in range(100)
+        }
+        assert len(derived) == 100
+
+    def test_durations_groups_and_order_preserved(self):
+        for seed in range(50):
+            derived = MultiPartitionDelay.derive_schedule(self.SCHEDULE, seed=seed)
+            assert len(derived) == len(self.SCHEDULE)
+            for (s0, e0, g0), (s1, e1, g1) in zip(self.SCHEDULE, derived):
+                assert e1 - s1 == pytest.approx(e0 - s0)
+                assert g1 == g0
+                assert s1 >= 0.0
+            starts = [phase[0] for phase in derived]
+            assert starts == sorted(starts)
+
+    def test_derived_schedules_pass_constructor_validation(self):
+        # shifted phases must never overlap — the constructor enforces it
+        for seed in range(50):
+            MultiPartitionDelay(
+                jitter=0.0,
+                schedule=MultiPartitionDelay.derive_schedule(self.SCHEDULE, seed=seed),
+            )
+
+    def test_shift_bounded_by_jitter_fraction(self):
+        for seed in range(50):
+            derived = MultiPartitionDelay.derive_schedule(
+                self.SCHEDULE, seed=seed, jitter=0.25
+            )
+            for (s0, e0, _), (s1, _, _) in zip(self.SCHEDULE, derived):
+                assert abs(s1 - s0) <= 0.25 * (e0 - s0) + 1e-9
+
+    def test_seed_none_and_zero_jitter_are_identity(self):
+        assert MultiPartitionDelay.derive_schedule(self.SCHEDULE, None) == self.SCHEDULE
+        assert (
+            MultiPartitionDelay.derive_schedule(self.SCHEDULE, 5, jitter=0.0)
+            == self.SCHEDULE
+        )
+        assert MultiPartitionDelay.derive_schedule((), 5) == ()
+
+    def test_network_model_derives_per_seed_schedule(self):
+        model = MultiPartitionNetwork()
+        a = model.delay_model(seed=1).schedule
+        b = model.delay_model(seed=2).schedule
+        assert a != b
+        assert a == MultiPartitionDelay.derive_schedule(
+            model.schedule, 1, model.seed_phase_jitter
+        )
+
+    def test_zero_phase_jitter_pins_schedule(self):
+        model = MultiPartitionNetwork(seed_phase_jitter=0.0)
+        assert model.delay_model(seed=9).schedule == model.schedule
+
+    def test_both_backends_share_derived_schedule(self):
+        # build() wraps delay_model(), so sim and asyncio see one schedule
+        model = MultiPartitionNetwork()
+        network = model.build(Simulator(), seed=4)
+        assert network.delay.schedule == model.delay_model(seed=4).schedule
+
+
 class TestScenarioBindings:
     @pytest.mark.parametrize(
         "model",

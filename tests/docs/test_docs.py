@@ -217,3 +217,55 @@ def test_docstring_ratchet(path):
 
     walk(tree, "")
     assert not missing, f"{path}: missing docstrings for {missing}"
+
+
+#: paths held to the mypy ``disallow_untyped_defs`` /
+#: ``disallow_incomplete_defs`` bar in pyproject.toml; the AST check below
+#: mirrors it on hosts without mypy installed
+TYPED_DEF_PATHS = [
+    REPO_ROOT / "src" / "repro" / "runtime",
+    REPO_ROOT / "src" / "repro" / "ltl" / "compiled.py",
+]
+
+
+def _typed_def_files():
+    files = []
+    for path in TYPED_DEF_PATHS:
+        if path.is_dir():
+            files.extend(sorted(path.glob("*.py")))
+        else:
+            files.append(path)
+    return files
+
+
+@pytest.mark.parametrize(
+    "path", _typed_def_files(), ids=lambda p: str(p.relative_to(REPO_ROOT))
+)
+def test_typed_defs_ratchet(path):
+    """Every def in typed-ratchet paths carries complete annotations.
+
+    This is the locally-runnable mirror of the strict
+    ``disallow_untyped_defs`` / ``disallow_incomplete_defs`` mypy overrides
+    in ``pyproject.toml`` (``repro.runtime.*`` and the compiled LTL kernel).
+    """
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    incomplete = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        args = node.args
+        names = args.posonlyargs + args.args + args.kwonlyargs
+        missing = [
+            a.arg
+            for a in names
+            if a.annotation is None and a.arg not in ("self", "cls")
+        ]
+        if args.vararg is not None and args.vararg.annotation is None:
+            missing.append(f"*{args.vararg.arg}")
+        if args.kwarg is not None and args.kwarg.annotation is None:
+            missing.append(f"**{args.kwarg.arg}")
+        if node.returns is None:
+            missing.append("return")
+        if missing:
+            incomplete.append(f"{node.name}:{node.lineno} ({', '.join(missing)})")
+    assert not incomplete, f"{path}: incomplete annotations on {incomplete}"

@@ -124,6 +124,92 @@ class TestComparison:
         compare_bench.write_job_summary("ignored")  # must not raise
 
 
+def _rate_document(directory, rate, seconds=1.0, name="BENCH_smoke_test.json"):
+    directory.mkdir(parents=True, exist_ok=True)
+    document = {
+        "schema": compare_bench.SCHEMA,
+        "timings": {
+            "compiled_step_throughput": {
+                "seconds": seconds,
+                "events_per_sec": rate,
+            }
+        },
+    }
+    (directory / name).write_text(json.dumps(document), encoding="utf-8")
+
+
+class TestEventsPerSecComparison:
+    """Throughput fields compare in the inverted (higher-is-better) direction."""
+
+    def test_rate_drop_is_a_regression(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        _rate_document(tmp_path / "previous", rate=10_000_000.0)
+        _rate_document(tmp_path / "current", rate=8_000_000.0)  # 20% slower
+        code = compare_bench.main(
+            [
+                "--previous",
+                str(tmp_path / "previous"),
+                "--current",
+                str(tmp_path / "current"),
+                "--no-github",
+                "--fail-threshold",
+                "0.10",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "compiled_step_throughput:events_per_sec" in out
+        assert "<< regression" in out
+
+    def test_rate_gain_is_not_a_regression(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        _rate_document(tmp_path / "previous", rate=8_000_000.0)
+        _rate_document(tmp_path / "current", rate=10_000_000.0)
+        code = compare_bench.main(
+            [
+                "--previous",
+                str(tmp_path / "previous"),
+                "--current",
+                str(tmp_path / "current"),
+                "--no-github",
+                "--fail-threshold",
+                "0.10",
+            ]
+        )
+        assert code == 0
+        assert "<< regression" not in capsys.readouterr().out
+
+    def test_compare_timings_emits_both_units(self):
+        previous = {
+            "timings": {"x": {"seconds": 1.0, "events_per_sec": 100.0}}
+        }
+        current = {
+            "timings": {"x": {"seconds": 2.0, "events_per_sec": 50.0}}
+        }
+        rows = compare_bench.compare_timings(previous, current)
+        assert [(name, round(ratio, 6)) for name, _, _, ratio in rows] == [
+            ("x", 2.0),
+            ("x:events_per_sec", 2.0),  # halved throughput = 2x slowdown
+        ]
+
+    def test_github_annotations_use_rate_units(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        _rate_document(tmp_path / "previous", rate=10_000_000.0, seconds=1.0)
+        _rate_document(tmp_path / "current", rate=5_000_000.0, seconds=1.0)
+        code = compare_bench.main(
+            [
+                "--previous",
+                str(tmp_path / "previous"),
+                "--current",
+                str(tmp_path / "current"),
+            ]
+        )
+        assert code == 0  # advisory without --fail-threshold
+        out = capsys.readouterr().out
+        assert "::warning title=benchmark regression::" in out
+        assert "ev/s" in out
+
+
 class TestCiWorkflowWiring:
     def test_ci_runs_compare_unconditionally(self):
         """The workflow must not guard the comparison behind a dir check."""

@@ -1,0 +1,279 @@
+"""Compiled monitor kernel: equivalence to the interpreted Moore machine."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.ltl import CompiledMachine, build_monitor, compile_machine
+from repro.ltl.ast import (
+    Always,
+    And,
+    Atom,
+    Eventually,
+    Implies,
+    Next,
+    Not,
+    Or,
+    Release,
+    Until,
+)
+from repro.ltl.dfa import _PROJECTION_CACHE_LIMIT, MooreMachine
+from repro.ltl.verdict import Verdict
+
+ATOMS = ("p", "q", "r")
+
+
+def formulas(max_depth=3):
+    """Random LTL formulas over ATOMS (mirrors test_hypothesis_ltl)."""
+    leaves = st.sampled_from([Atom(a) for a in ATOMS])
+
+    def extend(children):
+        unary = st.builds(
+            lambda op, f: op(f),
+            st.sampled_from([Not, Next, Eventually, Always]),
+            children,
+        )
+        binary = st.builds(
+            lambda op, f, g: op(f, g),
+            st.sampled_from([And, Or, Implies, Until, Release]),
+            children,
+            children,
+        )
+        return unary | binary
+
+    return st.recursive(leaves, extend, max_leaves=6)
+
+#: letters drawn over the machine's atoms plus foreign atoms of processes
+#: the formula never mentions — these must be projected away identically by
+#: both kernels
+FOREIGN = ("P7.x", "P8.y")
+letters_with_foreign = st.frozensets(st.sampled_from(ATOMS + FOREIGN))
+words = st.lists(letters_with_foreign, min_size=0, max_size=30)
+
+
+class TestCompileMachine:
+    def test_case_study_machines_compile(self):
+        monitor = build_monitor("F(P0.p & P1.p)", atoms=("P0.p", "P1.p", "P2.p"))
+        compiled = monitor.compiled
+        assert isinstance(compiled, CompiledMachine)
+        assert compiled.n_letters == 8
+        assert compiled.initial == monitor.initial_state
+        assert len(compiled.table) == compiled.num_states * compiled.n_letters
+
+    def test_compiled_property_is_cached(self):
+        monitor = build_monitor("G p", atoms=("p",))
+        assert monitor.compiled is monitor.compiled
+
+    def test_mask_is_column_index(self):
+        # atoms in sorted order define the bit layout: atom i <-> bit 1<<i
+        monitor = build_monitor("p U q", atoms=("p", "q"))
+        compiled = monitor.compiled
+        assert compiled.atoms == ("p", "q")
+        assert compiled.encode(frozenset()) == 0
+        assert compiled.encode({"p"}) == 1
+        assert compiled.encode({"q"}) == 2
+        assert compiled.encode({"p", "q"}) == 3
+        for mask in range(compiled.n_letters):
+            assert compiled.encode(compiled.decode(mask)) == mask
+
+    def test_foreign_atoms_projected_in_encode(self):
+        monitor = build_monitor("F p", atoms=("p",))
+        compiled = monitor.compiled
+        assert compiled.encode({"p", "P7.x"}) == compiled.encode({"p"})
+        assert compiled.encode({"P7.x"}) == 0
+
+    def test_incomplete_alphabet_returns_none(self):
+        machine = MooreMachine(
+            letters=(frozenset(), frozenset({"p", "q"})),  # {p}, {q} missing
+            initial=0,
+            delta=[[0, 1], [1, 1]],
+            outputs=[Verdict.INCONCLUSIVE, Verdict.TOP],
+        )
+        assert compile_machine(machine) is None
+
+    def test_oversized_table_returns_none(self, monkeypatch):
+        import repro.ltl.compiled as compiled_mod
+
+        monkeypatch.setattr(compiled_mod, "MAX_TABLE_ENTRIES", 4)
+        monitor = build_monitor("p U q", atoms=("p", "q"))
+        assert compile_machine(monitor._machine) is None
+
+    def test_final_flags_follow_verdicts(self):
+        monitor = build_monitor("F p", atoms=("p",))
+        compiled = monitor.compiled
+        for state in range(compiled.num_states):
+            assert compiled.is_final(state) == monitor.is_final(state)
+            assert compiled.output(state) == monitor.verdict(state)
+        assert compiled.final_absorbing  # ⊤/⊥ are trap states in LTL3
+
+
+class TestCompiledEquivalence:
+    @given(formulas(), words)
+    @settings(max_examples=150, deadline=None)
+    def test_step_sequence_identical(self, formula, word):
+        """Random formula × random word (with foreign atoms): both kernels
+        visit the same state and verdict sequence."""
+        monitor = build_monitor(formula, atoms=ATOMS)
+        compiled = monitor.compiled
+        assert compiled is not None
+        state = monitor.initial_state
+        cstate = compiled.initial
+        assert state == cstate
+        for letter in word:
+            state = monitor.step(state, letter)
+            cstate = compiled.step(cstate, compiled.encode(letter))
+            assert cstate == state
+            assert compiled.output(cstate) == monitor.verdict(state)
+            assert compiled.is_final(cstate) == monitor.is_final(state)
+
+    @given(formulas(), words)
+    @settings(max_examples=100, deadline=None)
+    def test_run_batch_matches_interpreted_trajectory(self, formula, word):
+        monitor = build_monitor(formula, atoms=ATOMS)
+        compiled = monitor.compiled
+        masks = compiled.encode_many(word)
+        state = monitor.initial_state
+        first_final = -1
+        for i, letter in enumerate(word):
+            state = monitor.step(state, letter)
+            if first_final < 0 and monitor.is_final(state):
+                first_final = i
+        assert compiled.run_batch(compiled.initial, masks) == (state, first_final)
+        assert compiled.run(masks) == state
+
+    @given(formulas(), words)
+    @settings(max_examples=60, deadline=None)
+    def test_run_batch_from_every_visited_state(self, formula, word):
+        """Batching must agree with stepping from arbitrary mid-run states,
+        including conclusive ones (absorbing fast path)."""
+        monitor = build_monitor(formula, atoms=ATOMS)
+        compiled = monitor.compiled
+        masks = compiled.encode_many(word)
+        start = monitor.initial_state
+        for cut in range(len(word) + 1):
+            state = start
+            first_final = -1
+            for i in range(cut, len(word)):
+                state = monitor.step(state, word[i])
+                if first_final < 0 and monitor.is_final(state):
+                    first_final = i - cut
+            assert compiled.run_batch(start, masks[cut:]) == (state, first_final)
+            if cut < len(word):
+                start = monitor.step(start, word[cut])
+
+    @given(formulas())
+    @settings(max_examples=60, deadline=None)
+    def test_table_totality(self, formula):
+        """Every (state, mask) cell agrees with the interpreted step."""
+        monitor = build_monitor(formula, atoms=ATOMS)
+        compiled = monitor.compiled
+        for state in range(compiled.num_states):
+            for mask in range(compiled.n_letters):
+                assert compiled.step(state, mask) == monitor.step(
+                    state, compiled.decode(mask)
+                )
+
+    @given(st.lists(st.lists(st.integers(0, 7), min_size=5, max_size=5),
+                    min_size=0, max_size=4))
+    @settings(max_examples=100, deadline=None)
+    def test_combine_batch_is_per_event_or(self, rows):
+        monitor = build_monitor("p U (q & r)", atoms=ATOMS)
+        compiled = monitor.compiled
+        combined = compiled.combine_batch(rows)
+        if not rows:
+            assert combined == []
+            return
+        for i, value in enumerate(combined):
+            expected = 0
+            for row in rows:
+                expected |= row[i]
+            assert value == expected
+
+    def test_combine_batch_pure_python_fallback(self, monkeypatch):
+        import repro.ltl.compiled as compiled_mod
+
+        monitor = build_monitor("F p", atoms=("p", "q"))
+        compiled = monitor.compiled
+        rows = [[0, 1, 2, 3], [1, 1, 0, 0], [2, 0, 2, 0]]
+        with_numpy = compiled.combine_batch(rows)
+        monkeypatch.setattr(compiled_mod, "_np", None)
+        assert compiled.combine_batch(rows) == with_numpy == [3, 1, 2, 3]
+
+    def test_outputs_batch_matches_scalar_lookup(self, monkeypatch):
+        import repro.ltl.compiled as compiled_mod
+
+        monitor = build_monitor("F(p & q)", atoms=("p", "q"))
+        compiled = monitor.compiled
+        states = [i % compiled.num_states for i in range(200)]
+        expected = [compiled.outputs[s] for s in states]
+        assert compiled.outputs_batch(states) == expected
+        monkeypatch.setattr(compiled_mod, "_np", None)
+        assert compiled.outputs_batch(states) == expected
+
+    def test_numpy_table_view_matches_flat_table(self):
+        import repro.ltl.compiled as compiled_mod
+
+        monitor = build_monitor("p U q", atoms=("p", "q"))
+        compiled = monitor.compiled
+        view = compiled.numpy_table()
+        if compiled_mod._np is None:
+            assert view is None
+            return
+        assert view.shape == (compiled.num_states, compiled.n_letters)
+        for state in range(compiled.num_states):
+            for mask in range(compiled.n_letters):
+                assert view[state, mask] == compiled.step(state, mask)
+
+
+class TestProjectionCacheBound:
+    def test_foreign_letter_stream_does_not_grow_cache_unboundedly(self):
+        """Regression: a stream of ever-distinct foreign letters used to add
+        one cache entry per letter, leaking memory on long runs."""
+        monitor = build_monitor("F p", atoms=("p",))
+        machine = monitor._machine
+        state = machine.initial
+        for i in range(_PROJECTION_CACHE_LIMIT + 500):
+            state = machine.step(state, frozenset({"p", f"foreign.{i}"}))
+        assert len(machine._letter_index) <= len(machine.letters) + _PROJECTION_CACHE_LIMIT
+
+    def test_projection_still_correct_once_cache_is_full(self):
+        monitor = build_monitor("p U q", atoms=("p", "q"))
+        machine = monitor._machine
+        # saturate the cache
+        for i in range(_PROJECTION_CACHE_LIMIT + 10):
+            machine.step(machine.initial, frozenset({f"foreign.{i}"}))
+        # uncached foreign letters are still projected correctly
+        assert machine.step(machine.initial, frozenset({"q", "zz.unseen"})) == (
+            machine.step(machine.initial, frozenset({"q"}))
+        )
+
+    def test_alphabet_letters_always_cached(self):
+        monitor = build_monitor("p U q", atoms=("p", "q"))
+        machine = monitor._machine
+        for letter in machine.letters:
+            assert machine._letter_index[letter] is not None
+
+
+@pytest.mark.parametrize("formula,atoms", [
+    ("G((P0.p | P1.p) U (P0.q & P1.q))", ("P0.p", "P0.q", "P1.p", "P1.q")),
+    ("F(P0.p & P1.p & P2.p)", ("P0.p", "P1.p", "P2.p")),
+])
+def test_case_study_shaped_formulas_roundtrip(formula, atoms):
+    """Deeper spot-check on case-study-shaped formulas and longer words."""
+    import random
+
+    monitor = build_monitor(formula, atoms=atoms)
+    compiled = monitor.compiled
+    rng = random.Random(2015)
+    universe = atoms + FOREIGN
+    word = [
+        frozenset(a for a in universe if rng.random() < 0.4) for _ in range(2000)
+    ]
+    masks = compiled.encode_many(word)
+    state = monitor.initial_state
+    first = -1
+    for i, letter in enumerate(word):
+        state = monitor.step(state, letter)
+        if first < 0 and monitor.is_final(state):
+            first = i
+    assert compiled.run_batch(compiled.initial, masks) == (state, first)
