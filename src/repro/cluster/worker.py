@@ -40,7 +40,7 @@ import sys
 from collections.abc import Sequence
 
 from ..core.monitor import DecentralizedMonitor
-from ..faults import FaultInjector
+from ..faults import FaultInjector, apply_clock_skew
 from . import codec
 from .manifest import ClusterManifest, load_manifest
 from .spec import RunSpec, build_cell_inputs
@@ -81,6 +81,13 @@ async def run_worker(manifest: ClusterManifest, process: int, spec: RunSpec) -> 
 
     computation, automaton, registry = build_cell_inputs(spec)
     n = spec.num_processes
+    plan = spec.faults()
+    skew_stats: dict[str, float] = {}
+    if plan is not None and plan.clock_skew is not None:
+        # every worker regenerates the full computation, so every worker
+        # applies the identical deterministic skew; only worker 0 reports
+        # the counters (the coordinator sums per-worker fault stats)
+        computation, skew_stats = apply_clock_skew(computation, plan.clock_skew)
     initial_letters = [
         registry.local_letter(i, computation.initial_states[i]) for i in range(n)
     ]
@@ -98,7 +105,6 @@ async def run_worker(manifest: ClusterManifest, process: int, spec: RunSpec) -> 
             use_compiled_kernel=spec.compiled_kernel,
         )
 
-    plan = spec.faults()
     injector: FaultInjector | None = None
     if plan is not None and not plan.is_noop(n):
         injector = FaultInjector(plan, n)
@@ -158,7 +164,10 @@ async def run_worker(manifest: ClusterManifest, process: int, spec: RunSpec) -> 
                     "delayed_events": metrics.delayed_events,
                     "sent": transport.sent_count,
                     "processed": transport.processed_count,
-                    "fault_stats": injector.fault_stats() if injector else {},
+                    "fault_stats": {
+                        **(injector.fault_stats() if injector else {}),
+                        **(skew_stats if process == 0 else {}),
+                    },
                 }
             elif kind == "shutdown":
                 return

@@ -213,3 +213,34 @@ class CentralizedMonitor:
         for event in events:
             monitor.receive_event(event)
         return monitor.result()
+
+    @classmethod
+    def monitor_computation_declared(
+        cls,
+        computation: Computation,
+        automaton: MonitorAutomaton,
+        registry: PropositionRegistry,
+        use_compiled_kernel: bool = True,
+    ) -> frozenset[Verdict]:
+        """Every conclusive verdict the oracle declares anywhere on the lattice.
+
+        Unlike :meth:`monitor_computation` (which reports the verdicts at the
+        final cut only), this accumulates each final verdict reached at *any*
+        consistent cut — the reference set for the soundness check: a
+        decentralized run is sound iff its declared verdicts are a subset.
+        """
+        initial_letters = [
+            registry.local_letter(i, computation.initial_states[i])
+            for i in range(computation.num_processes)
+        ]
+        monitor = cls(
+            computation.num_processes,
+            automaton,
+            registry,
+            initial_letters,
+            use_compiled_kernel=use_compiled_kernel,
+        )
+        events = sorted(computation.all_events(), key=lambda e: (e.timestamp, e.process, e.sn))
+        for event in events:
+            monitor.receive_event(event)
+        return frozenset(monitor.declared)

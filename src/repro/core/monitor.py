@@ -45,9 +45,28 @@ from .global_view import GlobalView, ViewStatus
 from .messages import TerminationNotice, Token, TokenEntry
 from .transport import Transport
 
-__all__ = ["MonitorMetrics", "DecentralizedMonitor"]
+__all__ = ["MonitorMetrics", "DecentralizedMonitor", "verdict_divergence"]
 
 Letter = frozenset[str]
+
+
+def verdict_divergence(
+    decentralized: Iterable[Verdict], centralized: Iterable[Verdict]
+) -> frozenset[Verdict]:
+    """The soundness comparison seam: decentralized verdicts the oracle denies.
+
+    The paper's soundness claim is that every conclusive verdict a
+    decentralized monitor declares corresponds to a real execution path —
+    i.e. is also declared by the centralized reference monitor, which
+    explores every reachable consistent cut
+    (``decentralized ⊆ centralized``).  This helper returns the violating
+    verdicts (empty = sound).  The reverse direction is *not* checked:
+    decentralized monitors may legitimately declare fewer verdicts
+    (bounded exploration, crashes, message loss all cost completeness,
+    never soundness).  The fault-fuzzing harness and the adversarial tests
+    both classify runs through this one function.
+    """
+    return frozenset(decentralized) - frozenset(centralized)
 
 #: Maximum number of cuts replayed exactly inside a token's box before the
 #: monitor falls back to a single topologically-sorted interleaving.

@@ -15,6 +15,7 @@ Usage (after installing the package)::
     python -m repro.experiments.cli run --scenario crash-restart-rejoin
     python -m repro.experiments.cli run --scenario paper-default --fault-plan 1@3+2:rejoin
     python -m repro.experiments.cli bench --json BENCH_local.json
+    python -m repro.experiments.cli fuzz --seed 7 --points 200 --out fuzz-out
     python -m repro.experiments.cli all
 
 Each sub-command prints the corresponding rows/series as an aligned text
@@ -39,7 +40,14 @@ sub-command times the kernel hot paths and the figure experiments and (with
 benchmark suite emits — embedding the resolved :class:`ExperimentScale` and
 the scenario metadata, with every timing tagged by the backend it ran on,
 so local and CI numbers are directly comparable and each BENCH file is
-self-describing.  See ``docs/benchmarks.md`` for the full schema.
+self-describing.  See ``docs/benchmarks.md`` for the full schema.  The
+``fuzz`` sub-command runs the deterministic property fuzzer of
+:mod:`repro.fuzz` — ``--seed``/``--points`` pick the point stream, every
+divergent or crashing point is shrunk to a minimal repro, ``--out DIR``
+writes the report plus each shrunk repro as a replayable ``RunSpec`` JSON
+document, and the exit status is non-zero iff the run produced an
+*unexpected* finding (a divergence outside the deliberately
+soundness-breaking attack plans, or any crash).
 """
 
 from __future__ import annotations
@@ -316,6 +324,72 @@ def _emit_bench(args: argparse.Namespace) -> None:
         make_document(timings, scale, scenarios=scenarios)
 
 
+def _emit_fuzz(args: argparse.Namespace) -> None:
+    from ..fuzz import CLASS_SOUND, run_fuzz
+    from .benchjson import make_document, write_bench_json
+
+    def progress(outcome) -> None:
+        if outcome.classification == CLASS_SOUND:
+            return
+        if outcome.is_finding:
+            tag = "UNEXPECTED FINDING"
+        elif outcome.attack:
+            tag = "attack point"
+        else:
+            tag = "expected storm"
+        detail = outcome.error or ", ".join(outcome.soundness_violations) or (
+            "backend divergence" if outcome.backend_divergence else ""
+        )
+        print(
+            f"point {outcome.index}: {outcome.classification} ({tag}) "
+            f"[{outcome.spec.scenario} n={outcome.spec.num_processes} "
+            f"plan={outcome.spec.fault_plan}] {detail}",
+            flush=True,
+        )
+
+    start = time.perf_counter()
+    report = run_fuzz(
+        args.seed, args.points, shrink=not args.no_shrink, progress=progress
+    )
+    total = time.perf_counter() - start
+    counts = report.counts
+    print(
+        f"fuzzed {args.points} points (seed {args.seed}) in {total:.1f}s: "
+        f"{counts['sound']} sound, {counts['divergent']} divergent, "
+        f"{counts['crash']} crashed, {counts['storm']} storms; "
+        f"{len(report.findings)} unexpected finding(s)"
+    )
+    worst = report.worst_overhead()
+    if worst is not None:
+        print(
+            f"worst monitoring overhead: point {worst.index} "
+            f"({worst.spec.scenario}, property {worst.spec.property_name}) — "
+            f"{worst.overhead['messages_per_event']:.2f} messages/event, "
+            f"{worst.overhead['global_views']:.0f} global views"
+        )
+    timings = report.bench_timings(total)
+    if args.out:
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "fuzz-report.json").write_text(
+            json.dumps(report.as_dict(), indent=2) + "\n"
+        )
+        for index, spec in sorted(report.shrunk.items()):
+            spec.save(out / f"repro-{index:04d}.json")
+        write_bench_json(out / "fuzz-bench.json", timings)
+        print(
+            f"wrote {out}/fuzz-report.json, {len(report.shrunk)} shrunk "
+            f"repro(s) and {out}/fuzz-bench.json"
+        )
+    elif args.json:
+        write_bench_json(args.json, timings)
+        print(f"wrote {args.json}")
+    else:
+        make_document(timings)  # still validate that the document assembles
+    if report.findings:
+        raise SystemExit(1)
+
+
 _COMMANDS = {
     "table5.1": _emit_table_5_1,
     "fig5.1": _emit_fig_5_1,
@@ -330,6 +404,7 @@ _COMMANDS = {
     "list-scenarios": _emit_list_scenarios,
     "run": _emit_run_scenario,
     "bench": _emit_bench,
+    "fuzz": _emit_fuzz,
 }
 
 
@@ -428,7 +503,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         metavar="OUT",
         default=None,
-        help="bench only: write the repro-bench/1 JSON document to OUT",
+        help="bench/fuzz: write the repro-bench/1 JSON document to OUT",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="fuzz only: master seed of the deterministic point stream",
+    )
+    parser.add_argument(
+        "--points",
+        type=int,
+        default=50,
+        help="fuzz only: how many points to generate and execute",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="fuzz only: directory for the fuzz report, the shrunk repro "
+        "RunSpec documents and the repro-bench/1 timings",
+    )
+    parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="fuzz only: skip shrinking divergent/crashing points",
     )
     return parser
 

@@ -1,19 +1,28 @@
-"""Fault injection: crash/restart of monitor processes, on every backend.
+"""Fault injection: crash/restart, Byzantine monitors, clock skew.
 
 The paper evaluates the decentralized monitoring protocol only under
 well-behaved nodes; this package asks what happens when monitors actually
-fail.  It provides:
+fail — or lie.  It provides:
 
 * :class:`FaultPlan` / :class:`CrashSpec` — declarative crash/restart
   schedules in local-event space (deterministic across backends; see
   :mod:`repro.faults.plan` for the design rationale).
+* :class:`ByzantineSpec` — adversarial monitor behaviours (message
+  duplication, progression-state corruption, stale-token replay,
+  drop-on-send) attacking the paper's soundness claims at their boundary.
+* :class:`ClockSkewSpec` / :func:`apply_clock_skew` — deterministic
+  perturbation of the monitored computation's vector clocks, within
+  (``sound``) or beyond (``unsound``, explicitly flagged) happened-before
+  consistency.
 * :class:`MonitorFaultProxy` / :class:`FaultInjector` — the single
   backend-agnostic injection mechanism, wrapping the shared
   :class:`repro.core.monitor.DecentralizedMonitor` behind the
   :class:`repro.core.transport.MonitorNode` protocol.
 * :class:`FaultModel` implementations (:class:`ExplicitFaults`,
-  :class:`SingleCrashFaults`, :class:`RollingCrashFaults`) — per-seed
-  schedule generators scenarios carry in their ``faults`` field.
+  :class:`SingleCrashFaults`, :class:`RollingCrashFaults`,
+  :class:`ChurnFaults`, :class:`ByzantineFaults`,
+  :class:`ClockSkewFaults`) — per-seed schedule generators scenarios
+  carry in their ``faults`` field.
 * :func:`parse_fault_plan` / :func:`format_fault_plan` — the compact
   ``run --fault-plan`` grammar.
 
@@ -25,6 +34,9 @@ multi-partition schedules) live with the other delay models in
 
 from .injector import FaultInjector, MonitorFaultProxy, unwrap_monitor, wrap_monitors
 from .models import (
+    ByzantineFaults,
+    ChurnFaults,
+    ClockSkewFaults,
     ExplicitFaults,
     FaultModel,
     RollingCrashFaults,
@@ -34,22 +46,34 @@ from .plan import (
     RECOVERY_POLICIES,
     RECOVERY_REJOIN,
     RECOVERY_REPLAY,
+    SKEW_MODES,
+    SKEW_SOUND,
+    SKEW_UNSOUND,
+    ByzantineSpec,
+    ClockSkewSpec,
     CrashSpec,
     FaultPlan,
     FaultStats,
     format_fault_plan,
     parse_fault_plan,
 )
+from .skew import apply_clock_skew
 
 __all__ = [
     "RECOVERY_POLICIES",
     "RECOVERY_REPLAY",
     "RECOVERY_REJOIN",
+    "SKEW_MODES",
+    "SKEW_SOUND",
+    "SKEW_UNSOUND",
     "CrashSpec",
+    "ByzantineSpec",
+    "ClockSkewSpec",
     "FaultPlan",
     "FaultStats",
     "parse_fault_plan",
     "format_fault_plan",
+    "apply_clock_skew",
     "MonitorFaultProxy",
     "FaultInjector",
     "unwrap_monitor",
@@ -58,4 +82,7 @@ __all__ = [
     "ExplicitFaults",
     "SingleCrashFaults",
     "RollingCrashFaults",
+    "ChurnFaults",
+    "ByzantineFaults",
+    "ClockSkewFaults",
 ]

@@ -25,17 +25,57 @@ verdicts, peer-termination knowledge), replays the retained local event log
 and re-explores from there; tokens created by the old incarnation are
 silently dropped when they return (the fresh monitor does not know them),
 which is exactly the cost the fault scenarios measure.
+
+The same proxy hosts the adversarial :class:`~repro.faults.plan.ByzantineSpec`
+behaviours: inbound behaviours (duplication, progression-state corruption,
+stale-token replay) interpose on ``receive_message`` counting the monitor's
+inbound monitoring messages, while drop-on-send wraps the inner monitor's
+``transport`` attribute — the single outbound seam every backend shares.
+Byzantine counters land in ``FaultStats.extra`` (as ``fault_byz_*``), so
+crash-only runs keep their historical counter shape.
 """
 
 from __future__ import annotations
 
+import copy
 from collections.abc import Callable
 from dataclasses import fields
 
+from ..core.messages import Token
 from ..core.monitor import DecentralizedMonitor, MonitorMetrics
-from .plan import RECOVERY_REJOIN, CrashSpec, FaultPlan, FaultStats
+from .plan import RECOVERY_REJOIN, ByzantineSpec, CrashSpec, FaultPlan, FaultStats
 
 __all__ = ["MonitorFaultProxy", "FaultInjector", "unwrap_monitor", "wrap_monitors"]
+
+
+class _DropOnSendTransport:
+    """Transport facade that silently drops every k-th outbound send.
+
+    Installed as the inner monitor's ``transport`` attribute by its fault
+    proxy, so the drop happens *before* the real transport sees the frame —
+    neither backend counts a dropped message as sent or in flight, which
+    keeps quiescence detection honest while the receiver simply never
+    learns the message existed (the reliable-channel assumption broken in
+    the most literal way).
+    """
+
+    def __init__(self, inner: object, proxy: "MonitorFaultProxy") -> None:
+        self._inner = inner
+        self._proxy = proxy
+        self._sends = 0
+
+    def send(self, sender: int, target: int, message: object) -> None:
+        """Forward to the real transport, swallowing every k-th frame."""
+        self._sends += 1
+        byzantine = self._proxy.byzantine
+        assert byzantine is not None and byzantine.drop_every
+        if self._sends % byzantine.drop_every == 0:
+            self._proxy.stats.extra["fault_byz_dropped"] += 1.0
+            return
+        self._inner.send(sender, target, message)  # type: ignore[attr-defined]
+
+    def __getattr__(self, name: str) -> object:
+        return getattr(self._inner, name)
 
 
 class MonitorFaultProxy:
@@ -53,18 +93,23 @@ class MonitorFaultProxy:
         factory: Callable[[], DecentralizedMonitor],
         specs: tuple[CrashSpec, ...],
         stats: FaultStats,
+        byzantine: ByzantineSpec | None = None,
     ) -> None:
         self._factory = factory
         self._specs = list(specs)
         self.stats = stats
+        self.byzantine = byzantine
         self.monitor = factory()
         self._down = False
         self._active_spec: CrashSpec | None = None
         self._events_processed = 0
+        self._inbound_messages = 0
+        self._stale_token: Token | None = None
         self._log: list[object] = []
         self._buffered_events: list[object] = []
         self._held_messages: list[object] = []
         self._retired_metrics: list[MonitorMetrics] = []
+        self._install_interceptor()
 
     # -- MonitorNode protocol -------------------------------------------
     @property
@@ -104,7 +149,7 @@ class MonitorFaultProxy:
             self._held_messages.append(message)
             self.stats.held_messages += 1
         else:
-            self.monitor.receive_message(message)
+            self._deliver(message)
 
     # -- verdicts and metrics -------------------------------------------
     @property
@@ -132,6 +177,76 @@ class MonitorFaultProxy:
                     value = getattr(merged, spec.name) + getattr(metrics, spec.name)
                 setattr(merged, spec.name, value)
         return merged
+
+    # -- Byzantine behaviours -------------------------------------------
+    def _install_interceptor(self) -> None:
+        """Wrap the inner monitor's outbound seam when drop-on-send is armed.
+
+        Re-invoked after ``rejoin`` recoveries: the fresh incarnation gets
+        its own interceptor (its send counter restarts, like the rest of
+        its volatile state).
+        """
+        if self.byzantine is not None and self.byzantine.drop_every:
+            self.monitor.transport = _DropOnSendTransport(self.monitor.transport, self)
+
+    def _deliver(self, message: object) -> None:
+        """Hand one inbound message to the monitor, applying behaviours.
+
+        Inbound behaviours trigger on every k-th *delivered* message (held
+        messages count when drained, keeping one deterministic stream per
+        backend).  The duplicate and the stale replay are deep copies, as
+        re-sent frames would be; corruption forges a deep copy and leaves
+        the original untouched, so in-process backends never see shared
+        mutated state.
+        """
+        byzantine = self.byzantine
+        if byzantine is None:
+            self.monitor.receive_message(message)
+            return
+        self._inbound_messages += 1
+        count = self._inbound_messages
+        inbound = message
+        if byzantine.corrupt_every and count % byzantine.corrupt_every == 0:
+            corrupted = self._corrupt(message)
+            if corrupted is not None:
+                inbound = corrupted
+        if self._stale_token is None and isinstance(inbound, Token):
+            # remember the first token this monitor ever saw, for replays
+            self._stale_token = copy.deepcopy(inbound)
+        self.monitor.receive_message(inbound)
+        if byzantine.duplicate_every and count % byzantine.duplicate_every == 0:
+            self.stats.extra["fault_byz_duplicated"] += 1.0
+            self.monitor.receive_message(copy.deepcopy(inbound))
+        if (
+            byzantine.replay_every
+            and count % byzantine.replay_every == 0
+            and self._stale_token is not None
+        ):
+            self.stats.extra["fault_byz_replayed"] += 1.0
+            self.monitor.receive_message(copy.deepcopy(self._stale_token))
+
+    def _corrupt(self, message: object) -> Token | None:
+        """A forged copy of *message*, or ``None`` when nothing to forge.
+
+        Corruption marks every undecided entry of a token conclusively
+        evaluated (``eval=True``) without its guard ever having been
+        checked — the receiving parent will fork global views for
+        transitions no real execution took, which is exactly the forged
+        progression state the soundness oracle must catch.  Only positions
+        the token genuinely scanned are touched downstream (the box replay
+        reads ``scanned_letters``), so the attack perturbs verdicts, not
+        the monitor's internal invariants.
+        """
+        if not isinstance(message, Token):
+            return None
+        if not any(entry.eval is None for entry in message.entries):
+            return None
+        forged = copy.deepcopy(message)
+        for entry in forged.entries:
+            if entry.eval is None:
+                entry.eval = True
+        self.stats.extra["fault_byz_corrupted"] += 1.0
+        return forged
 
     # -- crash / restart machinery --------------------------------------
     def _process_event(self, event: object) -> None:
@@ -162,7 +277,7 @@ class MonitorFaultProxy:
             self._rejoin_from_scratch()
         held, self._held_messages = self._held_messages, []
         for message in held:
-            self.monitor.receive_message(message)
+            self._deliver(message)
         buffered, self._buffered_events = self._buffered_events, []
         for event in buffered:
             self._process_event(event)
@@ -185,6 +300,7 @@ class MonitorFaultProxy:
             if final_sn is not None and peer != old.process:
                 fresh.terminated[peer] = final_sn
         self.monitor = fresh
+        self._install_interceptor()
         fresh.start()
         for event in self._log:
             fresh.local_event(event)
@@ -204,15 +320,30 @@ class FaultInjector:
         self.plan = plan
         self.num_processes = num_processes
         self.stats = FaultStats()
+        # pre-seed the counter of every armed Byzantine behaviour so a dead
+        # injection path shows up as an explicit 0.0 in sweep rows (the
+        # mutation-style observability tests assert on these keys)
+        for spec in plan.byzantine:
+            if spec.process >= num_processes or spec.is_noop:
+                continue
+            if spec.duplicate_every:
+                self.stats.extra.setdefault("fault_byz_duplicated", 0.0)
+            if spec.corrupt_every:
+                self.stats.extra.setdefault("fault_byz_corrupted", 0.0)
+            if spec.replay_every:
+                self.stats.extra.setdefault("fault_byz_replayed", 0.0)
+            if spec.drop_every:
+                self.stats.extra.setdefault("fault_byz_dropped", 0.0)
 
     def wrap(
         self, process: int, factory: Callable[[], DecentralizedMonitor]
     ):
         """The endpoint for *process*: a fault proxy or the bare monitor."""
         specs = self.plan.specs_for(process)
-        if not specs:
+        byzantine = self.plan.byzantine_for(process)
+        if not specs and byzantine is None:
             return factory()
-        return MonitorFaultProxy(factory, specs, self.stats)
+        return MonitorFaultProxy(factory, specs, self.stats, byzantine=byzantine)
 
     def fault_stats(self) -> dict[str, float]:
         """Flat ``fault_*`` counters for the run report."""

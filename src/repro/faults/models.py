@@ -9,7 +9,7 @@ crashes, when) from the cell's seed, so schedules are deterministic per
 seed, shard cleanly into worker processes and are identical on both
 monitoring backends.
 
-Three models are provided:
+Six models are provided:
 
 * :class:`ExplicitFaults` — wraps a literal plan unchanged (also what the
   CLI's ``run --fault-plan`` override uses).
@@ -17,6 +17,12 @@ Three models are provided:
   seed-chosen point of its trace.
 * :class:`RollingCrashFaults` — every monitor crashes once, at staggered
   seed-chosen points (a rolling outage across the whole system).
+* :class:`ChurnFaults` — mid-run node churn: seed-chosen monitors leave
+  (long rejoin-from-scratch outages) and rejoin as fresh incarnations.
+* :class:`ByzantineFaults` — a seed-chosen subset of monitors turns
+  adversarial (duplicating / corrupting / replaying / dropping messages).
+* :class:`ClockSkewFaults` — perturbs the computation's vector clocks
+  (soundly or, explicitly flagged, unsoundly).
 """
 
 from __future__ import annotations
@@ -25,13 +31,24 @@ import random
 from dataclasses import asdict, dataclass
 from typing import Protocol, runtime_checkable
 
-from .plan import RECOVERY_REPLAY, CrashSpec, FaultPlan
+from .plan import (
+    RECOVERY_REJOIN,
+    RECOVERY_REPLAY,
+    SKEW_SOUND,
+    ByzantineSpec,
+    ClockSkewSpec,
+    CrashSpec,
+    FaultPlan,
+)
 
 __all__ = [
     "FaultModel",
     "ExplicitFaults",
     "SingleCrashFaults",
     "RollingCrashFaults",
+    "ChurnFaults",
+    "ByzantineFaults",
+    "ClockSkewFaults",
 ]
 
 #: mixed into cell seeds so fault schedules draw from their own RNG stream,
@@ -137,3 +154,123 @@ class RollingCrashFaults:
     def describe(self) -> dict[str, object]:
         """Self-describing metadata (for BENCH documents and the CLI)."""
         return _describe("rolling-crash", self)
+
+
+@dataclass(frozen=True)
+class ChurnFaults:
+    """Mid-run node churn: monitors leave and rejoin as fresh incarnations.
+
+    A seed-chosen subset of monitors (``leave_fraction`` of the system,
+    at least one) *leaves* early in its trace — a long outage of at least
+    ``min_down_events`` buffered events — and later *rejoins from scratch*,
+    inheriting only durable facts and replaying its local log.  An outage
+    reaching past the end of the trace models a node that rejoins only at
+    shutdown (the termination signal force-restarts it, so the run still
+    concludes).  Triggers live in local-event space, so churn is
+    deterministic across all backends.
+    """
+
+    leave_fraction: float = 0.5
+    min_down_events: int = 2
+
+    def build(
+        self, num_processes: int, events_per_process: int, seed: int | None
+    ) -> FaultPlan:
+        """Pick the leaving monitors and their outage windows from the seed."""
+        rng = _fault_rng(seed)
+        leavers = max(1, round(num_processes * self.leave_fraction))
+        leavers = min(leavers, num_processes)
+        chosen = sorted(rng.sample(range(num_processes), leavers))
+        specs = []
+        for process in chosen:
+            after_events = rng.randint(1, max(1, events_per_process // 2))
+            down_events = rng.randint(
+                self.min_down_events, max(self.min_down_events, events_per_process)
+            )
+            specs.append(
+                CrashSpec(
+                    process=process,
+                    after_events=after_events,
+                    down_events=down_events,
+                    recovery=RECOVERY_REJOIN,
+                )
+            )
+        return FaultPlan(tuple(specs))
+
+    def describe(self) -> dict[str, object]:
+        """Self-describing metadata (for BENCH documents and the CLI)."""
+        return _describe("churn", self)
+
+
+@dataclass(frozen=True)
+class ByzantineFaults:
+    """A seed-chosen subset of monitors turns adversarial.
+
+    Every chosen monitor gets the same behaviour cadence (the ``*_every``
+    fields, 0 disabling a behaviour); which monitors are adversarial is
+    drawn from the cell seed.  Message-space triggers are deterministic
+    per backend but not across backends (arrival orders differ), so
+    Byzantine scenarios are exercised on the simulator and compared
+    against the centralized oracle rather than across backends.
+    """
+
+    duplicate_every: int = 0
+    corrupt_every: int = 0
+    replay_every: int = 0
+    drop_every: int = 0
+    num_adversaries: int = 1
+
+    def build(
+        self, num_processes: int, events_per_process: int, seed: int | None
+    ) -> FaultPlan:
+        """Pick the adversarial monitors from the seed."""
+        rng = _fault_rng(seed)
+        count = max(1, min(self.num_adversaries, num_processes))
+        chosen = sorted(rng.sample(range(num_processes), count))
+        specs = tuple(
+            ByzantineSpec(
+                process=process,
+                duplicate_every=self.duplicate_every,
+                corrupt_every=self.corrupt_every,
+                replay_every=self.replay_every,
+                drop_every=self.drop_every,
+            )
+            for process in chosen
+        )
+        return FaultPlan(byzantine=specs)
+
+    def describe(self) -> dict[str, object]:
+        """Self-describing metadata (for BENCH documents and the CLI)."""
+        return _describe("byzantine", self)
+
+
+@dataclass(frozen=True)
+class ClockSkewFaults:
+    """Perturbs the monitored computation's vector-clock assignment.
+
+    The skew seed is derived from the cell seed through the dedicated
+    fault salt, so the perturbation is deterministic per cell and — since
+    it transforms the computation *before* any monitor runs — identical
+    on every backend (see :mod:`repro.faults.skew`).
+    """
+
+    mode: str = SKEW_SOUND
+    rate: float = 0.25
+    magnitude: int = 1
+
+    def build(
+        self, num_processes: int, events_per_process: int, seed: int | None
+    ) -> FaultPlan:
+        """Derive the concrete skew spec for one cell."""
+        return FaultPlan(
+            clock_skew=ClockSkewSpec(
+                mode=self.mode,
+                rate=self.rate,
+                magnitude=self.magnitude,
+                seed=(seed or 0) ^ _FAULT_SEED_SALT,
+            )
+        )
+
+    def describe(self) -> dict[str, object]:
+        """Self-describing metadata (for BENCH documents and the CLI)."""
+        return _describe("clock-skew", self)

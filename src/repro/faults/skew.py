@@ -1,0 +1,62 @@
+"""Applying a :class:`ClockSkewSpec` to a finished computation.
+
+Clock skew is the one fault in the plan that lives *below* the monitors: it
+perturbs the vector-clock assignment of the monitored
+:class:`~repro.distributed.computation.Computation` before any backend runs,
+so the simulator, the asyncio runtime and the cluster workers all monitor
+the identical skewed trace (each cluster worker regenerates the computation
+from the :class:`~repro.cluster.spec.RunSpec` and applies the same
+deterministic transform).  The clock mathematics — carry vectors, the
+sound/unsound happened-before boundary — lives with the clocks themselves in
+:class:`repro.distributed.clocks.ClockSkew`; this module only rebuilds the
+event record around the skewed clocks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..distributed.clocks import ClockSkew, VectorClock
+from ..distributed.computation import Computation
+from .plan import ClockSkewSpec
+
+__all__ = ["apply_clock_skew"]
+
+
+def apply_clock_skew(
+    computation: Computation, spec: ClockSkewSpec | None
+) -> tuple[Computation, dict[str, float]]:
+    """A copy of *computation* with skewed clocks, plus ``fault_skew_*`` stats.
+
+    Returns the input computation untouched (and no counters) when *spec*
+    is ``None`` or a no-op, preserving object identity on the fault-free
+    path.  The transform is deterministic in ``spec.seed`` alone.
+    """
+    if spec is None or spec.is_noop:
+        return computation, {}
+    n = computation.num_processes
+    skew = ClockSkew(
+        n,
+        computation.final_cut(),
+        mode=spec.mode,
+        rate=spec.rate,
+        magnitude=spec.magnitude,
+        seed=spec.seed,
+    )
+    skewed_events = []
+    for process in range(n):
+        column = []
+        for event in computation.events_of(process):
+            components = skew.perturb(process, event.sn, tuple(event.vc))
+            if components == event.vc.components:
+                column.append(event)
+            else:
+                column.append(
+                    dataclasses.replace(event, vc=VectorClock(components))
+                )
+        skewed_events.append(column)
+    skewed = Computation(
+        initial_states=[dict(state) for state in computation.initial_states],
+        events=skewed_events,
+    )
+    return skewed, skew.stats()

@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 from ..core.delays import DelayModel
 from ..core.monitor import DecentralizedMonitor
 from ..distributed.computation import Computation
-from ..faults import FaultPlan, unwrap_monitor, wrap_monitors
+from ..faults import FaultPlan, apply_clock_skew, unwrap_monitor, wrap_monitors
 from ..ltl.monitor import MonitorAutomaton
 from ..ltl.predicates import PropositionRegistry
 from ..ltl.verdict import Verdict
@@ -180,6 +180,11 @@ async def stream_monitored_run(
     """
     started = time.perf_counter()
     n = computation.num_processes
+    skew_stats: dict[str, float] = {}
+    if faults is not None and faults.clock_skew is not None:
+        # same deterministic pre-run transform the simulator applies, so
+        # both backends monitor the identical skewed trace
+        computation, skew_stats = apply_clock_skew(computation, faults.clock_skew)
     clock = RuntimeClock(time_scale)
     net = _build_transport(transport, clock, delay)
     initial_letters = [
@@ -265,7 +270,10 @@ async def stream_monitored_run(
         declared_verdicts=frozenset(declared),
         monitors=[unwrap_monitor(monitor) for monitor in monitors],
         network_stats=net.extra_stats(),
-        fault_stats=injector.fault_stats() if injector is not None else {},
+        fault_stats={
+            **(injector.fault_stats() if injector is not None else {}),
+            **skew_stats,
+        },
         transport=transport,
         wall_seconds=time.perf_counter() - started,
     )

@@ -35,10 +35,13 @@ __all__ = [
     "END_MARKER",
     "FAULTS_BEGIN_MARKER",
     "FAULTS_END_MARKER",
+    "ADVERSARIAL_BEGIN_MARKER",
+    "ADVERSARIAL_END_MARKER",
     "API_BEGIN_MARKER",
     "API_END_MARKER",
     "render_catalogue",
     "render_fault_catalogue",
+    "render_adversarial_catalogue",
     "render_api_reference",
     "replace_generated_section",
     "main",
@@ -49,6 +52,11 @@ END_MARKER = "<!-- END GENERATED SCENARIO CATALOGUE -->"
 
 FAULTS_BEGIN_MARKER = "<!-- BEGIN GENERATED FAULT CATALOGUE (repro.scenarios.docgen) -->"
 FAULTS_END_MARKER = "<!-- END GENERATED FAULT CATALOGUE -->"
+
+ADVERSARIAL_BEGIN_MARKER = (
+    "<!-- BEGIN GENERATED ADVERSARIAL CATALOGUE (repro.scenarios.docgen) -->"
+)
+ADVERSARIAL_END_MARKER = "<!-- END GENERATED ADVERSARIAL CATALOGUE -->"
 
 API_BEGIN_MARKER = "<!-- BEGIN GENERATED API REFERENCE (repro.scenarios.docgen) -->"
 API_END_MARKER = "<!-- END GENERATED API REFERENCE -->"
@@ -122,6 +130,28 @@ def render_fault_catalogue() -> str:
     return "\n".join(lines)
 
 
+def render_adversarial_catalogue() -> str:
+    """The generated adversarial-scenario section of ``docs/faults.md``.
+
+    Adversarial scenarios are the ``adversarial``-tagged subset of the
+    fault catalogue: Byzantine monitors, clock skew and node churn — the
+    conditions that attack the paper's soundness claims rather than just
+    its availability assumptions.
+    """
+    scenarios = [s for s in list_scenarios() if "adversarial" in s.tags]
+    lines = [
+        ADVERSARIAL_BEGIN_MARKER,
+        "",
+        f"{len(scenarios)} registered scenarios are adversarial "
+        "(sorted by name).",
+        "",
+    ]
+    for scenario in scenarios:
+        lines.extend(_render_scenario(scenario))
+    lines.append(ADVERSARIAL_END_MARKER)
+    return "\n".join(lines)
+
+
 def render_api_reference() -> str:
     """The generated name-by-name section of ``docs/api.md``.
 
@@ -163,6 +193,7 @@ def render_api_reference() -> str:
 _SECTIONS: tuple[tuple[str, str, object], ...] = (
     (BEGIN_MARKER, END_MARKER, render_catalogue),
     (FAULTS_BEGIN_MARKER, FAULTS_END_MARKER, render_fault_catalogue),
+    (ADVERSARIAL_BEGIN_MARKER, ADVERSARIAL_END_MARKER, render_adversarial_catalogue),
     (API_BEGIN_MARKER, API_END_MARKER, render_api_reference),
 )
 

@@ -21,6 +21,9 @@ name                condition
 ``asymmetric-mesh``  per-ordered-pair latency matrix (A→B ≠ B→A)
 ``multi-partition``  timed sequence of differently-shaped partitions
 ``partitioned-crash``  multi-partition schedule + a mid-trace monitor crash
+``node-churn``      half the monitors leave mid-run and rejoin from scratch
+``clock-skew``      sound vector-clock skew on the monitored trace
+``byzantine-storm``  adversarial monitors duplicate/corrupt/replay tokens
 ==================  =====================================================
 
 User code can add its own conditions with :func:`register_scenario`; for
@@ -30,7 +33,13 @@ import time of a module the workers also import.
 
 from __future__ import annotations
 
-from ..faults import RollingCrashFaults, SingleCrashFaults
+from ..faults import (
+    ByzantineFaults,
+    ChurnFaults,
+    ClockSkewFaults,
+    RollingCrashFaults,
+    SingleCrashFaults,
+)
 from .network import (
     AsymmetricNetwork,
     BurstyNetwork,
@@ -242,5 +251,54 @@ register_scenario(
         faults=SingleCrashFaults(down_events=2, recovery="replay"),
         corresponds_to="extension: compound network + monitor faults",
         tags=("faults", "network", "degraded"),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="node-churn",
+        description="Mid-run node churn: half the monitors (seed-chosen) "
+        "leave early for a long seed-chosen outage and rejoin from scratch, "
+        "replaying their durable logs; outages past the trace end model "
+        "nodes that only rejoin at shutdown.",
+        workload=PaperWorkload(),
+        network=ReliableNetwork(),
+        faults=ChurnFaults(leave_fraction=0.5, min_down_events=2),
+        corresponds_to="extension: membership churn stress of the soundness claim",
+        tags=("faults", "adversarial"),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="clock-skew",
+        description="Sound vector-clock skew: the monitored trace's clocks "
+        "are deterministically inflated within happened-before consistency, "
+        "so monitors explore a sub-lattice of the real computation and "
+        "verdicts stay sound by construction.",
+        workload=PaperWorkload(),
+        network=ReliableNetwork(),
+        faults=ClockSkewFaults(mode="sound", rate=0.35, magnitude=1),
+        corresponds_to="extension: clock-skew robustness of the vector-clock layer",
+        tags=("faults", "adversarial"),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="byzantine-storm",
+        description="Adversarial monitors: one seed-chosen monitor "
+        "duplicates every 3rd inbound message, forges the progression "
+        "state of every 4th token and replays a stale token every 5th "
+        "message — attacking the soundness argument head-on (simulator "
+        "backend; verdicts are checked against the centralized oracle, "
+        "not across backends).",
+        workload=PaperWorkload(),
+        network=ReliableNetwork(),
+        faults=ByzantineFaults(
+            duplicate_every=3, corrupt_every=4, replay_every=5, num_adversaries=1
+        ),
+        corresponds_to="extension: Byzantine stress of the paper's soundness claim",
+        tags=("faults", "adversarial", "degraded"),
     )
 )

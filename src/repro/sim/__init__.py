@@ -15,7 +15,7 @@ Public API
   monitored run with timing-based metrics.
 """
 
-from .engine import Simulator
+from .engine import SimulationBudgetExceeded, Simulator
 from .network import (
     BurstySimulatedNetwork,
     LossySimulatedNetwork,
@@ -26,6 +26,7 @@ from .runner import NetworkFactory, SimulationReport, simulate_monitored_run
 from .workload import WorkloadConfig, generate_computation, random_computation
 
 __all__ = [
+    "SimulationBudgetExceeded",
     "Simulator",
     "SimulatedNetwork",
     "LossySimulatedNetwork",

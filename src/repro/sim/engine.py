@@ -14,7 +14,16 @@ import itertools
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
-__all__ = ["Simulator"]
+__all__ = ["SimulationBudgetExceeded", "Simulator"]
+
+
+class SimulationBudgetExceeded(RuntimeError):
+    """The run scheduled more events than its ``max_events`` budget allows.
+
+    Distinguishable from other runtime failures so harnesses that bound
+    runaway executions (message-amplification storms under adversarial
+    fault plans) can classify budget exhaustion as its own outcome.
+    """
 
 
 @dataclass(order=True)
@@ -88,5 +97,7 @@ class Simulator:
             self.step()
             executed += 1
             if executed > max_events:
-                raise RuntimeError("simulation exceeded the maximum event budget")
+                raise SimulationBudgetExceeded(
+                    f"simulation exceeded the maximum event budget ({max_events})"
+                )
         return self.now

@@ -22,7 +22,7 @@ from typing import Protocol
 
 from ..core.monitor import DecentralizedMonitor
 from ..distributed.computation import Computation
-from ..faults import FaultPlan, unwrap_monitor, wrap_monitors
+from ..faults import FaultPlan, apply_clock_skew, unwrap_monitor, wrap_monitors
 from ..ltl.monitor import MonitorAutomaton
 from ..ltl.predicates import PropositionRegistry
 from ..ltl.verdict import Verdict
@@ -115,6 +115,7 @@ def simulate_monitored_run(
     network: NetworkFactory | None = None,
     faults: FaultPlan | None = None,
     compiled_kernel: bool = True,
+    max_sim_events: int | None = None,
 ) -> SimulationReport:
     """Replay *computation* under decentralized monitoring with network latency.
 
@@ -127,9 +128,17 @@ def simulate_monitored_run(
     code path, so its outputs are byte-identical to ``faults=None``.  With
     *compiled_kernel* (default on) monitors step the compiled bitmask/dense
     table form of the automaton; the interpreted path is step-for-step
-    equivalent and reports identical results.
+    equivalent and reports identical results.  With *max_sim_events* set,
+    the simulator raises :class:`repro.sim.SimulationBudgetExceeded` after
+    that many scheduled callbacks — the guard the fuzzing harness uses to
+    bound message-amplification storms under adversarial plans.
     """
     n = computation.num_processes
+    skew_stats: dict[str, float] = {}
+    if faults is not None and faults.clock_skew is not None:
+        # clock skew perturbs the monitored trace itself, before any monitor
+        # runs — every backend applies the identical deterministic transform
+        computation, skew_stats = apply_clock_skew(computation, faults.clock_skew)
     simulator = Simulator()
     if network is not None:
         built_network = network.build(simulator, seed)
@@ -180,7 +189,10 @@ def simulate_monitored_run(
 
         simulator.schedule_at(last_time_per_process[i] + 1e-6, terminate)
 
-    simulator.run()
+    if max_sim_events is not None:
+        simulator.run(max_events=max_sim_events)
+    else:
+        simulator.run()
 
     monitor_end = max(built_network.last_delivery_time, program_end)
     total_views = sum(m.metrics.views_created for m in monitors)
@@ -206,5 +218,8 @@ def simulate_monitored_run(
         declared_verdicts=frozenset(declared),
         monitors=[unwrap_monitor(monitor) for monitor in monitors],
         network_stats=built_network.extra_stats(),
-        fault_stats=injector.fault_stats() if injector is not None else {},
+        fault_stats={
+            **(injector.fault_stats() if injector is not None else {}),
+            **skew_stats,
+        },
     )

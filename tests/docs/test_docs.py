@@ -106,13 +106,52 @@ class TestFaultsDoc:
         copy = tmp_path / "faults.md"
         copy.write_text(
             "# header\n\n"
-            f"{docgen.FAULTS_BEGIN_MARKER}\nstale\n{docgen.FAULTS_END_MARKER}\n",
+            f"{docgen.FAULTS_BEGIN_MARKER}\nstale content\n{docgen.FAULTS_END_MARKER}\n",
             encoding="utf-8",
         )
         assert docgen.main([str(copy)]) == 0
         updated = copy.read_text(encoding="utf-8")
-        assert "stale" not in updated
+        assert "stale content" not in updated
         assert docgen.render_fault_catalogue() in updated
+
+
+class TestAdversarialDoc:
+    def test_doc_exists_with_markers(self):
+        text = FAULTS_DOC.read_text(encoding="utf-8")
+        assert docgen.ADVERSARIAL_BEGIN_MARKER in text
+        assert docgen.ADVERSARIAL_END_MARKER in text
+
+    def test_adversarial_catalogue_matches_registry(self):
+        """The generated adversarial catalogue must equal a fresh rendering."""
+        text = FAULTS_DOC.read_text(encoding="utf-8")
+        begin = text.index(docgen.ADVERSARIAL_BEGIN_MARKER)
+        end = text.index(docgen.ADVERSARIAL_END_MARKER) + len(
+            docgen.ADVERSARIAL_END_MARKER
+        )
+        assert text[begin:end] == docgen.render_adversarial_catalogue(), (
+            "docs/faults.md is out of date; regenerate it with "
+            "`PYTHONPATH=src python -m repro.scenarios.docgen docs/faults.md`"
+        )
+
+    def test_every_adversarial_scenario_documented(self):
+        from repro.scenarios import list_scenarios
+
+        text = FAULTS_DOC.read_text(encoding="utf-8")
+        adversarial = [s for s in list_scenarios() if "adversarial" in s.tags]
+        assert len(adversarial) >= 3
+        for scenario in adversarial:
+            assert f"### `{scenario.name}`" in text
+
+    def test_hand_written_sections_cover_the_attack_surface(self):
+        text = FAULTS_DOC.read_text(encoding="utf-8")
+        for needle in (
+            "## Adversarial (Byzantine) behaviours",
+            "## Clock skew and the soundness boundary",
+            "## Property fuzzing (`repro.fuzz`)",
+            "fault_byz_corrupted",
+            "skew@<mode>~<rate>~<magnitude>~<seed>",
+        ):
+            assert needle in text, needle
 
 
 class TestApiDoc:

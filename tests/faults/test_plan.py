@@ -8,6 +8,11 @@ from repro.faults import (
     RECOVERY_POLICIES,
     RECOVERY_REJOIN,
     RECOVERY_REPLAY,
+    SKEW_MODES,
+    SKEW_SOUND,
+    SKEW_UNSOUND,
+    ByzantineSpec,
+    ClockSkewSpec,
     CrashSpec,
     FaultPlan,
     FaultStats,
@@ -156,6 +161,179 @@ class TestGrammar:
 
     def test_format_empty_plan(self):
         assert format_fault_plan(FaultPlan()) == ""
+
+
+class TestAmbiguousScheduleRegression:
+    """down_events=0 cycles whose restart coincides with the next crash.
+
+    The restart of a zero-downtime cycle triggers on the arrival of event
+    ``after_events + 1`` — exactly the crash trigger of a second cycle with
+    ``after_events + 1``.  Which fires first used to depend on dict
+    iteration details inside the proxy; such schedules are now rejected
+    outright.
+    """
+
+    def test_zero_downtime_followed_by_adjacent_crash_rejected(self):
+        with pytest.raises(ValueError, match="ambiguous crash schedule"):
+            FaultPlan(
+                (
+                    CrashSpec(process=0, after_events=2, down_events=0),
+                    CrashSpec(process=0, after_events=3),
+                )
+            )
+
+    def test_error_names_both_cycles_and_the_event(self):
+        with pytest.raises(ValueError, match="arrival of event 2"):
+            FaultPlan(
+                (
+                    CrashSpec(process=1, after_events=1, down_events=0),
+                    CrashSpec(process=1, after_events=2, down_events=1),
+                )
+            )
+
+    def test_zero_downtime_with_a_gap_allowed(self):
+        plan = FaultPlan(
+            (
+                CrashSpec(process=0, after_events=1, down_events=0),
+                CrashSpec(process=0, after_events=3, down_events=0),
+            )
+        )
+        assert len(plan.crashes) == 2
+
+    def test_adjacent_cycles_on_other_processes_allowed(self):
+        plan = FaultPlan(
+            (
+                CrashSpec(process=0, after_events=2, down_events=0),
+                CrashSpec(process=1, after_events=3),
+            )
+        )
+        assert len(plan.crashes) == 2
+
+    def test_grammar_surfaces_the_rejection(self):
+        with pytest.raises(ValueError, match="ambiguous crash schedule"):
+            parse_fault_plan("0@2+0,0@3")
+
+
+class TestByzantineSpec:
+    def test_defaults_are_noop(self):
+        spec = ByzantineSpec(process=0)
+        assert spec.is_noop
+
+    def test_negative_process_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ByzantineSpec(process=-1, duplicate_every=2)
+
+    def test_negative_cadence_rejected(self):
+        with pytest.raises(ValueError, match="duplicate_every"):
+            ByzantineSpec(process=0, duplicate_every=-1)
+
+    def test_unit_corrupt_cadence_rejected(self):
+        # cadence 1 would corrupt the very first captured token before a
+        # stale copy even exists; cadences are >= 2 or 0 (disabled)
+        with pytest.raises(ValueError, match="cadence"):
+            ByzantineSpec(process=0, replay_every=1)
+
+    def test_describe_is_json_serialisable(self):
+        spec = ByzantineSpec(process=1, duplicate_every=3, drop_every=5)
+        description = json.loads(json.dumps(spec.describe()))
+        assert description["process"] == 1
+        assert description["duplicate_every"] == 3
+
+    def test_duplicate_spec_per_process_rejected(self):
+        with pytest.raises(ValueError, match="duplicate ByzantineSpec"):
+            FaultPlan(
+                byzantine=(
+                    ByzantineSpec(process=0, duplicate_every=2),
+                    ByzantineSpec(process=0, drop_every=4),
+                )
+            )
+
+    def test_byzantine_for_skips_noop_specs(self):
+        plan = FaultPlan(
+            byzantine=(
+                ByzantineSpec(process=0),
+                ByzantineSpec(process=1, corrupt_every=2),
+            )
+        )
+        assert plan.byzantine_for(0) is None
+        assert plan.byzantine_for(1).corrupt_every == 2
+        assert plan.byzantine_for(2) is None
+
+
+class TestClockSkewSpec:
+    def test_modes(self):
+        assert SKEW_MODES == (SKEW_SOUND, SKEW_UNSOUND)
+        for mode in SKEW_MODES:
+            ClockSkewSpec(mode=mode)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="skew mode"):
+            ClockSkewSpec(mode="sideways")
+
+    def test_out_of_range_rate_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            ClockSkewSpec(rate=-0.1)
+
+    def test_zero_rate_is_noop(self):
+        assert ClockSkewSpec(rate=0.0).is_noop
+        assert not ClockSkewSpec(rate=0.1).is_noop
+
+    def test_plan_noop_accounts_for_adversarial_parts(self):
+        assert FaultPlan(clock_skew=ClockSkewSpec(rate=0.0)).is_noop(3)
+        assert not FaultPlan(clock_skew=ClockSkewSpec(rate=0.5)).is_noop(3)
+        assert FaultPlan(byzantine=(ByzantineSpec(process=0),)).is_noop(3)
+        assert not FaultPlan(
+            byzantine=(ByzantineSpec(process=0, drop_every=4),)
+        ).is_noop(3)
+
+
+class TestAdversarialGrammar:
+    def test_parse_byzantine_chunk(self):
+        plan = parse_fault_plan("1!dup3!corrupt4!replay5!drop6")
+        spec = plan.byzantine[0]
+        assert (spec.process, spec.duplicate_every, spec.corrupt_every) == (1, 3, 4)
+        assert (spec.replay_every, spec.drop_every) == (5, 6)
+
+    def test_parse_partial_byzantine_chunk(self):
+        plan = parse_fault_plan("0!drop4")
+        assert plan.byzantine == (ByzantineSpec(process=0, drop_every=4),)
+
+    def test_parse_skew_chunk(self):
+        plan = parse_fault_plan("skew@unsound~0.5~2~77")
+        assert plan.clock_skew == ClockSkewSpec(
+            mode=SKEW_UNSOUND, rate=0.5, magnitude=2, seed=77
+        )
+
+    def test_two_skew_chunks_rejected(self):
+        with pytest.raises(ValueError, match="at most one"):
+            parse_fault_plan("skew@sound~0.5~1~1,skew@sound~0.5~1~2")
+
+    @pytest.mark.parametrize(
+        "text", ["0!", "0!dup", "0!dupx", "0!warp3", "skew@fast~0.5~1~1", "skew@sound~2~1"]
+    )
+    def test_invalid_adversarial_chunks_rejected(self, text):
+        with pytest.raises(ValueError):
+            parse_fault_plan(text)
+
+    def test_mixed_plan_roundtrip(self):
+        plan = FaultPlan(
+            crashes=(CrashSpec(process=0, after_events=2, down_events=3),),
+            byzantine=(ByzantineSpec(process=2, duplicate_every=3, drop_every=5),),
+            clock_skew=ClockSkewSpec(mode=SKEW_SOUND, rate=0.25, magnitude=1, seed=9),
+        )
+        assert parse_fault_plan(format_fault_plan(plan)) == plan
+
+    def test_describe_adds_adversarial_keys_only_when_present(self):
+        bare = FaultPlan((CrashSpec(process=0, after_events=1),))
+        assert "byzantine" not in bare.describe()
+        assert "clock_skew" not in bare.describe()
+        full = FaultPlan(
+            byzantine=(ByzantineSpec(process=0, corrupt_every=2),),
+            clock_skew=ClockSkewSpec(),
+        )
+        description = json.loads(json.dumps(full.describe()))
+        assert description["byzantine"][0]["corrupt_every"] == 2
+        assert description["clock_skew"]["mode"] == SKEW_SOUND
 
 
 class TestFaultStats:
