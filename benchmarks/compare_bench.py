@@ -75,11 +75,15 @@ def compare_timings(
 ) -> list[tuple[str, float, float, float]]:
     """``(name, old_value, new_value, ratio)`` for every common measurement.
 
-    ``ratio`` is always a *slowdown factor* (``>= 1 + threshold`` means
+    ``ratio`` is always a *regression factor* (``>= 1 + threshold`` means
     regression, whatever the unit): ``new/old`` for wall-clock ``seconds``
-    entries, and the inverted ``old/new`` for throughput entries — timings
+    entries, the inverted ``old/new`` for throughput entries — timings
     that carry an ``events_per_sec`` field (higher is better) are compared
-    on that field too, as a second ``<name>:events_per_sec`` row.
+    on that field too, as a second ``<name>:events_per_sec`` row — and
+    ``new/old`` for the topology-frontier fields
+    (``topology_messages_total``, ``topology_verdict_latency``), where
+    lower is better, so a topology drifting along either axis of the
+    message/latency frontier annotates like a slowdown.
     """
     rows = []
     old_timings = previous.get("timings", {})
@@ -95,6 +99,13 @@ def compare_timings(
             rows.append(
                 (f"{name}:events_per_sec", old_rate, new_rate, old_rate / new_rate)
             )
+        for field in ("topology_messages_total", "topology_verdict_latency"):
+            old_value = float(old_timings[name].get(field) or 0.0)
+            new_value = float(new_timings[name].get(field) or 0.0)
+            if old_value > 0.0 and new_value > 0.0:
+                rows.append(
+                    (f"{name}:{field}", old_value, new_value, new_value / old_value)
+                )
     return rows
 
 
@@ -110,10 +121,19 @@ def annotate(
     print(f"{'timing':45} {'prev':>11} {'curr':>11} {'slowdown':>9}")
     for name, old_value, new_value, ratio in rows:
         # rate rows (":events_per_sec") already carry an inverted ratio, so
-        # the delta below uniformly reads "percent slower"
-        unit = "ev/s" if name.endswith(":events_per_sec") else "s"
-        old_text = f"{old_value:.3f}" if unit == "s" else f"{old_value:,.0f}"
-        new_text = f"{new_value:.3f}" if unit == "s" else f"{new_value:,.0f}"
+        # the delta below uniformly reads "percent worse"
+        if name.endswith(":events_per_sec"):
+            unit = "ev/s"
+        elif name.endswith(":topology_messages_total"):
+            unit = "msgs"
+        elif name.endswith(":topology_verdict_latency"):
+            unit = "vt"  # virtual-time units of the simulator clock
+        else:
+            unit = "s"
+        if unit in ("ev/s", "msgs"):
+            old_text, new_text = f"{old_value:,.0f}", f"{new_value:,.0f}"
+        else:
+            old_text, new_text = f"{old_value:.3f}", f"{new_value:.3f}"
         delta = (ratio - 1.0) * 100.0
         marker = ""
         if ratio >= 1.0 + warn_threshold:

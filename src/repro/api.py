@@ -25,6 +25,7 @@ from __future__ import annotations
 from .cluster.coordinator import ClusterError, ClusterReport, cluster_monitored_run
 from .cluster.manifest import ClusterManifest, Endpoint, load_manifest, loopback_manifest
 from .cluster.spec import RunSpec
+from .coordination import TOPOLOGIES, build_topology
 from .experiments.engine import BACKENDS, ExecutionConfig
 from .experiments.engine import run_scenario as _run_scenario
 from .experiments.harness import DEFAULT_SCALE, ExperimentScale
@@ -62,6 +63,8 @@ __all__ = [
     # execution
     "BACKENDS",
     "TRANSPORTS",
+    "TOPOLOGIES",
+    "build_topology",
     "ExecutionConfig",
     "ExperimentScale",
     "DEFAULT_SCALE",

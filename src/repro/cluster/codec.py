@@ -18,7 +18,7 @@ Frame layout (network byte order)::
     8       n     payload type-specific binary body
 
 Monitoring frames (:data:`TYPE_TOKEN`, :data:`TYPE_TERMINATION`,
-:data:`TYPE_VALUE`) carry a *delivery instant* — the virtual-time ``due``
+:data:`TYPE_VERDICT`, :data:`TYPE_VALUE`) carry a *delivery instant* — the virtual-time ``due``
 the sending transport computed — as a leading float64, followed by the
 message body.  Control frames (:data:`TYPE_CONTROL`) carry one string-keyed
 mapping encoded with the same primitive layer; the coordinator/worker
@@ -48,7 +48,7 @@ from __future__ import annotations
 import struct
 from typing import BinaryIO
 
-from ..core.messages import TerminationNotice, Token, TokenEntry
+from ..core.messages import TerminationNotice, Token, TokenEntry, VerdictAnnouncement
 
 __all__ = [
     "MAGIC",
@@ -56,6 +56,7 @@ __all__ = [
     "HEADER",
     "TYPE_TOKEN",
     "TYPE_TERMINATION",
+    "TYPE_VERDICT",
     "TYPE_VALUE",
     "TYPE_CONTROL",
     "CodecError",
@@ -85,6 +86,8 @@ TYPE_TOKEN = 0x01
 TYPE_TERMINATION = 0x02
 #: an arbitrary primitive value with its delivery instant (tests, probes)
 TYPE_VALUE = 0x03
+#: a :class:`repro.core.messages.VerdictAnnouncement` with its delivery instant
+TYPE_VERDICT = 0x04
 #: a string-keyed control mapping (coordinator/worker handshake)
 TYPE_CONTROL = 0x10
 
@@ -488,6 +491,10 @@ def encode_message(message: object) -> tuple[int, bytes]:
         _w_svarint(out, message.process)
         _w_svarint(out, message.final_event_sn)
         return TYPE_TERMINATION, bytes(out)
+    if isinstance(message, VerdictAnnouncement):
+        _w_svarint(out, message.origin)
+        _w_str(out, message.verdict)
+        return TYPE_VERDICT, bytes(out)
     _w_value(out, message)
     return TYPE_VALUE, bytes(out)
 
@@ -521,6 +528,12 @@ def decode_message(type_tag: int, body: bytes) -> object:
         final_event_sn, pos = _r_svarint(body, pos)
         _check_consumed(body, pos)
         return TerminationNotice(process=process, final_event_sn=final_event_sn)
+    if type_tag == TYPE_VERDICT:
+        pos = 0
+        origin, pos = _r_svarint(body, pos)
+        verdict, pos = _r_str(body, pos)
+        _check_consumed(body, pos)
+        return VerdictAnnouncement(origin=origin, verdict=verdict)
     if type_tag == TYPE_VALUE:
         value, pos = _r_value(body, 0)
         _check_consumed(body, pos)

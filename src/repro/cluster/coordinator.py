@@ -72,6 +72,9 @@ class ClusterReport:
     delayed_events: int
     reported_verdicts: frozenset[Verdict]
     declared_verdicts: frozenset[Verdict]
+    #: topology digest messages (gossip forwards and verdict announcements);
+    #: defaults to zero so reports from workers predating the counter load
+    digest_messages: int = 0
     network_stats: dict[str, float] = field(default_factory=dict)
     fault_stats: dict[str, float] = field(default_factory=dict)
     #: untouched per-worker ``collect`` replies, for inspection
@@ -343,6 +346,7 @@ def _aggregate(
         monitor_messages=sum(int(r["sent"]) for r in results),
         token_messages=sum(int(r["token_messages"]) for r in results),
         termination_messages=sum(int(r["termination_messages"]) for r in results),
+        digest_messages=sum(int(r.get("digest_messages", 0)) for r in results),
         total_global_views=sum(int(r["views_created"]) for r in results),
         delayed_events=sum(int(r["delayed_events"]) for r in results),
         reported_verdicts=frozenset(

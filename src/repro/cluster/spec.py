@@ -47,6 +47,10 @@ class RunSpec:
     #: to true so specs written before the field existed keep the new
     #: behaviour (the two kernels are step-for-step equivalent)
     compiled_kernel: bool = True
+    #: coordination topology name (see :mod:`repro.coordination`); defaults
+    #: to the pre-refactor routing so specs written before the field existed
+    #: behave identically
+    topology: str = "round-robin-token"
 
     def to_json(self) -> str:
         """Serialise the spec as a JSON document."""
@@ -92,6 +96,7 @@ def spec_for_cell(
     max_views_per_state: int | None,
     fault_plan: FaultPlan | None,
     compiled_kernel: bool = True,
+    topology: str = "round-robin-token",
 ) -> RunSpec:
     """Build the spec of one sweep cell from its resolved parameters."""
     serialised = None
@@ -110,6 +115,7 @@ def spec_for_cell(
         max_views_per_state=max_views_per_state,
         fault_plan=serialised,
         compiled_kernel=compiled_kernel,
+        topology=topology,
     )
 
 

@@ -39,6 +39,7 @@ import asyncio
 import sys
 from collections.abc import Sequence
 
+from ..coordination import build_topology
 from ..core.monitor import DecentralizedMonitor
 from ..faults import FaultInjector, apply_clock_skew
 from . import codec
@@ -92,6 +93,9 @@ async def run_worker(manifest: ClusterManifest, process: int, spec: RunSpec) -> 
         registry.local_letter(i, computation.initial_states[i]) for i in range(n)
     ]
     transport = WorkerTransport(manifest, process)
+    # deterministic in (name, n, formula ownership): every worker that
+    # builds from the same spec makes identical routing decisions
+    route = build_topology(spec.topology, n, registry=registry)
 
     def make_monitor() -> DecentralizedMonitor:
         return DecentralizedMonitor(
@@ -103,6 +107,7 @@ async def run_worker(manifest: ClusterManifest, process: int, spec: RunSpec) -> 
             transport=transport,
             max_views_per_state=spec.max_views_per_state,
             use_compiled_kernel=spec.compiled_kernel,
+            topology=route,
         )
 
     injector: FaultInjector | None = None
@@ -160,6 +165,7 @@ async def run_worker(manifest: ClusterManifest, process: int, spec: RunSpec) -> 
                     "reported": sorted(str(v) for v in endpoint.reported_verdicts()),
                     "token_messages": metrics.token_messages_sent,
                     "termination_messages": metrics.termination_messages_sent,
+                    "digest_messages": metrics.digest_messages_sent,
                     "views_created": metrics.views_created,
                     "delayed_events": metrics.delayed_events,
                     "sent": transport.sent_count,

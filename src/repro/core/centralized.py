@@ -25,13 +25,35 @@ Letter = frozenset[str]
 
 @dataclass
 class CentralizedResult:
-    """Outcome of a centralized monitoring run."""
+    """Outcome of a centralized monitoring run.
+
+    ``messages`` counts process→central observation deliveries (exactly one
+    per program event) and is kept for backward compatibility;
+    ``verdict_broadcast_messages`` counts the central→process fan-out of
+    each newly conclusive verdict.  :attr:`total_messages` is the honest
+    frontier denominator comparable to a decentralized run's total.
+    """
 
     final_states: frozenset[int]
     verdicts: frozenset[Verdict]
     messages: int
     max_tracked_cuts: int
     total_tracked_cuts: int
+    verdict_broadcast_messages: int = 0
+
+    @property
+    def observation_messages(self) -> int:
+        """Process→central observation deliveries (alias of ``messages``)."""
+        return self.messages
+
+    @property
+    def total_messages(self) -> int:
+        """All communication of the centralized configuration.
+
+        Observation deliveries plus verdict broadcasts — the counter that
+        sits on the communication axis of the topology frontier.
+        """
+        return self.messages + self.verdict_broadcast_messages
 
 
 class CentralizedMonitor:
@@ -64,13 +86,22 @@ class CentralizedMonitor:
         )
         self._reachable: dict[Cut, set[int]] = {bottom: {initial_state}}
         self.messages = 0
+        #: central→process verdict fan-out: each first-time conclusive
+        #: verdict is announced to every process (``num_processes`` sends)
+        self.verdict_broadcast_messages = 0
         self.max_tracked_cuts = 1
         self.total_tracked_cuts = 1
         self.declared: set[Verdict] = set()
         if automaton.verdict(initial_state).is_final:
-            self.declared.add(automaton.verdict(initial_state))
+            self._declare(automaton.verdict(initial_state))
 
     # ------------------------------------------------------------------
+    def _declare(self, verdict: Verdict) -> None:
+        """Record a conclusive verdict; broadcast it on first declaration."""
+        if verdict not in self.declared:
+            self.declared.add(verdict)
+            self.verdict_broadcast_messages += self.num_processes
+
     @staticmethod
     def _combine(letters: list[Letter]) -> Letter:
         result: set = set()
@@ -160,7 +191,7 @@ class CentralizedMonitor:
                             new_state = table[state * n_letters + mask]
                             target.add(new_state)
                             if compiled.final_flags[new_state]:
-                                self.declared.add(self.automaton.verdict(new_state))
+                                self._declare(self.automaton.verdict(new_state))
                     else:
                         letter = self._letter_of_cut(successor)
                         for state in states:
@@ -168,7 +199,7 @@ class CentralizedMonitor:
                             target.add(new_state)
                             verdict = self.automaton.verdict(new_state)
                             if verdict.is_final:
-                                self.declared.add(verdict)
+                                self._declare(verdict)
                     if len(target) != before:
                         changed = True
             self.max_tracked_cuts = max(self.max_tracked_cuts, len(self._reachable))
@@ -186,6 +217,7 @@ class CentralizedMonitor:
             messages=self.messages,
             max_tracked_cuts=self.max_tracked_cuts,
             total_tracked_cuts=self.total_tracked_cuts,
+            verdict_broadcast_messages=self.verdict_broadcast_messages,
         )
 
     # ------------------------------------------------------------------

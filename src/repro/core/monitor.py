@@ -37,12 +37,13 @@ from collections.abc import Iterable, Mapping, Sequence
 
 from dataclasses import dataclass
 
+from ..coordination import CoordinationTopology, RoundRobinToken
 from ..distributed.events import Event
 from ..ltl.monitor import MonitorAutomaton, Transition
 from ..ltl.predicates import PropositionRegistry
 from ..ltl.verdict import Verdict
 from .global_view import GlobalView, ViewStatus
-from .messages import TerminationNotice, Token, TokenEntry
+from .messages import TerminationNotice, Token, TokenEntry, VerdictAnnouncement
 from .transport import Transport
 
 __all__ = ["MonitorMetrics", "DecentralizedMonitor", "verdict_divergence"]
@@ -82,6 +83,9 @@ class MonitorMetrics:
     entries_created: int = 0
     token_messages_sent: int = 0
     termination_messages_sent: int = 0
+    #: topology digest traffic: forwarded termination notices and verdict
+    #: announcements (gossip/tree flooding); zero under round-robin-token
+    digest_messages_sent: int = 0
     views_created: int = 0
     views_merged: int = 0
     max_active_views: int = 0
@@ -90,8 +94,17 @@ class MonitorMetrics:
 
     @property
     def messages_sent(self) -> int:
-        """Total monitoring messages this monitor put on the network."""
-        return self.token_messages_sent + self.termination_messages_sent
+        """Total monitoring messages this monitor put on the network.
+
+        Decomposes exactly as token + termination + digest messages; the
+        network-level counter of a reliable transport must agree with the
+        sum of this property across monitors.
+        """
+        return (
+            self.token_messages_sent
+            + self.termination_messages_sent
+            + self.digest_messages_sent
+        )
 
 
 def _satisfies(letter: Letter, conjunct: Mapping[str, bool]) -> bool:
@@ -136,6 +149,13 @@ class DecentralizedMonitor:
         instead of frozenset union + dictionary lookups.  The two paths are
         step-for-step equivalent; this flag is the per-monitor end of
         ``ExecutionConfig.compiled_kernel`` / ``--no-compiled-kernel``.
+    topology:
+        The :class:`repro.coordination.CoordinationTopology` routing policy
+        shared by every monitor of the run.  ``None`` (default) builds the
+        ``round-robin-token`` policy, which reproduces the pre-refactor
+        monolithic routing byte for byte.  The monitor owns all mutable
+        protocol state (duplicate suppression for flooded digests); the
+        topology object itself is stateless and may be shared.
     """
 
     def __init__(
@@ -148,6 +168,7 @@ class DecentralizedMonitor:
         transport: Transport,
         max_views_per_state: int | None = None,
         use_compiled_kernel: bool = True,
+        topology: CoordinationTopology | None = None,
     ) -> None:
         self.process = process
         self.num_processes = num_processes
@@ -156,9 +177,15 @@ class DecentralizedMonitor:
         self.initial_letters: list[Letter] = [frozenset(l) for l in initial_letters]
         self.transport = transport
         self.max_views_per_state = max_views_per_state
+        self.topology: CoordinationTopology = (
+            topology if topology is not None else RoundRobinToken(num_processes)
+        )
         self._compiled = automaton.compiled if use_compiled_kernel else None
         self._mask_cache: dict[Letter, int] = {}
         self.metrics = MonitorMetrics()
+        #: duplicate suppression for flooded digests (tree/gossip forwarding)
+        self._seen_notices: set[TerminationNotice] = set()
+        self._seen_announcements: set[VerdictAnnouncement] = set()
 
         self.history: dict[int, Event] = {}
         self.local_letters: dict[int, Letter] = {0: self.initial_letters[process]}
@@ -239,7 +266,21 @@ class DecentralizedMonitor:
         verdict = self.automaton.verdict(state)
         if verdict.is_final:
             self.declared_states.add(state)
-            self.declared_verdicts.add(verdict)
+            if verdict not in self.declared_verdicts:
+                self.declared_verdicts.add(verdict)
+                self._announce_verdict(verdict)
+
+    def _announce_verdict(self, verdict: Verdict) -> None:
+        """Gossip a first-time conclusive verdict, if the topology does."""
+        recipients = self.topology.verdict_recipients(self.process)
+        if not recipients:
+            return
+        announcement = VerdictAnnouncement(self.process, str(verdict))
+        self._seen_announcements.add(announcement)
+        for target in recipients:
+            if target != self.process:
+                self.transport.send(self.process, target, announcement)
+                self.metrics.digest_messages_sent += 1
 
     def _local_letter(self, sn: int) -> Letter:
         return self.local_letters[sn]
@@ -293,7 +334,8 @@ class DecentralizedMonitor:
         self.local_terminated = True
         self.terminated[self.process] = self.last_local_sn
         notice = TerminationNotice(self.process, self.last_local_sn)
-        for other in range(self.num_processes):
+        self._seen_notices.add(notice)
+        for other in self.topology.termination_recipients(self.process):
             if other != self.process:
                 self.transport.send(self.process, other, notice)
                 self.metrics.termination_messages_sent += 1
@@ -308,17 +350,47 @@ class DecentralizedMonitor:
     def receive_message(self, message: object) -> None:
         """Handle a message from another monitor process."""
         if isinstance(message, TerminationNotice):
+            forward = self.topology.forward_termination(
+                self.process, message.process
+            )
+            if forward:
+                # flooding topology: suppress duplicates, spread first-seen
+                # notices one more wave (broadcast topologies forward nothing
+                # and keep the original reprocess-every-copy behaviour)
+                if message in self._seen_notices:
+                    return
+                self._seen_notices.add(message)
+                for target in forward:
+                    if target != self.process:
+                        self.transport.send(self.process, target, message)
+                        self.metrics.digest_messages_sent += 1
             self.terminated[message.process] = message.final_event_sn
             self._retry_waiting_tokens()
             self._merge_views()
             return
+        if isinstance(message, VerdictAnnouncement):
+            if message in self._seen_announcements:
+                return
+            self._seen_announcements.add(message)
+            verdict = Verdict(message.verdict)
+            if verdict.is_final:
+                self.declared_verdicts.add(verdict)
+            for target in self.topology.forward_verdict(
+                self.process, message.origin
+            ):
+                if target != self.process:
+                    self.transport.send(self.process, target, message)
+                    self.metrics.digest_messages_sent += 1
+            return
         if isinstance(message, Token):
             token = message
-            token.hops += 1
-            self.metrics.token_hops_served += 1
             if token.parent_process == self.process and token.all_decided():
+                # the completed token is merely returning home: the parent
+                # consumes it, it does not serve a hop
                 self._token_returned(token)
             else:
+                token.hops += 1
+                self.metrics.token_hops_served += 1
                 self._serve_token(token)
             self._merge_views()
             return
@@ -616,7 +688,9 @@ class DecentralizedMonitor:
         # prefer a process with actionable work that is not this monitor
         actionable = [t for t in targets if t != self.process and t not in parked]
         if actionable:
-            self._send_token(token, actionable[0])
+            self._send_token(
+                token, self.topology.pick_target(self.process, actionable, token)
+            )
             return
         if self.process in targets:
             # wait here for future local events (or local termination)
@@ -626,7 +700,10 @@ class DecentralizedMonitor:
         if remote_parked:
             # every remaining target is waiting for future events elsewhere;
             # let the token wait at one of those processes
-            self._send_token(token, remote_parked[0])
+            self._send_token(
+                token,
+                self.topology.pick_target(self.process, remote_parked, token),
+            )
             return
         # nothing actionable anywhere: keep the token here until something
         # (a local event or a termination notice) changes the situation
@@ -640,8 +717,11 @@ class DecentralizedMonitor:
             else:
                 self._serve_token(token)
             return
+        # multi-hop topologies relay through a neighbour; the intermediate
+        # monitor re-serves and re-routes, converging on the destination
+        hop = self.topology.next_hop(self.process, target)
         self.metrics.token_messages_sent += 1
-        self.transport.send(self.process, target, token)
+        self.transport.send(self.process, hop, token)
 
     def _dispatch_token(self, token: Token) -> None:
         """First routing decision right after a token is created."""

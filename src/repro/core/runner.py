@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..coordination import build_topology
 from ..distributed.computation import Computation
 from ..ltl.monitor import MonitorAutomaton, build_monitor
 from ..ltl.parser import parse
@@ -57,15 +58,42 @@ class DecentralizedResult:
         return frozenset(states)
 
     # -- metrics -----------------------------------------------------------
+    #
+    # One consistent counter set.  ``total_messages`` is the network-level
+    # count; it equals ``total_monitor_messages`` (the sum of every monitor's
+    # ``MonitorMetrics.messages_sent``) on the reliable loopback transport,
+    # and decomposes exactly into token + termination (+ digest) messages.
+    # The consistency is pinned by a regression test so the topology
+    # frontier's denominators can never silently disagree.
     @property
     def total_messages(self) -> int:
-        """Total monitoring messages exchanged (tokens + termination)."""
+        """Monitoring messages put on the network (all kinds).
+
+        Equals :attr:`total_monitor_messages` on the reliable loopback
+        network, and decomposes as ``total_token_messages +
+        total_termination_messages + total_digest_messages``.
+        """
         return self.network.messages_sent
+
+    @property
+    def total_monitor_messages(self) -> int:
+        """Sum of every monitor's ``MonitorMetrics.messages_sent``."""
+        return sum(m.metrics.messages_sent for m in self.monitors)
 
     @property
     def total_token_messages(self) -> int:
         """Token messages sent across every monitor."""
         return sum(m.metrics.token_messages_sent for m in self.monitors)
+
+    @property
+    def total_termination_messages(self) -> int:
+        """Termination notices sent across every monitor."""
+        return sum(m.metrics.termination_messages_sent for m in self.monitors)
+
+    @property
+    def total_digest_messages(self) -> int:
+        """Topology digest messages (gossip forwards/announcements) sent."""
+        return sum(m.metrics.digest_messages_sent for m in self.monitors)
 
     @property
     def total_views_created(self) -> int:
@@ -95,6 +123,8 @@ class DecentralizedResult:
             "declared": sorted(str(v) for v in self.declared_verdicts),
             "messages": self.total_messages,
             "token_messages": self.total_token_messages,
+            "termination_messages": self.total_termination_messages,
+            "digest_messages": self.total_digest_messages,
             "views_created": self.total_views_created,
             "delayed_events": self.total_delayed_events,
         }
@@ -107,6 +137,7 @@ def run_decentralized(
     deliver_after_each_event: bool = True,
     max_views_per_state: int | None = None,
     compiled_kernel: bool = True,
+    topology: str = "round-robin-token",
 ) -> DecentralizedResult:
     """Monitor a finished computation with the decentralized algorithm.
 
@@ -132,6 +163,10 @@ def run_decentralized(
     compiled_kernel:
         Forwarded to every monitor as ``use_compiled_kernel`` (bitmask/dense
         table stepping, default on).
+    topology:
+        Name of the :mod:`repro.coordination` routing policy shared by the
+        run's monitors (default ``round-robin-token``, the pre-refactor
+        behaviour).
     """
     if isinstance(property_or_automaton, str):
         automaton = build_monitor(
@@ -145,6 +180,7 @@ def run_decentralized(
     initial_letters = [
         registry.local_letter(i, computation.initial_states[i]) for i in range(n)
     ]
+    route = build_topology(topology, n, registry=registry)
     monitors = [
         DecentralizedMonitor(
             process=i,
@@ -155,6 +191,7 @@ def run_decentralized(
             transport=network,
             max_views_per_state=max_views_per_state,
             use_compiled_kernel=compiled_kernel,
+            topology=route,
         )
         for i in range(n)
     ]

@@ -14,6 +14,7 @@ Usage (after installing the package)::
     python -m repro.experiments.cli run --backend cluster --manifest cluster.toml
     python -m repro.experiments.cli run --scenario crash-restart-rejoin
     python -m repro.experiments.cli run --scenario paper-default --fault-plan 1@3+2:rejoin
+    python -m repro.experiments.cli run --scenario paper-default --topology gossip
     python -m repro.experiments.cli bench --json BENCH_local.json
     python -m repro.experiments.cli fuzz --seed 7 --points 200 --out fuzz-out
     python -m repro.experiments.cli all
@@ -32,7 +33,9 @@ multi-process cluster runtime of :mod:`repro.cluster` (one OS process per
 monitor; add ``--manifest FILE`` to pin worker addresses instead of
 auto-allocating loopback ports), and ``--fault-plan SPEC`` injects monitor
 crash/restart faults on top of the scenario's own fault model (see
-:mod:`repro.faults`).  ``--stream-transport`` requires the asyncio backend
+:mod:`repro.faults`), while ``--topology NAME`` routes tokens and digests
+over an alternative coordination topology (see :mod:`repro.coordination`),
+overriding the scenario's own.  ``--stream-transport`` requires the asyncio backend
 and ``--manifest`` the cluster backend; mismatched combinations fail fast
 with a clear error.  The ``bench``
 sub-command times the kernel hot paths and the figure experiments and (with
@@ -59,6 +62,7 @@ import time
 from collections.abc import Sequence
 from pathlib import Path
 
+from ..coordination import TOPOLOGIES
 from ..faults import format_fault_plan, parse_fault_plan
 from ..scenarios import get_scenario, list_scenarios
 from .engine import ExecutionConfig
@@ -177,6 +181,7 @@ def _execution_config(args: argparse.Namespace) -> ExecutionConfig:
         fault_plan=fault_plan,
         manifest=args.manifest,
         compiled_kernel=not args.no_compiled_kernel,
+        topology=getattr(args, "topology", None),
     )
 
 
@@ -196,6 +201,7 @@ def _emit_list_scenarios(args: argparse.Namespace) -> None:
                 "network": description["network"]["kind"],
                 "faults": faults["kind"] if faults is not None else "-",
                 "recovery": faults.get("recovery", "-") if faults is not None else "-",
+                "topology": scenario.topology,
                 "tags": ",".join(scenario.tags),
                 "description": scenario.description,
             }
@@ -210,6 +216,7 @@ def _emit_list_scenarios(args: argparse.Namespace) -> None:
                 "network",
                 "faults",
                 "recovery",
+                "topology",
                 "tags",
                 "description",
             ],
@@ -233,7 +240,11 @@ def _emit_run_scenario(args: argparse.Namespace) -> None:
     backend = config.backend
     if backend == "asyncio":
         backend = f"asyncio/{config.stream_transport}"
-    print(f"scenario {scenario.name} [backend {backend}] — {scenario.description}")
+    topology = config.topology if config.topology is not None else scenario.topology
+    print(
+        f"scenario {scenario.name} [backend {backend}, topology {topology}] "
+        f"— {scenario.description}"
+    )
     if config.fault_plan is not None:
         print(
             f"fault plan override: {format_fault_plan(config.fault_plan) or '(empty)'}"
@@ -463,6 +474,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="step monitors with the interpreted Moore machine instead of "
         "the compiled bitmask/dense-table kernel (results are identical; "
         "this is an escape hatch and an A/B measurement aid)",
+    )
+    parser.add_argument(
+        "--topology",
+        choices=list(TOPOLOGIES),
+        default=None,
+        help="run only: coordination topology routing tokens and digests, "
+        "overriding the scenario's own (default: the scenario's topology, "
+        "usually round-robin-token)",
     )
     parser.add_argument(
         "--fault-plan",

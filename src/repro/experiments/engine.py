@@ -40,6 +40,7 @@ from collections.abc import Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
+from ..coordination import TOPOLOGIES
 from ..faults import FaultPlan
 from ..scenarios import GridPoint, Scenario, SweepGrid, get_scenario
 from ..sim.runner import simulate_monitored_run
@@ -89,6 +90,10 @@ class ExecutionConfig:
         ``--no-compiled-kernel`` as the escape hatch.  Results are
         byte-identical either way — the flag only selects the stepping
         implementation.
+    topology:
+        Optional :mod:`repro.coordination` topology name overriding the
+        scenario's own ``topology`` for every cell (the CLI's
+        ``run --topology`` override); ``None`` defers to the scenario.
     """
 
     backend: str = "sim"
@@ -96,11 +101,16 @@ class ExecutionConfig:
     fault_plan: FaultPlan | None = None
     manifest: object | None = None
     compiled_kernel: bool = True
+    topology: str | None = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {self.backend!r} (known: {BACKENDS})"
+            )
+        if self.topology is not None and self.topology not in TOPOLOGIES:
+            raise ValueError(
+                f"unknown topology {self.topology!r} (known: {TOPOLOGIES})"
             )
 
 
@@ -203,6 +213,7 @@ def run_scenario_cell(
     """
     config = _resolve_config(config, backend, stream_transport, fault_plan)
     comm_mu = scale.comm_mu if point.comm_mu == "default" else point.comm_mu
+    topology = config.topology if config.topology is not None else scenario.topology
     faults = config.fault_plan
     if faults is None and scenario.faults is not None:
         faults = scenario.faults.build(
@@ -239,6 +250,7 @@ def run_scenario_cell(
             scale.max_views_per_state,
             faults,
             compiled_kernel=config.compiled_kernel,
+            topology=topology,
         )
         report = cluster_monitored_run(spec, manifest=config.manifest)
         return _cell_metrics(report)
@@ -267,6 +279,7 @@ def run_scenario_cell(
             network=scenario.network,
             faults=faults,
             compiled_kernel=config.compiled_kernel,
+            topology=topology,
         )
     else:  # "asyncio" — ExecutionConfig validated the backend already
         from ..runtime.runner import run_streaming
@@ -280,6 +293,7 @@ def run_scenario_cell(
             transport=config.stream_transport,
             faults=faults,
             compiled_kernel=config.compiled_kernel,
+            topology=topology,
         )
     return _cell_metrics(report)
 
@@ -290,6 +304,8 @@ def _cell_metrics(report) -> dict[str, float]:
         "events": float(report.total_events),
         "messages": float(report.monitor_messages),
         "token_messages": float(report.token_messages),
+        "termination_messages": float(report.termination_messages),
+        "digest_messages": float(getattr(report, "digest_messages", 0)),
         "global_views": float(report.total_global_views),
         "delayed_events": float(report.delayed_events),
         "delay_time_pct_per_view": report.delay_time_percentage_per_view,

@@ -37,6 +37,7 @@ __all__ = [
     "run_fig_5_7",
     "run_fig_5_8",
     "run_fig_5_9",
+    "run_topology_frontier",
     "run_scenario",
     "format_table",
 ]
@@ -223,6 +224,129 @@ def run_fig_5_9(
         comm_mus=tuple(comm_mus),
     )
     return execute_sweep(get_scenario("paper-default"), scale, grid=grid)
+
+
+# ---------------------------------------------------------------------------
+# Topology frontier (extension beyond the paper's evaluation)
+# ---------------------------------------------------------------------------
+def run_topology_frontier(
+    properties: Sequence[str] = ("B", "C"),
+    num_processes: int = 4,
+    scale: ExperimentScale = DEFAULT_SCALE,
+    topologies: Sequence[str] | None = None,
+    include_centralized: bool = True,
+) -> list[dict[str, object]]:
+    """Message count vs. verdict latency across coordination topologies.
+
+    Replays the paper-default workload at one system size through every
+    registered :mod:`repro.coordination` topology on the simulator and
+    returns one row per (topology, property) with the averaged message
+    decomposition (token / termination / digest), the virtual-time instant
+    the monitors went quiescent (the verdict-latency proxy
+    ``verdict_latency``) and the declared verdicts.  With
+    *include_centralized* a per-property ``centralized`` baseline row —
+    observation deliveries plus the verdict broadcast of the oracle — pins
+    the frontier's lower-left corner.  Replications and seeds follow the
+    engine's scheme (``base_seed + 31*replication``) so rows are
+    deterministic and comparable across sessions; the benchmark suite
+    feeds these rows into the ``topology_messages_total`` /
+    ``topology_verdict_latency`` artifact entries.
+    """
+    from ..coordination import topology_names
+    from ..core.centralized import CentralizedMonitor
+    from ..sim.runner import simulate_monitored_run
+    from ..sim.workload import generate_computation
+    from .engine import trace_design
+    from .properties import case_study_registry
+
+    chosen = tuple(topologies) if topologies is not None else tuple(topology_names())
+    replications = max(1, scale.replications)
+    scenario = get_scenario("paper-default")
+    rows: list[dict[str, object]] = []
+    for property_name in properties:
+        initial_valuation, truth_probability = trace_design(property_name)
+        registry = case_study_registry(num_processes)
+        automaton = case_study_monitor(property_name, num_processes)
+        computations = []
+        for rep in range(replications):
+            seed = scale.base_seed + 31 * rep
+            config = scenario.workload.build_config(
+                num_processes=num_processes,
+                events_per_process=scale.events_per_process,
+                evt_mu=scale.evt_mu,
+                evt_sigma=scale.evt_sigma,
+                comm_mu=scale.comm_mu,
+                comm_sigma=scale.comm_sigma,
+                truth_probability=truth_probability,
+                initial_valuation=dict(initial_valuation),
+                seed=seed,
+            )
+            computations.append((seed, generate_computation(config)))
+        for topology in chosen:
+            reports = [
+                simulate_monitored_run(
+                    computation,
+                    automaton,
+                    registry,
+                    seed=seed,
+                    max_views_per_state=scale.max_views_per_state,
+                    network=scenario.network,
+                    topology=topology,
+                )
+                for seed, computation in computations
+            ]
+            declared: set[str] = set()
+            for report in reports:
+                declared |= {str(v) for v in report.declared_verdicts}
+            rows.append(
+                {
+                    "topology": topology,
+                    "property": property_name,
+                    "processes": num_processes,
+                    "messages": _avg(r.monitor_messages for r in reports),
+                    "token_messages": _avg(r.token_messages for r in reports),
+                    "termination_messages": _avg(
+                        r.termination_messages for r in reports
+                    ),
+                    "digest_messages": _avg(r.digest_messages for r in reports),
+                    "verdict_latency": _avg(r.monitor_end_time for r in reports),
+                    "declared": "".join(sorted(declared)) or "-",
+                }
+            )
+        if include_centralized:
+            results = [
+                CentralizedMonitor.monitor_computation(
+                    computation, automaton, registry
+                )
+                for _, computation in computations
+            ]
+            rows.append(
+                {
+                    "topology": "centralized",
+                    "property": property_name,
+                    "processes": num_processes,
+                    "messages": _avg(r.total_messages for r in results),
+                    "token_messages": 0.0,
+                    "termination_messages": 0.0,
+                    "digest_messages": _avg(
+                        r.verdict_broadcast_messages for r in results
+                    ),
+                    # every observation is delivered as it happens; the
+                    # oracle has no monitor-side settling time to speak of
+                    "verdict_latency": 0.0,
+                    "declared": "".join(
+                        sorted({str(v) for r in results for v in r.verdicts})
+                    )
+                    or "-",
+                }
+            )
+    return rows
+
+
+def _avg(values) -> float:
+    """Arithmetic mean of an iterable of numbers (0.0 when empty)."""
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
 
 
 # ---------------------------------------------------------------------------

@@ -28,6 +28,7 @@ import asyncio
 import time
 from dataclasses import dataclass, field
 
+from ..coordination import build_topology
 from ..core.delays import DelayModel
 from ..core.monitor import DecentralizedMonitor
 from ..distributed.computation import Computation
@@ -63,6 +64,7 @@ class RuntimeReport:
     monitor_messages: int
     token_messages: int
     termination_messages: int
+    digest_messages: int
     total_global_views: int
     delayed_events: int
     program_end_time: float
@@ -143,6 +145,7 @@ async def stream_monitored_run(
     quiesce_timeout: float = 120.0,
     faults: FaultPlan | None = None,
     compiled_kernel: bool = True,
+    topology: str = "round-robin-token",
 ) -> RuntimeReport:
     """Stream *computation* through concurrent monitor tasks.
 
@@ -177,6 +180,10 @@ async def stream_monitored_run(
         Forwarded to every monitor as ``use_compiled_kernel`` (bitmask/dense
         table stepping, default on); verdicts and metrics are identical
         either way.
+    topology:
+        Name of the :mod:`repro.coordination` routing policy shared by the
+        run's monitors.  Deterministic in ``(name, num_processes)`` — the
+        streaming backend has no run seed, and none is needed.
     """
     started = time.perf_counter()
     n = computation.num_processes
@@ -190,6 +197,7 @@ async def stream_monitored_run(
     initial_letters = [
         registry.local_letter(i, computation.initial_states[i]) for i in range(n)
     ]
+    route = build_topology(topology, n, registry=registry)
 
     def make_monitor(process: int) -> DecentralizedMonitor:
         return DecentralizedMonitor(
@@ -201,6 +209,7 @@ async def stream_monitored_run(
             transport=net,
             max_views_per_state=max_views_per_state,
             use_compiled_kernel=compiled_kernel,
+            topology=route,
         )
 
     monitors, injector = wrap_monitors(faults, n, make_monitor)
@@ -262,6 +271,7 @@ async def stream_monitored_run(
         termination_messages=sum(
             m.metrics.termination_messages_sent for m in monitors
         ),
+        digest_messages=sum(m.metrics.digest_messages_sent for m in monitors),
         total_global_views=sum(m.metrics.views_created for m in monitors),
         delayed_events=sum(m.metrics.delayed_events for m in monitors),
         program_end_time=program_end,
@@ -291,6 +301,7 @@ def run_streaming(
     quiesce_timeout: float = 120.0,
     faults: FaultPlan | None = None,
     compiled_kernel: bool = True,
+    topology: str = "round-robin-token",
 ) -> RuntimeReport:
     """Synchronous wrapper: run :func:`stream_monitored_run` to completion.
 
@@ -309,5 +320,6 @@ def run_streaming(
             quiesce_timeout=quiesce_timeout,
             faults=faults,
             compiled_kernel=compiled_kernel,
+            topology=topology,
         )
     )

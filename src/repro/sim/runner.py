@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Protocol
 
+from ..coordination import build_topology
 from ..core.monitor import DecentralizedMonitor
 from ..distributed.computation import Computation
 from ..faults import FaultPlan, apply_clock_skew, unwrap_monitor, wrap_monitors
@@ -52,6 +53,7 @@ class SimulationReport:
     monitor_messages: int
     token_messages: int
     termination_messages: int
+    digest_messages: int
     total_global_views: int
     delayed_events: int
     program_end_time: float
@@ -116,6 +118,7 @@ def simulate_monitored_run(
     faults: FaultPlan | None = None,
     compiled_kernel: bool = True,
     max_sim_events: int | None = None,
+    topology: str = "round-robin-token",
 ) -> SimulationReport:
     """Replay *computation* under decentralized monitoring with network latency.
 
@@ -131,7 +134,9 @@ def simulate_monitored_run(
     equivalent and reports identical results.  With *max_sim_events* set,
     the simulator raises :class:`repro.sim.SimulationBudgetExceeded` after
     that many scheduled callbacks — the guard the fuzzing harness uses to
-    bound message-amplification storms under adversarial plans.
+    bound message-amplification storms under adversarial plans.  *topology*
+    names the :mod:`repro.coordination` routing policy shared by the run's
+    monitors (default ``round-robin-token``, the pre-refactor behaviour).
     """
     n = computation.num_processes
     skew_stats: dict[str, float] = {}
@@ -149,6 +154,7 @@ def simulate_monitored_run(
     initial_letters = [
         registry.local_letter(i, computation.initial_states[i]) for i in range(n)
     ]
+    route = build_topology(topology, n, registry=registry)
 
     def make_monitor(process: int) -> DecentralizedMonitor:
         return DecentralizedMonitor(
@@ -160,6 +166,7 @@ def simulate_monitored_run(
             transport=built_network,
             max_views_per_state=max_views_per_state,
             use_compiled_kernel=compiled_kernel,
+            topology=route,
         )
 
     monitors, injector = wrap_monitors(faults, n, make_monitor)
@@ -210,6 +217,7 @@ def simulate_monitored_run(
         termination_messages=sum(
             m.metrics.termination_messages_sent for m in monitors
         ),
+        digest_messages=sum(m.metrics.digest_messages_sent for m in monitors),
         total_global_views=total_views,
         delayed_events=delayed,
         program_end_time=program_end,

@@ -23,7 +23,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cluster import codec
-from repro.core.messages import TerminationNotice, Token, TokenEntry
+from repro.core.messages import (
+    TerminationNotice,
+    Token,
+    TokenEntry,
+    VerdictAnnouncement,
+)
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
@@ -137,6 +142,12 @@ termination_notices = st.builds(
     final_event_sn=st.integers(-1, 10**4),
 )
 
+verdict_announcements = st.builds(
+    VerdictAnnouncement,
+    origin=st.integers(0, 16),
+    verdict=st.sampled_from(["⊤", "⊥", "?"]),
+)
+
 
 class TestRoundTrip:
     @settings(max_examples=150, deadline=None)
@@ -159,6 +170,31 @@ class TestRoundTrip:
         decoded_due, decoded = codec.decode_wire(type_tag, payload)
         assert (decoded_due, decoded) == (due, message)
         assert codec.encode_wire(decoded_due, decoded) == frame
+
+    @settings(max_examples=100, deadline=None)
+    @given(message=verdict_announcements, due=finite_floats)
+    def test_verdict_announcement_round_trips_byte_stably(self, message, due):
+        frame = codec.encode_wire(due, message)
+        type_tag, payload = codec.split_frame(frame)
+        assert type_tag == codec.TYPE_VERDICT
+        decoded_due, decoded = codec.decode_wire(type_tag, payload)
+        assert (decoded_due, decoded) == (due, message)
+        assert codec.encode_wire(decoded_due, decoded) == frame
+
+    def test_verdict_announcement_survives_verdict_reconstruction(self):
+        from repro.ltl.verdict import Verdict
+
+        for verdict in (Verdict.TOP, Verdict.BOTTOM):
+            message = VerdictAnnouncement(2, str(verdict))
+            _, body = codec.encode_message(message)
+            decoded = codec.decode_message(codec.TYPE_VERDICT, body)
+            # the worker rebuilds the enum from the gossiped string form
+            assert Verdict(decoded.verdict) is verdict
+
+    def test_trailing_bytes_in_verdict_body_are_rejected(self):
+        _, body = codec.encode_message(VerdictAnnouncement(1, "⊤"))
+        with pytest.raises(codec.CorruptFrameError, match="trailing"):
+            codec.decode_message(codec.TYPE_VERDICT, body + b"\x00")
 
     @settings(max_examples=150, deadline=None)
     @given(value=generic_values)

@@ -1,0 +1,107 @@
+"""CLI and scenario-registry integration of topology selection.
+
+``run --topology`` must override the scenario's own topology on every
+backend, ``list-scenarios`` must surface the per-scenario topology column,
+and the three ``paper-*`` topology variants must be registered (cluster
+workers resolve scenarios by name, so the variants cannot live only in an
+``ExecutionConfig`` override).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.coordination import TOPOLOGIES
+from repro.experiments.engine import ExecutionConfig
+from repro.scenarios import get_scenario, scenario_names
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: the registered scenario variants pinning each non-default topology
+TOPOLOGY_SCENARIOS = {
+    "paper-tree-aggregation": "tree-aggregation",
+    "paper-gossip": "gossip",
+    "paper-slicer-placement": "slicer-placement",
+}
+
+
+def _run_cli(*argv):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.experiments.cli", *argv],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+    )
+
+
+class TestExecutionConfig:
+    def test_unknown_topology_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown topology 'nope'"):
+            ExecutionConfig(topology="nope")
+
+    def test_none_means_defer_to_the_scenario(self):
+        assert ExecutionConfig().topology is None
+
+    def test_every_registered_name_accepted(self):
+        for name in TOPOLOGIES:
+            assert ExecutionConfig(topology=name).topology == name
+
+
+class TestTopologyScenarios:
+    def test_variants_are_registered_with_their_topology(self):
+        for name, topology in TOPOLOGY_SCENARIOS.items():
+            scenario = get_scenario(name)
+            assert scenario.topology == topology
+            assert "topology" in scenario.tags
+            assert scenario.describe()["topology"] == topology
+
+    def test_default_scenarios_run_round_robin_token(self):
+        assert get_scenario("paper-default").topology == "round-robin-token"
+        assert (
+            get_scenario("paper-default").describe()["topology"]
+            == "round-robin-token"
+        )
+
+    def test_every_scenario_names_a_registered_topology(self):
+        for name in scenario_names():
+            assert get_scenario(name).topology in TOPOLOGIES
+
+
+class TestCliTopology:
+    def test_run_topology_override_smoke(self):
+        result = _run_cli(
+            "run",
+            "--scenario",
+            "paper-default",
+            "--topology",
+            "gossip",
+            "--processes",
+            "3",
+            "--events",
+            "3",
+            "--replications",
+            "1",
+        )
+        assert result.returncode == 0, result.stderr
+        assert "topology gossip" in result.stdout
+        assert "digest_messages" in result.stdout
+
+    def test_unknown_topology_rejected_by_argparse(self):
+        result = _run_cli(
+            "run", "--scenario", "paper-default", "--topology", "mesh"
+        )
+        assert result.returncode != 0
+        assert "invalid choice" in result.stderr
+
+    def test_list_scenarios_shows_the_topology_column(self):
+        result = _run_cli("list-scenarios")
+        assert result.returncode == 0, result.stderr
+        header = result.stdout.splitlines()[1]
+        assert "topology" in header
+        for name, topology in TOPOLOGY_SCENARIOS.items():
+            assert name in result.stdout
+            assert topology in result.stdout

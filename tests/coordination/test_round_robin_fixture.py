@@ -1,0 +1,53 @@
+"""Byte-identity of the default topology against pre-refactor fixtures.
+
+``tests/coordination/fixtures/round_robin_token.json`` records the complete
+observable output — verdicts, every per-monitor counter, network totals, the
+full sweep-row dict — of five fixed-seed cells, captured on the monolithic
+``DecentralizedMonitor`` immediately before the coordination-topology
+extraction.  The refactored monitor running the default
+``round-robin-token`` topology must reproduce each cell **byte for byte**:
+the refactor is required to be a pure seam extraction, not a behaviour
+change.
+
+Regenerate the fixture (only when the default topology's *intended*
+behaviour changes) with ``tools/capture_topology_fixtures.py``.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from capture_topology_fixtures import (  # noqa: E402
+    CELLS,
+    FIXTURE_PATH,
+    capture_cell,
+)
+
+
+def _fixture_cells():
+    document = json.loads(FIXTURE_PATH.read_text(encoding="utf-8"))
+    return {
+        (cell["property"], cell["num_processes"], cell["seed"]): cell
+        for cell in document["cells"]
+    }
+
+
+def test_fixture_covers_the_declared_cells():
+    assert set(_fixture_cells()) == set(CELLS)
+
+
+@pytest.mark.parametrize("cell", CELLS, ids=lambda c: f"{c[0]}-n{c[1]}-s{c[2]}")
+def test_default_topology_reproduces_pre_refactor_outputs(cell):
+    expected = _fixture_cells()[cell]
+    actual = capture_cell(*cell)
+    # normalise through JSON so tuple-vs-list and key order never matter;
+    # every counter, verdict and sweep column must then match exactly
+    assert json.loads(json.dumps(actual)) == expected, (
+        f"round-robin-token diverged from the pre-refactor monitor on "
+        f"cell {cell}"
+    )

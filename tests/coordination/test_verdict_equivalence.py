@@ -1,0 +1,162 @@
+"""Cross-topology verdict equivalence: every topology, every backend.
+
+The acceptance criterion of the topology refactor: routing is allowed to
+change *where* tokens and digests travel, never *what* the monitors
+conclude.  For fixed seeds, each registered topology must
+
+1. declare only verdicts the centralized lattice oracle confirms
+   (soundness, per topology and backend),
+2. declare the same verdicts on the simulator and the asyncio streaming
+   runtime (backend agreement),
+3. declare the same verdicts as every other topology on the same cell
+   (topology agreement),
+
+including under a crash/restart fault plan and an armed Byzantine
+duplication plan (both injected through ``MonitorFaultProxy``), and — for
+one smoke scenario — on the cluster backend with real worker processes.
+"""
+
+import pytest
+
+from repro.api import cluster_monitored_run, run_streaming
+from repro.cluster.spec import RunSpec, build_cell_inputs
+from repro.coordination import TOPOLOGIES
+from repro.core.centralized import CentralizedMonitor
+from repro.faults import ByzantineSpec, FaultPlan, parse_fault_plan
+from repro.scenarios import get_scenario
+from repro.sim import simulate_monitored_run
+
+PROPERTIES = ("B", "C")
+
+
+def _spec(property_name, topology, seed=2015, fault_plan=None):
+    return RunSpec(
+        scenario="paper-default",
+        property_name=property_name,
+        num_processes=3,
+        events_per_process=4,
+        evt_mu=3.0,
+        evt_sigma=1.0,
+        comm_mu=3.0,
+        comm_sigma=1.0,
+        seed=seed,
+        max_views_per_state=2,
+        fault_plan=fault_plan,
+        topology=topology,
+    )
+
+
+def _cell(property_name, seed=2015):
+    spec = _spec(property_name, "round-robin-token", seed=seed)
+    return build_cell_inputs(spec)
+
+
+def _simulate(cell, topology, seed=2015, faults=None):
+    computation, automaton, registry = cell
+    return simulate_monitored_run(
+        computation,
+        automaton,
+        registry,
+        seed=seed,
+        network=get_scenario("paper-default").network,
+        max_views_per_state=2,
+        topology=topology,
+        faults=faults,
+    )
+
+
+def _oracle(cell):
+    computation, automaton, registry = cell
+    return CentralizedMonitor.monitor_computation_declared(
+        computation, automaton, registry
+    )
+
+
+class TestInProcessBackendsAgree:
+    @pytest.mark.parametrize("property_name", PROPERTIES)
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    def test_sim_and_asyncio_declare_identical_sound_verdicts(
+        self, topology, property_name
+    ):
+        cell = _cell(property_name)
+        computation, automaton, registry = cell
+        simulated = _simulate(cell, topology)
+        streamed = run_streaming(
+            computation,
+            automaton,
+            registry,
+            max_views_per_state=2,
+            topology=topology,
+        )
+        assert simulated.declared_verdicts <= _oracle(cell), (
+            f"{topology} declared an unsound verdict on {property_name}"
+        )
+        assert streamed.declared_verdicts == simulated.declared_verdicts, (
+            f"backends diverged under {topology} on {property_name}"
+        )
+
+    @pytest.mark.parametrize("property_name", PROPERTIES)
+    def test_every_topology_reaches_the_same_conclusions(self, property_name):
+        cell = _cell(property_name)
+        declared = {
+            topology: _simulate(cell, topology).declared_verdicts
+            for topology in TOPOLOGIES
+        }
+        baseline = declared["round-robin-token"]
+        assert all(verdicts == baseline for verdicts in declared.values()), (
+            f"topologies disagree on {property_name}: "
+            f"{ {t: sorted(map(str, v)) for t, v in declared.items()} }"
+        )
+
+
+class TestEquivalenceUnderFaults:
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    def test_crash_restart_plan_preserves_backend_agreement(self, topology):
+        plan = parse_fault_plan("0@2+1:rejoin")
+        cell = _cell("B")
+        computation, automaton, registry = cell
+        simulated = _simulate(cell, topology, faults=plan)
+        streamed = run_streaming(
+            computation,
+            automaton,
+            registry,
+            max_views_per_state=2,
+            topology=topology,
+            faults=plan,
+        )
+        assert simulated.fault_stats["fault_crashes"] >= 1
+        assert simulated.declared_verdicts <= _oracle(cell)
+        assert streamed.declared_verdicts == simulated.declared_verdicts
+        assert streamed.fault_stats["fault_crashes"] == (
+            simulated.fault_stats["fault_crashes"]
+        )
+
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    def test_byzantine_duplication_stays_sound_on_every_topology(self, topology):
+        # duplicated inbound frames exercise the digest dedup sets: flooded
+        # notices/announcements arrive twice and must be suppressed without
+        # ever changing what gets declared
+        plan = FaultPlan(byzantine=(ByzantineSpec(process=0, duplicate_every=2),))
+        cell = _cell("B")
+        report = _simulate(cell, topology, faults=plan)
+        assert report.fault_stats["fault_byz_duplicated"] >= 1
+        assert report.declared_verdicts <= _oracle(cell), (
+            f"{topology} declared an unsound verdict under duplication"
+        )
+
+
+class TestClusterBackendAgrees:
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    def test_cluster_matches_sim_verdicts_per_topology(self, topology):
+        spec = _spec("B", topology, seed=2015)
+        cell = build_cell_inputs(spec)
+        simulated = _simulate(cell, topology)
+        clustered = cluster_monitored_run(spec)
+        assert clustered.declared_verdicts == simulated.declared_verdicts, (
+            f"cluster diverged from sim under {topology}"
+        )
+        if topology in ("tree-aggregation", "gossip"):
+            # flooding topologies forward digests inside real workers too
+            assert clustered.digest_messages > 0
+        else:
+            assert clustered.digest_messages == 0

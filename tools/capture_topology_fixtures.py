@@ -1,0 +1,122 @@
+"""Capture round-robin-token byte-identity fixtures.
+
+Records the complete observable output of fixed-seed decentralized runs —
+verdicts, per-monitor counters and network-level totals, from both the
+loopback runner (``run_decentralized``) and the discrete-event simulator
+(``simulate_monitored_run``) — as a JSON document under
+``tests/coordination/fixtures/``.
+
+The document was generated on the pre-refactor ``DecentralizedMonitor``
+(immediately after the hop-count and counter bugfixes, before the
+coordination-topology extraction) and is asserted byte-for-byte by
+``tests/coordination/test_round_robin_fixture.py``: the default
+``round-robin-token`` topology must reproduce the monolithic monitor's
+outputs exactly.
+
+Re-run only when the *intended* behaviour of the default topology changes::
+
+    PYTHONPATH=src python tools/capture_topology_fixtures.py
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.core import run_decentralized
+from repro.experiments.engine import trace_design
+from repro.experiments.properties import case_study_monitor, case_study_registry
+from repro.scenarios import get_scenario
+from repro.sim import generate_computation, simulate_monitored_run
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURE_PATH = (
+    REPO_ROOT / "tests" / "coordination" / "fixtures" / "round_robin_token.json"
+)
+
+#: the fixed cells captured: (property, num_processes, seed)
+CELLS = [
+    ("B", 3, 2015),
+    ("B", 4, 77),
+    ("C", 3, 2015),
+    ("C", 4, 77),
+    ("E", 3, 5),
+]
+
+
+def build_cell_inputs(property_name: str, num_processes: int, seed: int):
+    """The computation/automaton/registry of one paper-default cell."""
+    scenario = get_scenario("paper-default")
+    initial_valuation, truth_probability = trace_design(property_name)
+    config = scenario.workload.build_config(
+        num_processes=num_processes,
+        events_per_process=5,
+        evt_mu=3.0,
+        evt_sigma=1.0,
+        comm_mu=3.0,
+        comm_sigma=1.0,
+        truth_probability=truth_probability,
+        initial_valuation=dict(initial_valuation),
+        seed=seed,
+    )
+    computation = generate_computation(config)
+    registry = case_study_registry(num_processes)
+    automaton = case_study_monitor(property_name, num_processes)
+    return computation, automaton, registry
+
+
+def capture_cell(property_name: str, num_processes: int, seed: int) -> dict:
+    """Every observable output of one fixed-seed cell, JSON-serialisable."""
+    computation, automaton, registry = build_cell_inputs(
+        property_name, num_processes, seed
+    )
+    result = run_decentralized(computation, automaton, registry)
+    runner = {
+        "summary": result.summary(),
+        "declared_states": sorted(result.declared_states),
+        "network_messages": result.network.messages_sent,
+        "monitor_metrics": [asdict(m.metrics) for m in result.monitors],
+        "token_hops": [m.metrics.token_hops_served for m in result.monitors],
+    }
+    report = simulate_monitored_run(
+        computation,
+        automaton,
+        registry,
+        seed=seed,
+        network=get_scenario("paper-default").network,
+        max_views_per_state=2,
+    )
+    sim = {
+        "as_dict": report.as_dict(),
+        "declared": sorted(str(v) for v in report.declared_verdicts),
+        "termination_messages": report.termination_messages,
+        "monitor_metrics": [asdict(m.metrics) for m in report.monitors],
+    }
+    return {
+        "property": property_name,
+        "num_processes": num_processes,
+        "seed": seed,
+        "runner": runner,
+        "sim": sim,
+    }
+
+
+def main() -> None:
+    """Capture every cell and write the fixture document."""
+    document = {
+        "comment": (
+            "pre-refactor DecentralizedMonitor outputs; regenerate with "
+            "tools/capture_topology_fixtures.py"
+        ),
+        "cells": [capture_cell(*cell) for cell in CELLS],
+    }
+    FIXTURE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    FIXTURE_PATH.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {FIXTURE_PATH} ({len(document['cells'])} cells)")
+
+
+if __name__ == "__main__":
+    main()
