@@ -81,9 +81,11 @@ def compare_timings(
     that carry an ``events_per_sec`` field (higher is better) are compared
     on that field too, as a second ``<name>:events_per_sec`` row — and
     ``new/old`` for the topology-frontier fields
-    (``topology_messages_total``, ``topology_verdict_latency``), where
-    lower is better, so a topology drifting along either axis of the
-    message/latency frontier annotates like a slowdown.
+    (``topology_messages_total``, ``topology_verdict_latency``) and the
+    fleet tail-latency field (``fleet_verdict_latency_p99``), where lower
+    is better, so a topology drifting along either axis of the
+    message/latency frontier — or a fleet's p99 verdict latency creeping
+    up — annotates like a slowdown.
     """
     rows = []
     old_timings = previous.get("timings", {})
@@ -99,7 +101,11 @@ def compare_timings(
             rows.append(
                 (f"{name}:events_per_sec", old_rate, new_rate, old_rate / new_rate)
             )
-        for field in ("topology_messages_total", "topology_verdict_latency"):
+        for field in (
+            "topology_messages_total",
+            "topology_verdict_latency",
+            "fleet_verdict_latency_p99",
+        ):
             old_value = float(old_timings[name].get(field) or 0.0)
             new_value = float(new_timings[name].get(field) or 0.0)
             if old_value > 0.0 and new_value > 0.0:
@@ -128,6 +134,8 @@ def annotate(
             unit = "msgs"
         elif name.endswith(":topology_verdict_latency"):
             unit = "vt"  # virtual-time units of the simulator clock
+        elif name.endswith(":fleet_verdict_latency_p99"):
+            unit = "s"
         else:
             unit = "s"
         if unit in ("ev/s", "msgs"):

@@ -31,6 +31,9 @@ Subpackages
     Discrete-event simulation of asynchronous programs, networks and monitors.
 ``repro.runtime``
     The asyncio streaming backend: monitor nodes over real sockets.
+``repro.fleet``
+    The multi-tenant fleet: thousands of live monitored sessions per
+    process, sharded across a pool, with event sources and verdict sinks.
 ``repro.cluster``
     The multi-host runtime: wire protocol v2 codec, cluster manifests,
     worker processes and the coordinating control plane.
@@ -57,6 +60,7 @@ __all__ = [
     "core",
     "sim",
     "runtime",
+    "fleet",
     "cluster",
     "faults",
     "scenarios",

@@ -31,6 +31,9 @@ from .experiments.engine import run_scenario as _run_scenario
 from .experiments.harness import DEFAULT_SCALE, ExperimentScale
 from .experiments.properties import PROPERTY_NAMES, case_study_monitor, property_formula
 from .faults import CrashSpec, FaultPlan, format_fault_plan, parse_fault_plan
+from .fleet import FleetConfig, FleetReport, TenantSpec, synthetic_fleet
+from .fleet import run_fleet as _run_fleet
+from .fleet.sinks import VerdictSink
 from .ltl import build_monitor
 from .ltl.monitor import MonitorAutomaton
 from .ltl.verdict import Verdict
@@ -71,6 +74,12 @@ __all__ = [
     "run_scenario",
     "run_cluster",
     "RuntimeReport",
+    # fleet
+    "TenantSpec",
+    "FleetConfig",
+    "FleetReport",
+    "run_fleet",
+    "synthetic_fleet",
     # faults
     "FaultPlan",
     "CrashSpec",
@@ -143,6 +152,18 @@ def run_cluster(
         backend="cluster", manifest=manifest, fault_plan=fault_plan
     )
     return _run_scenario(scenario, scale, grid=grid, config=config)
+
+
+def run_fleet(config: FleetConfig, *, sink: VerdictSink | None = None) -> FleetReport:
+    """Run a multi-tenant monitoring fleet to completion.
+
+    The stable name for :func:`repro.fleet.run_fleet`: admits the tenants of
+    *config* (rejecting everything beyond ``max_tenants``), hash-partitions
+    them across ``config.shards`` worker processes, runs every tenant
+    session concurrently within its shard, and returns the merged
+    :class:`FleetReport` with the per-tenant results in tenant-id order.
+    """
+    return _run_fleet(config, sink=sink)
 
 
 def run_streaming(*args, **kwargs) -> RuntimeReport:

@@ -203,6 +203,10 @@ class DecentralizedMonitor:
 
         self.declared_verdicts: set[Verdict] = set()
         self.declared_states: set[int] = set()
+        #: conclusive verdicts in declaration order (first occurrence only);
+        #: the ordered counterpart of ``declared_verdicts``, used by the
+        #: fleet layer's byte-identical verdict-sequence comparisons
+        self.verdict_log: list[Verdict] = []
 
         initial_state = self._step_combined(
             automaton.initial_state, self.initial_letters
@@ -268,6 +272,7 @@ class DecentralizedMonitor:
             self.declared_states.add(state)
             if verdict not in self.declared_verdicts:
                 self.declared_verdicts.add(verdict)
+                self.verdict_log.append(verdict)
                 self._announce_verdict(verdict)
 
     def _announce_verdict(self, verdict: Verdict) -> None:
@@ -373,8 +378,9 @@ class DecentralizedMonitor:
                 return
             self._seen_announcements.add(message)
             verdict = Verdict(message.verdict)
-            if verdict.is_final:
+            if verdict.is_final and verdict not in self.declared_verdicts:
                 self.declared_verdicts.add(verdict)
+                self.verdict_log.append(verdict)
             for target in self.topology.forward_verdict(
                 self.process, message.origin
             ):

@@ -51,9 +51,11 @@ class VectorClock:
 
     @property
     def components(self) -> tuple[int, ...]:
+        """The clock's components as an immutable tuple."""
         return self._components
 
     def as_list(self) -> list[int]:
+        """The clock's components as a fresh mutable list."""
         return list(self._components)
 
     # -- updates (returning new clocks) ------------------------------------

@@ -53,13 +53,16 @@ class Computation:
     # -- basic accessors -----------------------------------------------------
     @property
     def num_processes(self) -> int:
+        """How many processes the computation spans."""
         return len(self.events)
 
     @property
     def num_events(self) -> int:
+        """Total event count across every process."""
         return sum(len(evts) for evts in self.events)
 
     def events_of(self, process: int) -> list[Event]:
+        """The local event sequence of *process*, in sequence-number order."""
         return self.events[process]
 
     def event(self, process: int, sn: int) -> Event:
@@ -67,6 +70,7 @@ class Computation:
         return self.events[process][sn - 1]
 
     def all_events(self) -> Iterable[Event]:
+        """Every event, grouped by process and ordered locally by sn."""
         for process_events in self.events:
             yield from process_events
 
@@ -93,9 +97,11 @@ class Computation:
 
     # -- order ------------------------------------------------------------------
     def happened_before(self, first: Event, second: Event) -> bool:
+        """Whether *first* happened-before *second* (vector-clock order)."""
         return first.happened_before(second)
 
     def concurrent(self, first: Event, second: Event) -> bool:
+        """Whether the two events are causally unordered."""
         return first.concurrent_with(second)
 
     def is_consistent_cut(self, cut: Cut) -> bool:

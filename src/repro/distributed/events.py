@@ -86,18 +86,22 @@ class Event:
         return self.vc < other.vc
 
     def concurrent_with(self, other: "Event") -> bool:
+        """Whether this event and *other* are causally unordered."""
         return self.vc.concurrent_with(other.vc)
 
     @property
     def is_internal(self) -> bool:
+        """Whether this is an internal (non-communication) event."""
         return self.kind is EventKind.INTERNAL
 
     @property
     def is_send(self) -> bool:
+        """Whether this event sends an application message."""
         return self.kind is EventKind.SEND
 
     @property
     def is_receive(self) -> bool:
+        """Whether this event receives an application message."""
         return self.kind is EventKind.RECEIVE
 
     def local_copy(self) -> dict[str, object]:

@@ -82,10 +82,12 @@ class ComputationLattice:
 
     @property
     def bottom(self) -> Cut:
+        """The empty cut (no events of any process) — the lattice minimum."""
         return (0,) * self.computation.num_processes
 
     @property
     def top(self) -> Cut:
+        """The final cut (every event of every process) — the maximum."""
         return self.computation.final_cut()
 
     def successors(self, cut: Cut) -> list[Cut]:
@@ -93,6 +95,7 @@ class ComputationLattice:
         return list(self._successors.get(tuple(cut), ()))
 
     def predecessors(self, cut: Cut) -> list[Cut]:
+        """Immediate predecessors (one fewer event of exactly one process)."""
         return list(self._predecessors.get(tuple(cut), ()))
 
     # -- lattice operations ---------------------------------------------------

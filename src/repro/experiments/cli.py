@@ -17,6 +17,8 @@ Usage (after installing the package)::
     python -m repro.experiments.cli run --scenario paper-default --topology gossip
     python -m repro.experiments.cli bench --json BENCH_local.json
     python -m repro.experiments.cli fuzz --seed 7 --points 200 --out fuzz-out
+    python -m repro.experiments.cli fleet --tenants 200 --shards 2 --verify 5
+    python -m repro.experiments.cli fleet --tenants 50 --backpressure drop-newest --inbox-limit 8
     python -m repro.experiments.cli all
 
 Each sub-command prints the corresponding rows/series as an aligned text
@@ -50,7 +52,14 @@ divergent or crashing point is shrunk to a minimal repro, ``--out DIR``
 writes the report plus each shrunk repro as a replayable ``RunSpec`` JSON
 document, and the exit status is non-zero iff the run produced an
 *unexpected* finding (a divergence outside the deliberately
-soundness-breaking attack plans, or any crash).
+soundness-breaking attack plans, or any crash).  The ``fleet`` sub-command
+runs a synthetic multi-tenant monitoring fleet (:mod:`repro.fleet`):
+``--tenants``/``--shards`` size it, ``--backpressure``/``--inbox-limit``
+pick the per-tenant inbox policy, ``--sink jsonl --sink-path FILE`` streams
+the per-tenant verdict records to a file, ``--verify K`` spot-checks K
+tenants for byte-identical equivalence against standalone asyncio runs
+(non-zero exit on mismatch), and ``--json OUT`` writes the fleet throughput
+and saturation counters as a ``repro-bench/1`` document.
 """
 
 from __future__ import annotations
@@ -401,6 +410,79 @@ def _emit_fuzz(args: argparse.Namespace) -> None:
         raise SystemExit(1)
 
 
+def _emit_fleet(args: argparse.Namespace) -> None:
+    from ..fleet import (
+        FleetConfig,
+        make_sink,
+        run_fleet,
+        standalone_tenant_result,
+        synthetic_fleet,
+    )
+    from .benchjson import make_document, write_bench_json
+
+    tenants = synthetic_fleet(
+        args.tenants,
+        num_processes=min(args.processes),
+        events_per_process=args.events,
+        base_seed=args.seed or 2015,
+        topology=args.topology or "round-robin-token",
+        compiled_kernel=not args.no_compiled_kernel,
+    )
+    config = FleetConfig(
+        tenants=tenants,
+        shards=args.shards,
+        inbox_limit=args.inbox_limit,
+        backpressure=args.backpressure,
+    )
+    sink = None
+    if args.sink is not None:
+        try:
+            sink = make_sink(args.sink, args.sink_path)
+        except ValueError as error:
+            raise SystemExit(f"error: {error}") from None
+    report = run_fleet(config, sink=sink)
+    print(
+        f"fleet: {report.tenants_admitted} tenants on {report.shards} shard(s), "
+        f"backpressure {report.backpressure} (inbox limit {report.inbox_limit})"
+    )
+    rows = [
+        {"metric": name, "value": f"{value:g}"}
+        for name, value in report.as_dict().items()
+        if name not in ("backpressure",)
+    ]
+    print(format_table(rows, columns=["metric", "value"]))
+    if sink is not None:
+        print(f"sink: {sink.describe()}")
+    if args.verify:
+        stride = max(1, len(report.results) // args.verify)
+        picked = report.results[::stride][: args.verify]
+        mismatches = 0
+        for result in picked:
+            spec = next(t for t in tenants if t.tenant_id == result.tenant_id)
+            reference = standalone_tenant_result(spec)
+            ok = reference.equivalence_key() == result.equivalence_key()
+            mismatches += 0 if ok else 1
+            print(
+                f"verify {result.tenant_id} (property {result.property_name}): "
+                f"{'ok' if ok else 'MISMATCH'}"
+            )
+        if mismatches:
+            raise SystemExit(
+                f"error: {mismatches}/{len(picked)} spot-checked tenant(s) "
+                f"diverged from their standalone asyncio runs"
+            )
+        print(f"verified {len(picked)} tenant(s) against standalone runs")
+    timings = report.bench_timings()
+    if args.json:
+        try:
+            write_bench_json(args.json, timings)
+        except OSError as error:
+            raise SystemExit(f"error: cannot write {args.json}: {error}") from None
+        print(f"wrote {args.json}")
+    else:
+        make_document(timings)  # still validate that the document assembles
+
+
 _COMMANDS = {
     "table5.1": _emit_table_5_1,
     "fig5.1": _emit_fig_5_1,
@@ -416,6 +498,7 @@ _COMMANDS = {
     "run": _emit_run_scenario,
     "bench": _emit_bench,
     "fuzz": _emit_fuzz,
+    "fleet": _emit_fleet,
 }
 
 
@@ -547,6 +630,56 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-shrink",
         action="store_true",
         help="fuzz only: skip shrinking divergent/crashing points",
+    )
+    parser.add_argument(
+        "--tenants",
+        type=int,
+        default=50,
+        help="fleet only: how many synthetic tenants to admit (properties "
+        "round-robin over A-F; seeds stride from --seed, default 2015)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="fleet only: worker processes the tenants are hash-partitioned "
+        "across (default: 1, one shared event loop)",
+    )
+    parser.add_argument(
+        "--inbox-limit",
+        type=int,
+        default=1024,
+        help="fleet only: per-tenant bound on unprocessed inbox items before "
+        "the backpressure policy applies",
+    )
+    parser.add_argument(
+        "--backpressure",
+        choices=["block", "drop-newest"],
+        default="block",
+        help="fleet only: what a saturated tenant inbox does — stall the "
+        "feeder losslessly (block) or shed the newest events (drop-newest)",
+    )
+    parser.add_argument(
+        "--sink",
+        choices=["memory", "jsonl"],
+        default=None,
+        help="fleet only: verdict sink receiving one record per tenant "
+        "(jsonl requires --sink-path)",
+    )
+    parser.add_argument(
+        "--sink-path",
+        metavar="FILE",
+        default=None,
+        help="fleet only: output file of the jsonl verdict sink",
+    )
+    parser.add_argument(
+        "--verify",
+        type=int,
+        default=0,
+        metavar="K",
+        help="fleet only: spot-check K tenants for byte-identical "
+        "equivalence against standalone asyncio runs (non-zero exit on "
+        "mismatch)",
     )
     return parser
 

@@ -1,0 +1,533 @@
+"""The multi-tenant fleet engine: thousands of sessions, one process pool.
+
+One *tenant session* is the asyncio streaming backend's monitored run — the
+same monitors, transports and merged event/termination schedule as
+:func:`repro.runtime.runner.stream_monitored_run` — with one addition: a
+bounded per-tenant inbox with an explicit backpressure policy at the feed
+point.  Many sessions multiplex concurrently on one event loop per *shard*
+(worker process); tenants are partitioned across shards by a stable hash of
+their id, so the partition is independent of batch order and shard count.
+
+Within a shard every tenant shares the hash-consed formula intern table, the
+memoized progression caches and the ``case_study_monitor`` LRU cache — the
+amortization that makes thousands of structurally similar formula instances
+cheap — while sharing no mutable monitor state, so per-tenant runs stay
+deterministic.  The correctness anchor (property-tested across tenant-count
+scales): under a non-saturating ``block`` policy, a tenant's
+:class:`TenantResult` is byte-identical to the same (formula, stream) run
+standalone through :func:`repro.runtime.runner.run_streaming` —
+:func:`standalone_tenant_result` is that reference path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from ..coordination import build_topology
+from ..core.monitor import DecentralizedMonitor
+from ..experiments.properties import case_study_monitor, case_study_registry
+from ..runtime.node import StreamMonitorNode
+from ..runtime.runner import run_streaming
+from ..runtime.transport import InMemoryStreamTransport, RuntimeClock
+from .config import FleetConfig, TenantSpec
+from .sinks import TenantVerdict, VerdictSink
+
+__all__ = [
+    "TenantResult",
+    "FleetReport",
+    "run_fleet",
+    "standalone_tenant_result",
+    "shard_of",
+]
+
+#: gap between a process's last event and its termination signal — identical
+#: to the runtime runner's epsilon so fleet and standalone schedules line up
+_TERMINATION_EPSILON = 1e-6
+
+
+@dataclass(frozen=True)
+class TenantResult:
+    """The deterministic outcome of one tenant session.
+
+    Deliberately light (no monitor objects), so shard workers can ship
+    thousands of results back through the process pool cheaply.
+    """
+
+    tenant_id: str
+    property_name: str
+    #: per-monitor conclusive verdicts in declaration order
+    verdict_sequence: tuple[str, ...]
+    #: sorted union of reported verdicts (the outcome summary)
+    verdicts: tuple[str, ...]
+    #: events the source produced for this tenant
+    events: int
+    #: events actually fed to monitors (``events - dropped_events``)
+    ingested_events: int
+    dropped_events: int
+    #: feed stalls under the ``block`` policy (no events are lost)
+    blocked_events: int
+    monitor_messages: int
+    global_views: int
+    #: wall-clock seconds from session start to final verdict + drain
+    latency_seconds: float
+    #: non-empty when the session failed and the tenant was evicted
+    error: str = ""
+
+    @property
+    def evicted(self) -> bool:
+        """Whether the session died instead of completing."""
+        return bool(self.error)
+
+    def equivalence_key(self) -> tuple[object, ...]:
+        """Everything that must be byte-identical to the standalone run.
+
+        Wall-clock latency is excluded — it measures the machine, not the
+        monitored run.
+        """
+        return (
+            self.tenant_id,
+            self.property_name,
+            self.verdict_sequence,
+            self.verdicts,
+            self.events,
+            self.ingested_events,
+            self.monitor_messages,
+            self.global_views,
+        )
+
+    def verdict_record(self) -> TenantVerdict:
+        """The sink-facing rendering of this result."""
+        return TenantVerdict(
+            tenant_id=self.tenant_id,
+            property_name=self.property_name,
+            verdict_sequence=self.verdict_sequence,
+            verdicts=self.verdicts,
+            events=self.events,
+            dropped_events=self.dropped_events,
+            latency_seconds=self.latency_seconds,
+            error=self.error,
+        )
+
+
+def shard_of(tenant_id: str, shards: int) -> int:
+    """Stable shard assignment: CRC-32 of the tenant id, modulo *shards*."""
+    return zlib.crc32(tenant_id.encode("utf-8")) % shards
+
+
+def _inbox_load(nodes: list[StreamMonitorNode], net: InMemoryStreamTransport) -> int:
+    """A tenant's unprocessed item count: node inboxes plus in-flight sends."""
+    return sum(node.pending_items for node in nodes) + net.in_flight
+
+
+async def _tenant_session(
+    spec: TenantSpec,
+    *,
+    inbox_limit: int,
+    backpressure: str,
+    quiesce_timeout: float,
+) -> TenantResult:
+    """Run one tenant to completion on the current event loop.
+
+    Mirrors :func:`repro.runtime.runner.stream_monitored_run` await-for-await
+    — same schedule, same clock pacing, same quiescence drain — so that under
+    a non-saturating inbox the session is indistinguishable from a standalone
+    run.  The only divergence point is the bounded-inbox check before each
+    event enqueue: ``drop-newest`` discards the event (counted), ``block``
+    yields until the inbox drains below the bound (counted, lossless).
+    Termination signals bypass the bound — a saturated tenant still
+    terminates.
+
+    A dropped event truncates the rest of that process's stream: the
+    monitors index events by contiguous sequence numbers and vector clocks,
+    so a mid-stream gap would corrupt the run rather than degrade it.
+    Shedding the suffix keeps every delivered per-process stream a true
+    prefix of the tenant's computation — and LTL3 conclusive verdicts are
+    closed under extension, so whatever a saturated tenant still declares
+    remains sound for the full trace.
+    """
+    started = time.perf_counter()
+    computation = await spec.source.load(
+        num_processes=spec.num_processes,
+        events_per_process=spec.events_per_process,
+        property_name=spec.property_name,
+        seed=spec.seed,
+    )
+    n = computation.num_processes
+    registry = case_study_registry(n)
+    automaton = case_study_monitor(spec.property_name, n)
+    clock = RuntimeClock(spec.time_scale)
+    net = InMemoryStreamTransport(clock=clock, delay=None)
+    initial_letters = [
+        registry.local_letter(i, computation.initial_states[i]) for i in range(n)
+    ]
+    route = build_topology(spec.topology, n, registry=registry)
+    monitors = [
+        DecentralizedMonitor(
+            process=process,
+            num_processes=n,
+            automaton=automaton,
+            registry=registry,
+            initial_letters=initial_letters,
+            transport=net,
+            max_views_per_state=spec.max_views_per_state,
+            use_compiled_kernel=spec.compiled_kernel,
+            topology=route,
+        )
+        for process in range(n)
+    ]
+    nodes = [StreamMonitorNode(monitor, net) for monitor in monitors]
+    for node in nodes:
+        net.register(node.process, node)
+    await net.start()
+    tasks = [node.start_task() for node in nodes]
+    dropped = 0
+    blocked = 0
+    try:
+        for monitor in monitors:
+            monitor.start()
+
+        last_time = [0.0] * n
+        schedule: list[tuple[float, int, int, object]] = []
+        for event in computation.all_events():
+            last_time[event.process] = max(last_time[event.process], event.timestamp)
+            schedule.append((event.timestamp, 0, event.process, event))
+        for process in range(n):
+            schedule.append(
+                (last_time[process] + _TERMINATION_EPSILON, 1, process, None)
+            )
+        schedule.sort(key=lambda item: (item[0], item[1], item[2]))
+
+        truncated = [False] * n
+        for instant, kind, process, payload in schedule:
+            await clock.sleep_until(instant)
+            if kind == 0:
+                if truncated[process]:
+                    dropped += 1
+                    continue
+                if _inbox_load(nodes, net) >= inbox_limit:
+                    if backpressure == "drop-newest":
+                        dropped += 1
+                        truncated[process] = True
+                        continue
+                    blocked += 1
+                    while _inbox_load(nodes, net) >= inbox_limit:
+                        await asyncio.sleep(0)
+                nodes[process].enqueue_event(payload)
+            else:
+                nodes[process].enqueue_termination()
+
+        await net.wait_quiescent(timeout=quiesce_timeout)
+    finally:
+        for node in nodes:
+            node.enqueue_stop()
+        await asyncio.gather(*tasks, return_exceptions=True)
+        await net.aclose()
+    for task in tasks:
+        if task.done() and not task.cancelled() and task.exception() is not None:
+            raise task.exception()  # noqa: B904 - the monitor bug is the error
+
+    reported: set = set()
+    for monitor in monitors:
+        reported |= monitor.reported_verdicts()
+    return TenantResult(
+        tenant_id=spec.tenant_id,
+        property_name=spec.property_name,
+        verdict_sequence=tuple(
+            " ".join(str(v) for v in monitor.verdict_log) for monitor in monitors
+        ),
+        verdicts=tuple(sorted(str(v) for v in reported)),
+        events=computation.num_events,
+        ingested_events=computation.num_events - dropped,
+        dropped_events=dropped,
+        blocked_events=blocked,
+        monitor_messages=net.messages_sent,
+        global_views=sum(m.metrics.views_created for m in monitors),
+        latency_seconds=time.perf_counter() - started,
+    )
+
+
+def standalone_tenant_result(
+    spec: TenantSpec, *, quiesce_timeout: float = 120.0
+) -> TenantResult:
+    """The fleet's correctness reference: the tenant run standalone.
+
+    Resolves the tenant's source and runs the identical (formula, stream)
+    through the plain asyncio backend (:func:`repro.runtime.runner.run_streaming`)
+    with no fleet multiplexing and no inbox bound.  A fleet run under a
+    non-saturating ``block`` policy must produce a :class:`TenantResult`
+    whose :meth:`~TenantResult.equivalence_key` matches this one exactly.
+    """
+    computation = asyncio.run(
+        spec.source.load(
+            num_processes=spec.num_processes,
+            events_per_process=spec.events_per_process,
+            property_name=spec.property_name,
+            seed=spec.seed,
+        )
+    )
+    n = computation.num_processes
+    report = run_streaming(
+        computation,
+        case_study_monitor(spec.property_name, n),
+        case_study_registry(n),
+        max_views_per_state=spec.max_views_per_state,
+        transport="memory",
+        time_scale=spec.time_scale,
+        quiesce_timeout=quiesce_timeout,
+        compiled_kernel=spec.compiled_kernel,
+        topology=spec.topology,
+    )
+    return TenantResult(
+        tenant_id=spec.tenant_id,
+        property_name=spec.property_name,
+        verdict_sequence=report.verdict_sequence(),
+        verdicts=tuple(sorted(str(v) for v in report.reported_verdicts)),
+        events=report.total_events,
+        ingested_events=report.total_events,
+        dropped_events=0,
+        blocked_events=0,
+        monitor_messages=report.monitor_messages,
+        global_views=report.total_global_views,
+        latency_seconds=report.wall_seconds,
+    )
+
+
+async def _guarded_session(
+    spec: TenantSpec, *, inbox_limit: int, backpressure: str, quiesce_timeout: float
+) -> TenantResult:
+    """Run one session; a failure evicts the tenant instead of the shard."""
+    started = time.perf_counter()
+    try:
+        return await _tenant_session(
+            spec,
+            inbox_limit=inbox_limit,
+            backpressure=backpressure,
+            quiesce_timeout=quiesce_timeout,
+        )
+    except Exception as error:  # noqa: BLE001 - eviction boundary
+        return TenantResult(
+            tenant_id=spec.tenant_id,
+            property_name=spec.property_name,
+            verdict_sequence=(),
+            verdicts=(),
+            events=0,
+            ingested_events=0,
+            dropped_events=0,
+            blocked_events=0,
+            monitor_messages=0,
+            global_views=0,
+            latency_seconds=time.perf_counter() - started,
+            error=f"{type(error).__name__}: {error}",
+        )
+
+
+def _run_shard(
+    specs: tuple[TenantSpec, ...],
+    inbox_limit: int,
+    backpressure: str,
+    quiesce_timeout: float,
+) -> list[TenantResult]:
+    """Run one shard's tenants concurrently on a fresh event loop.
+
+    Module-level (picklable) so :func:`run_fleet` can dispatch it through a
+    :class:`concurrent.futures.ProcessPoolExecutor`; every session in the
+    shard shares the process's intern table and compiled-machine caches.
+    """
+
+    async def gather() -> list[TenantResult]:
+        return list(
+            await asyncio.gather(
+                *(
+                    _guarded_session(
+                        spec,
+                        inbox_limit=inbox_limit,
+                        backpressure=backpressure,
+                        quiesce_timeout=quiesce_timeout,
+                    )
+                    for spec in specs
+                )
+            )
+        )
+
+    return asyncio.run(gather())
+
+
+def _percentile(values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of *values* (0.0 for an empty list)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+@dataclass
+class FleetReport:
+    """Saturation metrics and per-tenant outcomes of one fleet run."""
+
+    tenants_admitted: int
+    tenants_rejected: int
+    tenants_completed: int
+    tenants_evicted: int
+    shards: int
+    backpressure: str
+    inbox_limit: int
+    events_ingested: int
+    events_dropped: int
+    events_blocked: int
+    monitor_messages: int
+    verdict_latency_p50: float
+    verdict_latency_p99: float
+    wall_seconds: float
+    results: list[TenantResult] = field(default_factory=list)
+
+    @property
+    def tenants_active(self) -> int:
+        """Sessions still running when the report was cut (0 after a run)."""
+        return self.tenants_admitted - self.tenants_completed - self.tenants_evicted
+
+    @property
+    def fleet_events_per_sec(self) -> float:
+        """Aggregate ingestion throughput across every tenant."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.events_ingested / self.wall_seconds
+
+    def saturation(self) -> dict[str, float]:
+        """The flat saturation-counter block (CLI table, BENCH extras)."""
+        return {
+            "fleet_tenants_admitted": float(self.tenants_admitted),
+            "fleet_tenants_rejected": float(self.tenants_rejected),
+            "fleet_tenants_active": float(self.tenants_active),
+            "fleet_tenants_completed": float(self.tenants_completed),
+            "fleet_tenants_evicted": float(self.tenants_evicted),
+            "fleet_events_ingested": float(self.events_ingested),
+            "fleet_events_dropped": float(self.events_dropped),
+            "fleet_events_blocked": float(self.events_blocked),
+            "fleet_verdict_latency_p50": self.verdict_latency_p50,
+            "fleet_verdict_latency_p99": self.verdict_latency_p99,
+        }
+
+    def as_dict(self) -> dict[str, object]:
+        """Flat JSON-serializable summary (without per-tenant results)."""
+        return {
+            "shards": self.shards,
+            "backpressure": self.backpressure,
+            "inbox_limit": self.inbox_limit,
+            "monitor_messages": self.monitor_messages,
+            "wall_seconds": self.wall_seconds,
+            "fleet_events_per_sec": self.fleet_events_per_sec,
+            **self.saturation(),
+        }
+
+    def bench_timings(self) -> dict[str, dict[str, object]]:
+        """``repro-bench/1`` timing records of this run.
+
+        ``fleet_events_per_sec`` carries the throughput in the generic
+        ``events_per_sec`` field (tracked as a ``:events_per_sec`` row by
+        ``benchmarks/compare_bench.py``) and ``fleet_verdict_latency``
+        carries the explicit ``fleet_verdict_latency_p99`` field the
+        comparator treats as lower-is-better; both embed the full
+        saturation-counter block, so the BENCH document is self-describing.
+        """
+        common = {
+            "group": "fleet",
+            "backend": "asyncio",
+            "fleet_tenants": self.tenants_admitted,
+            "fleet_shards": self.shards,
+            "fleet_backpressure": self.backpressure,
+            **self.saturation(),
+        }
+        return {
+            "fleet_events_per_sec": {
+                "seconds": self.wall_seconds,
+                "events_per_sec": self.fleet_events_per_sec,
+                **common,
+            },
+            "fleet_verdict_latency": {
+                "seconds": self.verdict_latency_p50,
+                **common,
+            },
+        }
+
+
+def run_fleet(config: FleetConfig, *, sink: VerdictSink | None = None) -> FleetReport:
+    """Run a multi-tenant monitoring fleet to completion.
+
+    Admits ``config.tenants`` (rejecting, with a counter, everything beyond
+    ``max_tenants``), hash-partitions the admitted tenants across
+    ``config.shards`` worker processes, runs every tenant session
+    concurrently within its shard, and merges the per-tenant results in
+    tenant-id order — so the report is deterministic in the admitted set,
+    independent of shard count and scheduling.  When *sink* is given, every
+    tenant's :class:`repro.fleet.sinks.TenantVerdict` record is emitted to
+    it (in the same deterministic order) before the report returns.
+    """
+    started = time.perf_counter()
+    admitted = list(config.tenants)
+    rejected = 0
+    if config.max_tenants is not None and len(admitted) > config.max_tenants:
+        rejected = len(admitted) - config.max_tenants
+        admitted = admitted[: config.max_tenants]
+
+    results: list[TenantResult] = []
+    if admitted:
+        buckets: list[list[TenantSpec]] = [[] for _ in range(config.shards)]
+        for spec in admitted:
+            buckets[shard_of(spec.tenant_id, config.shards)].append(spec)
+        occupied = [tuple(bucket) for bucket in buckets if bucket]
+        if len(occupied) <= 1:
+            for bucket in occupied:
+                results.extend(
+                    _run_shard(
+                        bucket,
+                        config.inbox_limit,
+                        config.backpressure,
+                        config.quiesce_timeout,
+                    )
+                )
+        else:
+            with ProcessPoolExecutor(max_workers=len(occupied)) as pool:
+                futures = [
+                    pool.submit(
+                        _run_shard,
+                        bucket,
+                        config.inbox_limit,
+                        config.backpressure,
+                        config.quiesce_timeout,
+                    )
+                    for bucket in occupied
+                ]
+                for future in futures:
+                    results.extend(future.result())
+    results.sort(key=lambda result: result.tenant_id)
+
+    completed = [r for r in results if not r.evicted]
+    evicted = [r for r in results if r.evicted]
+    latencies = [r.latency_seconds for r in completed]
+    report = FleetReport(
+        tenants_admitted=len(admitted),
+        tenants_rejected=rejected,
+        tenants_completed=len(completed),
+        tenants_evicted=len(evicted),
+        shards=config.shards,
+        backpressure=config.backpressure,
+        inbox_limit=config.inbox_limit,
+        events_ingested=sum(r.ingested_events for r in results),
+        events_dropped=sum(r.dropped_events for r in results),
+        events_blocked=sum(r.blocked_events for r in results),
+        monitor_messages=sum(r.monitor_messages for r in results),
+        verdict_latency_p50=_percentile(latencies, 0.50),
+        verdict_latency_p99=_percentile(latencies, 0.99),
+        wall_seconds=time.perf_counter() - started,
+        results=results,
+    )
+    if sink is not None:
+        for result in results:
+            sink.emit(result.verdict_record())
+        sink.close()
+    return report

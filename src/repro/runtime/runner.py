@@ -103,6 +103,21 @@ class RuntimeReport:
             return 0.0
         return self.delayed_events / self.num_processes
 
+    def verdict_sequence(self) -> tuple[str, ...]:
+        """The run's canonical per-monitor verdict declaration order.
+
+        One entry per monitor process, each the space-joined conclusive
+        verdicts in the order that monitor first declared them (empty string
+        for a monitor that never reached a conclusive state).  This is the
+        byte-comparable rendering the fleet layer's equivalence anchor is
+        property-tested on: a tenant run inside :func:`repro.fleet.run_fleet`
+        must produce exactly this tuple for the same (formula, stream) seed.
+        """
+        return tuple(
+            " ".join(str(verdict) for verdict in monitor.verdict_log)
+            for monitor in self.monitors
+        )
+
     def as_dict(self) -> dict[str, object]:
         """Flat summary row, shaped like the simulator report's."""
         return {

@@ -7,9 +7,11 @@ topology catalogues of ``docs/scenarios.md`` (between
 fault-scenario section of ``docs/faults.md``
 (between :data:`FAULTS_BEGIN_MARKER` and :data:`FAULTS_END_MARKER`), and
 the public API reference of ``docs/api.md`` (between
-:data:`API_BEGIN_MARKER` and :data:`API_END_MARKER`).  The catalogues are
+:data:`API_BEGIN_MARKER` and :data:`API_END_MARKER`), and the fleet
+source/sink/backpressure catalogue of ``docs/fleet.md`` (between
+:data:`FLEET_BEGIN_MARKER` and :data:`FLEET_END_MARKER`).  The catalogues are
 produced straight from the live registries (:mod:`repro.scenarios.registry`,
-:mod:`repro.coordination`)
+:mod:`repro.coordination`, :mod:`repro.fleet`)
 and the API reference from the live ``repro.api.__all__``; tests assert
 each file matches the renderer's output, so the documents cannot drift
 from the code.  After adding or changing a scenario or a public API name,
@@ -18,6 +20,7 @@ regenerate with::
     PYTHONPATH=src python -m repro.scenarios.docgen docs/scenarios.md
     PYTHONPATH=src python -m repro.scenarios.docgen docs/faults.md
     PYTHONPATH=src python -m repro.scenarios.docgen docs/api.md
+    PYTHONPATH=src python -m repro.scenarios.docgen docs/fleet.md
 
 ``main`` replaces whichever marker pairs the given file contains.
 Everything rendered comes from :meth:`repro.scenarios.Scenario.describe`:
@@ -44,11 +47,14 @@ __all__ = [
     "API_END_MARKER",
     "TOPOLOGY_BEGIN_MARKER",
     "TOPOLOGY_END_MARKER",
+    "FLEET_BEGIN_MARKER",
+    "FLEET_END_MARKER",
     "render_catalogue",
     "render_fault_catalogue",
     "render_adversarial_catalogue",
     "render_api_reference",
     "render_topology_catalogue",
+    "render_fleet_catalogue",
     "replace_generated_section",
     "main",
 ]
@@ -71,6 +77,9 @@ TOPOLOGY_BEGIN_MARKER = (
     "<!-- BEGIN GENERATED TOPOLOGY CATALOGUE (repro.scenarios.docgen) -->"
 )
 TOPOLOGY_END_MARKER = "<!-- END GENERATED TOPOLOGY CATALOGUE -->"
+
+FLEET_BEGIN_MARKER = "<!-- BEGIN GENERATED FLEET CATALOGUE (repro.scenarios.docgen) -->"
+FLEET_END_MARKER = "<!-- END GENERATED FLEET CATALOGUE -->"
 
 
 def _format_params(description: dict[str, object]) -> str:
@@ -232,6 +241,64 @@ def render_topology_catalogue() -> str:
     return "\n".join(lines)
 
 
+def render_fleet_catalogue() -> str:
+    """The generated source/sink/backpressure section of ``docs/fleet.md``.
+
+    Rendered straight from the live :mod:`repro.fleet` registries — the
+    event-source kinds, the verdict-sink kinds and the backpressure
+    policies, each with the first line of its docstring or its behaviour
+    summary — so the operator guide cannot drift from the code.
+    """
+    import inspect
+
+    from ..fleet import SINK_KINDS, SOURCE_KINDS, describe_backpressure
+
+    def first_line(cls: type) -> str:
+        doc = inspect.getdoc(cls) or ""
+        return doc.splitlines()[0] if doc else ""
+
+    lines = [
+        FLEET_BEGIN_MARKER,
+        "",
+        f"{len(SOURCE_KINDS)} event sources drive tenant sessions "
+        "(`TenantSpec.source`):",
+        "",
+        "| source | summary |",
+        "| --- | --- |",
+    ]
+    for name, cls in SOURCE_KINDS.items():
+        lines.append(f"| `{name}` | {first_line(cls)} |")
+    lines.extend(
+        [
+            "",
+            f"{len(SINK_KINDS)} verdict sinks receive per-tenant records "
+            "(`run_fleet(..., sink=...)`, CLI `--sink`):",
+            "",
+            "| sink | summary |",
+            "| --- | --- |",
+        ]
+    )
+    for name, cls in SINK_KINDS.items():
+        lines.append(f"| `{name}` | {first_line(cls)} |")
+    policies = describe_backpressure()
+    lines.extend(
+        [
+            "",
+            f"{len(policies)} backpressure policies govern saturated tenant "
+            "inboxes (`FleetConfig.backpressure`):",
+            "",
+            "| policy | behaviour | loss |",
+            "| --- | --- | --- |",
+        ]
+    )
+    for policy in policies:
+        lines.append(
+            f"| `{policy['name']}` | {policy['behaviour']} | {policy['loss']} |"
+        )
+    lines.extend(["", FLEET_END_MARKER])
+    return "\n".join(lines)
+
+
 #: every generated-checked section ``main`` knows how to refresh
 _SECTIONS: tuple[tuple[str, str, object], ...] = (
     (BEGIN_MARKER, END_MARKER, render_catalogue),
@@ -239,6 +306,7 @@ _SECTIONS: tuple[tuple[str, str, object], ...] = (
     (ADVERSARIAL_BEGIN_MARKER, ADVERSARIAL_END_MARKER, render_adversarial_catalogue),
     (API_BEGIN_MARKER, API_END_MARKER, render_api_reference),
     (TOPOLOGY_BEGIN_MARKER, TOPOLOGY_END_MARKER, render_topology_catalogue),
+    (FLEET_BEGIN_MARKER, FLEET_END_MARKER, render_fleet_catalogue),
 )
 
 
@@ -269,7 +337,7 @@ def main(argv: list[str] | None = None) -> int:
     if len(argv) != 1:
         print(
             "usage: python -m repro.scenarios.docgen "
-            "docs/scenarios.md|docs/faults.md|docs/api.md",
+            "docs/scenarios.md|docs/faults.md|docs/api.md|docs/fleet.md",
             file=sys.stderr,
         )
         return 2

@@ -23,6 +23,10 @@ RATCHETED_PATHS = [
     REPO_ROOT / "src" / "repro" / "faults",
     REPO_ROOT / "src" / "repro" / "core",
     REPO_ROOT / "src" / "repro" / "coordination",
+    REPO_ROOT / "src" / "repro" / "distributed",
+    REPO_ROOT / "src" / "repro" / "slicing",
+    REPO_ROOT / "src" / "repro" / "fuzz",
+    REPO_ROOT / "src" / "repro" / "fleet",
     REPO_ROOT / "src" / "repro" / "experiments" / "engine.py",
     REPO_ROOT / "src" / "repro" / "cluster",
     REPO_ROOT / "src" / "repro" / "api.py",
@@ -233,6 +237,94 @@ class TestApiDoc:
         assert docgen.render_api_reference() in updated
 
 
+class TestFleetDoc:
+    FLEET_DOC = DOCS / "fleet.md"
+
+    def test_doc_exists_with_markers(self):
+        text = self.FLEET_DOC.read_text(encoding="utf-8")
+        assert docgen.FLEET_BEGIN_MARKER in text
+        assert docgen.FLEET_END_MARKER in text
+
+    def test_fleet_catalogue_matches_registries(self):
+        """The generated fleet catalogue must equal a fresh rendering."""
+        text = self.FLEET_DOC.read_text(encoding="utf-8")
+        begin = text.index(docgen.FLEET_BEGIN_MARKER)
+        end = text.index(docgen.FLEET_END_MARKER) + len(docgen.FLEET_END_MARKER)
+        assert text[begin:end] == docgen.render_fleet_catalogue(), (
+            "docs/fleet.md is out of date; regenerate it with "
+            "`PYTHONPATH=src python -m repro.scenarios.docgen docs/fleet.md`"
+        )
+
+    def test_every_source_sink_and_policy_documented(self):
+        from repro.fleet.config import BACKPRESSURE_POLICIES
+        from repro.fleet.sinks import SINK_KINDS
+        from repro.fleet.sources import SOURCE_KINDS
+
+        text = self.FLEET_DOC.read_text(encoding="utf-8")
+        for name in (*SOURCE_KINDS, *SINK_KINDS, *BACKPRESSURE_POLICIES):
+            assert f"`{name}`" in text, name
+
+    def test_hand_written_sections_cover_the_operator_surface(self):
+        text = self.FLEET_DOC.read_text(encoding="utf-8")
+        for needle in (
+            "## Tenants and admission",
+            "## The correctness anchor",
+            "## Saturation metrics and BENCH tracking",
+            "## Capacity planning: a worked example",
+            "fleet_events_per_sec",
+            "fleet_verdict_latency_p99",
+        ):
+            assert needle in text, needle
+
+    def test_docgen_refreshes_fleet_markers(self, tmp_path):
+        copy = tmp_path / "fleet.md"
+        copy.write_text(
+            "# header\n\n"
+            f"{docgen.FLEET_BEGIN_MARKER}\nstale\n{docgen.FLEET_END_MARKER}\n",
+            encoding="utf-8",
+        )
+        assert docgen.main([str(copy)]) == 0
+        updated = copy.read_text(encoding="utf-8")
+        assert "stale" not in updated
+        assert docgen.render_fleet_catalogue() in updated
+
+
+class TestResultsDoc:
+    RESULTS_DOC = DOCS / "results.md"
+
+    def test_doc_exists_and_is_marked_generated(self):
+        text = self.RESULTS_DOC.read_text(encoding="utf-8")
+        assert text.startswith("<!-- GENERATED by tools/gen_results_report.py")
+
+    def test_results_doc_matches_the_committed_artifact(self):
+        """docs/results.md must equal a fresh rendering of BENCH_results.json."""
+        result = subprocess.run(
+            [
+                sys.executable,
+                str(REPO_ROOT / "tools" / "gen_results_report.py"),
+                "--check",
+            ],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        assert result.returncode == 0, (
+            result.stdout
+            + result.stderr
+            + "\nregenerate with `python tools/gen_results_report.py`"
+        )
+
+    def test_every_artefact_module_mapped_to_its_figure(self):
+        text = self.RESULTS_DOC.read_text(encoding="utf-8")
+        benchmarks = REPO_ROOT / "benchmarks"
+        modules = sorted(benchmarks.glob("test_fig_*.py")) + sorted(
+            benchmarks.glob("test_table_*.py")
+        )
+        assert len(modules) >= 6
+        for path in modules:
+            assert f"`benchmarks/{path.name}`" in text, path.name
+
+
 class TestDocsLinks:
     def test_all_relative_links_resolve(self):
         result = subprocess.run(
@@ -255,6 +347,8 @@ class TestDocsLinks:
             "benchmarks.md",
             "faults.md",
             "api.md",
+            "fleet.md",
+            "results.md",
         ):
             assert (DOCS / name).exists(), f"docs/{name} is missing"
 

@@ -1,0 +1,152 @@
+"""Backpressure, eviction and admission: the fleet under resource pressure.
+
+``block`` stalls the feeder (counted, lossless); ``drop-newest`` sheds the
+saturated process's stream suffix (counted per tenant) while keeping every
+delivered stream a true prefix — so whatever the tenant still declares stays
+sound — and never drops termination signals, so saturated tenants still
+complete.  A session failure evicts one tenant, not its shard, and the
+admission cap rejects (with a counter) instead of queueing.
+"""
+
+from repro.fleet import (
+    FleetConfig,
+    ReplaySource,
+    TenantSpec,
+    run_fleet,
+    standalone_tenant_result,
+    synthetic_fleet,
+)
+
+SATURATING = {"inbox_limit": 1, "events_per_process": 4}
+
+
+class TestBlockPolicy:
+    def test_saturated_block_is_lossless(self):
+        tenants = synthetic_fleet(
+            4, events_per_process=SATURATING["events_per_process"]
+        )
+        report = run_fleet(
+            FleetConfig(
+                tenants=tenants,
+                inbox_limit=SATURATING["inbox_limit"],
+                backpressure="block",
+            )
+        )
+        assert report.tenants_evicted == 0
+        assert report.events_blocked > 0
+        assert report.events_dropped == 0
+        for result in report.results:
+            assert result.ingested_events == result.events
+
+    def test_saturated_block_keeps_verdict_outcomes(self):
+        # blocking reorders the interleaving, so message counts may drift,
+        # but conclusive verdicts are interleaving-independent
+        tenants = synthetic_fleet(
+            4, events_per_process=SATURATING["events_per_process"]
+        )
+        report = run_fleet(
+            FleetConfig(
+                tenants=tenants,
+                inbox_limit=SATURATING["inbox_limit"],
+                backpressure="block",
+            )
+        )
+        for spec, result in zip(tenants, report.results):
+            assert result.verdicts == standalone_tenant_result(spec).verdicts
+
+
+class TestDropNewestPolicy:
+    def test_drops_are_counted_and_conserved(self):
+        tenants = synthetic_fleet(
+            4, events_per_process=SATURATING["events_per_process"]
+        )
+        report = run_fleet(
+            FleetConfig(
+                tenants=tenants,
+                inbox_limit=SATURATING["inbox_limit"],
+                backpressure="drop-newest",
+            )
+        )
+        assert report.tenants_evicted == 0  # shedding degrades, never corrupts
+        assert report.events_dropped > 0
+        assert report.events_blocked == 0
+        for result in report.results:
+            assert result.ingested_events + result.dropped_events == result.events
+
+    def test_roomy_inbox_never_drops(self):
+        report = run_fleet(
+            FleetConfig(
+                tenants=synthetic_fleet(3, events_per_process=2),
+                inbox_limit=1024,
+                backpressure="drop-newest",
+            )
+        )
+        assert report.events_dropped == 0
+        assert [r.equivalence_key() for r in report.results] == [
+            r.equivalence_key()
+            for r in run_fleet(
+                FleetConfig(tenants=synthetic_fleet(3, events_per_process=2))
+            ).results
+        ]
+
+
+class TestEviction:
+    def test_failing_source_evicts_one_tenant_not_the_shard(self, tmp_path):
+        healthy = synthetic_fleet(3, events_per_process=2)
+        doomed = TenantSpec(
+            tenant_id="zz-doomed",
+            source=ReplaySource(str(tmp_path / "no-such.jsonl")),
+        )
+        report = run_fleet(FleetConfig(tenants=(*healthy, doomed)))
+        assert report.tenants_admitted == 4
+        assert report.tenants_completed == 3
+        assert report.tenants_evicted == 1
+        assert report.tenants_active == 0
+        evicted = report.results[-1]  # results are tenant-id ordered
+        assert evicted.tenant_id == "zz-doomed"
+        assert evicted.evicted
+        assert evicted.error.startswith("FileNotFoundError")
+        assert all(not r.evicted for r in report.results[:-1])
+
+    def test_evicted_tenants_reach_the_sink_with_their_error(self, tmp_path):
+        from repro.fleet.sinks import MemorySink
+
+        sink = MemorySink()
+        run_fleet(
+            FleetConfig(
+                tenants=(
+                    TenantSpec(
+                        tenant_id="t",
+                        source=ReplaySource(str(tmp_path / "no-such.jsonl")),
+                    ),
+                )
+            ),
+            sink=sink,
+        )
+        assert len(sink.records) == 1
+        assert sink.records[0].error.startswith("FileNotFoundError")
+
+
+class TestAdmission:
+    def test_cap_rejects_the_tail(self):
+        tenants = synthetic_fleet(7, events_per_process=2)
+        report = run_fleet(FleetConfig(tenants=tenants, max_tenants=3))
+        assert report.tenants_admitted == 3
+        assert report.tenants_rejected == 4
+        assert [r.tenant_id for r in report.results] == [
+            t.tenant_id for t in tenants[:3]
+        ]
+
+    def test_saturation_counters_cover_the_lifecycle(self):
+        report = run_fleet(
+            FleetConfig(
+                tenants=synthetic_fleet(3, events_per_process=2), max_tenants=2
+            )
+        )
+        counters = report.saturation()
+        assert counters["fleet_tenants_admitted"] == 2.0
+        assert counters["fleet_tenants_rejected"] == 1.0
+        assert counters["fleet_tenants_completed"] == 2.0
+        assert counters["fleet_tenants_active"] == 0.0
+        assert counters["fleet_tenants_evicted"] == 0.0
+        assert report.fleet_events_per_sec > 0.0

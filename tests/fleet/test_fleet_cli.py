@@ -1,0 +1,87 @@
+"""The ``fleet`` CLI sub-command: table output, verification and BENCH JSON.
+
+``python -m repro.experiments.cli fleet`` is the operator's entry point:
+it must print the saturation-counter table, spot-verify tenants against
+their standalone runs with a non-zero exit on divergence, stream verdicts
+to a JSONL sink, and write ``repro-bench/1`` documents whose
+``fleet_events_per_sec`` timing ``compare_bench.py`` tracks across runs.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _run_cli(*argv):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.experiments.cli", *argv],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+    )
+
+
+FAST = ("--tenants", "4", "--processes", "2", "--events", "2")
+
+
+class TestFleetCommand:
+    def test_reports_the_saturation_table(self):
+        result = _run_cli("fleet", *FAST)
+        assert result.returncode == 0, result.stderr
+        assert "fleet: 4 tenants on 1 shard(s)" in result.stdout
+        for counter in (
+            "fleet_events_per_sec",
+            "fleet_tenants_completed",
+            "fleet_events_dropped",
+            "fleet_verdict_latency_p99",
+        ):
+            assert counter in result.stdout
+
+    def test_verify_spot_checks_against_standalone_runs(self):
+        result = _run_cli("fleet", *FAST, "--verify", "2")
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.count(": ok") == 2
+        assert "verified 2 tenant(s) against standalone runs" in result.stdout
+        assert "MISMATCH" not in result.stdout
+
+    def test_jsonl_sink_streams_verdict_records(self, tmp_path):
+        sink_path = tmp_path / "verdicts.jsonl"
+        result = _run_cli(
+            "fleet", *FAST, "--sink", "jsonl", "--sink-path", str(sink_path)
+        )
+        assert result.returncode == 0, result.stderr
+        lines = [json.loads(line) for line in sink_path.read_text().splitlines()]
+        assert [line["tenant_id"] for line in lines] == [
+            f"tenant-{i:04d}" for i in range(4)
+        ]
+
+    def test_jsonl_sink_without_path_fails_fast(self):
+        result = _run_cli("fleet", *FAST, "--sink", "jsonl")
+        assert result.returncode == 1
+        assert "error: the jsonl sink requires a path" in result.stderr
+
+    def test_unknown_backpressure_rejected_by_the_parser(self):
+        result = _run_cli("fleet", *FAST, "--backpressure", "drop-oldest")
+        assert result.returncode == 2
+        assert "invalid choice" in result.stderr
+
+    def test_json_writes_a_tracked_bench_document(self, tmp_path):
+        out = tmp_path / "BENCH_fleet.json"
+        result = _run_cli(
+            "fleet", *FAST, "--shards", "2", "--json", str(out)
+        )
+        assert result.returncode == 0, result.stderr
+        document = json.loads(out.read_text())
+        assert document["schema"] == "repro-bench/1"
+        timing = document["timings"]["fleet_events_per_sec"]
+        assert timing["events_per_sec"] > 0.0
+        assert timing["group"] == "fleet"
+        assert timing["fleet_shards"] == 2
+        assert timing["fleet_tenants"] == 4
+        latency = document["timings"]["fleet_verdict_latency"]
+        assert latency["fleet_verdict_latency_p99"] >= 0.0

@@ -1,0 +1,104 @@
+"""Verdict sinks: in-memory collection, JSONL tailing and the registry.
+
+The fleet emits one :class:`~repro.fleet.sinks.TenantVerdict` per tenant in
+deterministic tenant-id order; the memory sink keeps them inspectable, the
+JSONL sink writes the line-per-record shape an external collector would
+tail, and :func:`~repro.fleet.sinks.make_sink` fails loudly on unknown or
+under-specified kinds.
+"""
+
+import json
+
+import pytest
+
+from repro.fleet import FleetConfig, run_fleet, synthetic_fleet
+from repro.fleet.sinks import (
+    SINK_KINDS,
+    JsonlSink,
+    MemorySink,
+    TenantVerdict,
+    VerdictSink,
+    make_sink,
+)
+
+
+def _record(tenant_id="t", **overrides):
+    defaults = {
+        "tenant_id": tenant_id,
+        "property_name": "B",
+        "verdict_sequence": ("BOTTOM", "", "BOTTOM"),
+        "verdicts": ("BOTTOM",),
+        "events": 9,
+        "dropped_events": 0,
+        "latency_seconds": 0.25,
+    }
+    return TenantVerdict(**{**defaults, **overrides})
+
+
+class TestMemorySink:
+    def test_collects_in_emission_order(self):
+        sink = MemorySink()
+        sink.emit(_record("a"))
+        sink.emit(_record("b"))
+        sink.close()
+        assert [r.tenant_id for r in sink.records] == ["a", "b"]
+        assert sink.describe() == {"kind": "memory", "records": 2}
+
+
+class TestJsonlSink:
+    def test_writes_one_json_object_per_record(self, tmp_path):
+        path = tmp_path / "verdicts.jsonl"
+        sink = JsonlSink(path)
+        sink.emit(_record("a"))
+        sink.emit(_record("b", error="ValueError: boom"))
+        sink.close()
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [line["tenant_id"] for line in lines] == ["a", "b"]
+        assert lines[0]["verdicts"] == ["BOTTOM"]
+        assert lines[1]["error"] == "ValueError: boom"
+        assert sink.emitted == 2
+
+    def test_file_created_lazily(self, tmp_path):
+        path = tmp_path / "verdicts.jsonl"
+        sink = JsonlSink(path)
+        assert not path.exists()  # nothing emitted, nothing created
+        sink.close()
+        assert not path.exists()
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlSink(tmp_path / "verdicts.jsonl")
+        sink.emit(_record())
+        sink.close()
+        sink.close()
+
+
+class TestMakeSink:
+    def test_builds_registered_kinds(self, tmp_path):
+        assert isinstance(make_sink("memory"), MemorySink)
+        assert isinstance(make_sink("jsonl", tmp_path / "v.jsonl"), JsonlSink)
+
+    def test_jsonl_requires_a_path(self):
+        with pytest.raises(ValueError, match="jsonl sink requires a path"):
+            make_sink("jsonl")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown verdict sink 'kafka'"):
+            make_sink("kafka")
+
+    def test_registry_instances_satisfy_the_protocol(self, tmp_path):
+        for kind in SINK_KINDS:
+            assert isinstance(make_sink(kind, tmp_path / "v.jsonl"), VerdictSink)
+
+
+class TestFleetEmission:
+    def test_fleet_emits_every_tenant_in_id_order(self, tmp_path):
+        tenants = synthetic_fleet(4, events_per_process=2)
+        path = tmp_path / "verdicts.jsonl"
+        sink = JsonlSink(path)
+        report = run_fleet(FleetConfig(tenants=tenants), sink=sink)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [line["tenant_id"] for line in lines] == sorted(
+            t.tenant_id for t in tenants
+        )
+        assert report.tenants_completed == 4
+        assert all(line["error"] == "" for line in lines)
